@@ -1,0 +1,179 @@
+//! Fine-grained priority scheduling transactions (§3.4, item 1) and FIFO.
+//!
+//! These algorithms "schedule the packet with the lowest value of a field
+//! initialized by the end host": strict priorities (IP TOS), Shortest Job
+//! First (flow size), Shortest Remaining Processing Time (remaining flow
+//! size), Least Attained Service (service received), Earliest Deadline
+//! First (time to deadline). Each is a one-line scheduling transaction.
+
+use pifo_core::prelude::*;
+
+/// First-In First-Out: rank = wall-clock arrival time (§3.4, item 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl SchedulingTransaction for Fifo {
+    fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
+        Rank(ctx.now.as_nanos())
+    }
+
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+}
+
+/// Strict priority scheduling: rank = priority class (lower = better).
+/// FIFO among packets of equal class, by the PIFO tie-break.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrictPriority;
+
+impl SchedulingTransaction for StrictPriority {
+    fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
+        Rank(ctx.packet.class as u64)
+    }
+
+    fn name(&self) -> &str {
+        "StrictPriority"
+    }
+}
+
+/// Shortest Job First: rank = total flow size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sjf;
+
+impl SchedulingTransaction for Sjf {
+    fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
+        Rank(ctx.packet.flow_size)
+    }
+
+    fn name(&self) -> &str {
+        "SJF"
+    }
+}
+
+/// Shortest Remaining Processing Time: rank = remaining flow bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Srpt;
+
+impl SchedulingTransaction for Srpt {
+    fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
+        Rank(ctx.packet.remaining)
+    }
+
+    fn name(&self) -> &str {
+        "SRPT"
+    }
+}
+
+/// Least Attained Service: rank = bytes of service the flow has received.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Las;
+
+impl SchedulingTransaction for Las {
+    fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
+        Rank(ctx.packet.attained)
+    }
+
+    fn name(&self) -> &str {
+        "LAS"
+    }
+}
+
+/// Earliest Deadline First: rank = absolute deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Edf;
+
+impl SchedulingTransaction for Edf {
+    fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
+        Rank(ctx.packet.deadline.as_nanos())
+    }
+
+    fn name(&self) -> &str {
+        "EDF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(p: &'a Packet, now: u64) -> EnqCtx<'a> {
+        EnqCtx {
+            packet: p,
+            now: Nanos(now),
+            flow: p.flow,
+        }
+    }
+
+    #[test]
+    fn fifo_ranks_by_arrival() {
+        let mut t = Fifo;
+        let p = Packet::new(0, FlowId(0), 64, Nanos(5));
+        assert_eq!(t.rank(&ctx(&p, 5)), Rank(5));
+        assert_eq!(t.rank(&ctx(&p, 9)), Rank(9));
+    }
+
+    #[test]
+    fn strict_priority_ranks_by_class() {
+        let mut t = StrictPriority;
+        let hi = Packet::new(0, FlowId(0), 64, Nanos(0)).with_class(0);
+        let lo = Packet::new(1, FlowId(0), 64, Nanos(0)).with_class(3);
+        assert!(t.rank(&ctx(&hi, 0)) < t.rank(&ctx(&lo, 0)));
+    }
+
+    #[test]
+    fn sjf_prefers_short_flows() {
+        let mut t = Sjf;
+        let small = Packet::new(0, FlowId(0), 64, Nanos(0)).with_flow_size(1_000);
+        let big = Packet::new(1, FlowId(1), 64, Nanos(0)).with_flow_size(1_000_000);
+        assert!(t.rank(&ctx(&small, 0)) < t.rank(&ctx(&big, 0)));
+    }
+
+    #[test]
+    fn srpt_tracks_remaining_not_total() {
+        let mut t = Srpt;
+        // A big flow that is nearly done beats a small flow just starting.
+        let nearly_done = Packet::new(0, FlowId(0), 64, Nanos(0))
+            .with_flow_size(1_000_000)
+            .with_remaining(100);
+        let starting = Packet::new(1, FlowId(1), 64, Nanos(0))
+            .with_flow_size(1_000)
+            .with_remaining(1_000);
+        assert!(t.rank(&ctx(&nearly_done, 0)) < t.rank(&ctx(&starting, 0)));
+    }
+
+    #[test]
+    fn las_prefers_least_served() {
+        let mut t = Las;
+        let newcomer = Packet::new(0, FlowId(0), 64, Nanos(0)).with_attained(0);
+        let hog = Packet::new(1, FlowId(1), 64, Nanos(0)).with_attained(10_000_000);
+        assert!(t.rank(&ctx(&newcomer, 0)) < t.rank(&ctx(&hog, 0)));
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let mut t = Edf;
+        let urgent = Packet::new(0, FlowId(0), 64, Nanos(0)).with_deadline(Nanos(100));
+        let lax = Packet::new(1, FlowId(1), 64, Nanos(0)).with_deadline(Nanos(900));
+        assert!(t.rank(&ctx(&urgent, 0)) < t.rank(&ctx(&lax, 0)));
+    }
+
+    /// Same-class packets stay FIFO through a PIFO (strict priority's
+    /// intra-class guarantee).
+    #[test]
+    fn strict_priority_is_fifo_within_class() {
+        let mut q: SortedArrayPifo<u64> = SortedArrayPifo::new();
+        let mut t = StrictPriority;
+        for i in 0..5u64 {
+            let p = Packet::new(i, FlowId(0), 64, Nanos(i)).with_class(2);
+            let r = t.rank(&EnqCtx {
+                packet: &p,
+                now: Nanos(i),
+                flow: p.flow,
+            });
+            q.push(r, i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

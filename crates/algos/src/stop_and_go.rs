@@ -1,0 +1,129 @@
+//! Stop-and-Go Queueing (§3.2, Fig 7) — a non-work-conserving algorithm
+//! providing bounded delay through framing.
+//!
+//! ```text
+//! if now >= frame_end_time:
+//!     frame_begin_time = frame_end_time
+//!     frame_end_time   = frame_begin_time + T
+//! p.rank = frame_end_time
+//! ```
+//!
+//! Time is divided into non-overlapping frames of length `T`; every packet
+//! arriving within a frame departs at the end of that frame, flattening
+//! any burstiness induced by previous hops. Packets sharing a departure
+//! time leave FIFO, guaranteed by the PIFO tie-break (§3.2).
+
+use pifo_core::prelude::*;
+
+/// The Stop-and-Go shaping transaction.
+#[derive(Debug, Clone)]
+pub struct StopAndGo {
+    frame_len: Nanos,
+    frame_begin: Nanos,
+    frame_end: Nanos,
+}
+
+impl StopAndGo {
+    /// Frames of length `frame_len`, the first spanning `[0, frame_len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len` is zero.
+    pub fn new(frame_len: Nanos) -> Self {
+        assert!(frame_len > Nanos::ZERO, "frame length must be positive");
+        StopAndGo {
+            frame_len,
+            frame_begin: Nanos::ZERO,
+            frame_end: frame_len,
+        }
+    }
+
+    /// Start of the current frame (for tests/inspection).
+    pub fn frame_begin(&self) -> Nanos {
+        self.frame_begin
+    }
+
+    /// End of the current frame.
+    pub fn frame_end(&self) -> Nanos {
+        self.frame_end
+    }
+}
+
+impl ShapingTransaction for StopAndGo {
+    fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+        // The paper's transaction advances one frame per packet arrival;
+        // tiling time means catching up over idle gaps, so loop (a
+        // hardware implementation would compute the same with a divide).
+        while ctx.now >= self.frame_end {
+            self.frame_begin = self.frame_end;
+            self.frame_end = self.frame_begin + self.frame_len;
+        }
+        self.frame_end
+    }
+
+    fn name(&self) -> &str {
+        "StopAndGo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(p: &'a Packet, now: u64) -> EnqCtx<'a> {
+        EnqCtx {
+            packet: p,
+            now: Nanos(now),
+            flow: p.flow,
+        }
+    }
+
+    #[test]
+    fn arrivals_in_one_frame_share_departure() {
+        let mut sg = StopAndGo::new(Nanos(1_000));
+        let p = Packet::new(0, FlowId(0), 64, Nanos(0));
+        assert_eq!(sg.send_time(&ctx(&p, 10)), Nanos(1_000));
+        assert_eq!(sg.send_time(&ctx(&p, 500)), Nanos(1_000));
+        assert_eq!(sg.send_time(&ctx(&p, 999)), Nanos(1_000));
+    }
+
+    #[test]
+    fn next_frame_rolls_over() {
+        let mut sg = StopAndGo::new(Nanos(1_000));
+        let p = Packet::new(0, FlowId(0), 64, Nanos(0));
+        assert_eq!(sg.send_time(&ctx(&p, 999)), Nanos(1_000));
+        assert_eq!(sg.send_time(&ctx(&p, 1_000)), Nanos(2_000));
+        assert_eq!(sg.send_time(&ctx(&p, 1_001)), Nanos(2_000));
+    }
+
+    #[test]
+    fn idle_gap_skips_frames() {
+        let mut sg = StopAndGo::new(Nanos(1_000));
+        let p = Packet::new(0, FlowId(0), 64, Nanos(0));
+        assert_eq!(sg.send_time(&ctx(&p, 0)), Nanos(1_000));
+        // Nothing for 10 frames; the next arrival lands in frame 11.
+        assert_eq!(sg.send_time(&ctx(&p, 10_500)), Nanos(11_000));
+        assert_eq!(sg.frame_begin(), Nanos(10_000));
+    }
+
+    #[test]
+    fn delay_bound_is_at_most_one_frame() {
+        // A packet arriving at time t departs at frame_end(t) <= t + T.
+        let mut sg = StopAndGo::new(Nanos(777));
+        let p = Packet::new(0, FlowId(0), 64, Nanos(0));
+        for t in [0u64, 1, 500, 776, 777, 1_000, 5_000, 123_456] {
+            let send = sg.send_time(&ctx(&p, t));
+            assert!(send.as_nanos() > t, "departure strictly after arrival");
+            assert!(
+                send.as_nanos() - t <= 777,
+                "shaping delay bounded by one frame"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frame length must be positive")]
+    fn zero_frame_rejected() {
+        let _ = StopAndGo::new(Nanos::ZERO);
+    }
+}

@@ -1,0 +1,65 @@
+//! Scheduler-vs-baseline benchmarks: the software cost of a programmable
+//! PIFO/STFQ port against the fixed-function DRR, strict-priority and
+//! FIFO schedulers it replaces.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pifo_algos::{Stfq, WeightTable};
+use pifo_core::prelude::*;
+use pifo_sim::{run_port, DrrSched, FifoSched, PortConfig, StrictPrioritySched, TreeScheduler};
+
+fn arrivals(n: u64) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            Packet::new(i, FlowId((i % 64) as u32), 1_000, Nanos(i * 100))
+                .with_class((i % 4) as u8)
+        })
+        .collect()
+}
+
+fn bench_port(c: &mut Criterion) {
+    let mut group = c.benchmark_group("port_10k_packets");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let n = 10_000u64;
+    let cfg = PortConfig::new(10_000_000_000);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("pifo_stfq", |b| {
+        let pkts = arrivals(n);
+        b.iter(|| {
+            let mut tb = TreeBuilder::new();
+            let root = tb.add_root("wfq", Box::new(Stfq::new(WeightTable::new())));
+            let tree = tb.build(Box::new(move |_| root)).expect("valid");
+            let mut s = TreeScheduler::new("stfq", tree);
+            black_box(run_port(&pkts, &mut s, &cfg));
+        })
+    });
+
+    group.bench_function("drr", |b| {
+        let pkts = arrivals(n);
+        b.iter(|| {
+            let mut s = DrrSched::new(1_500, 1_000_000);
+            black_box(run_port(&pkts, &mut s, &cfg));
+        })
+    });
+
+    group.bench_function("strict_priority", |b| {
+        let pkts = arrivals(n);
+        b.iter(|| {
+            let mut s = StrictPrioritySched::new(4, 1_000_000);
+            black_box(run_port(&pkts, &mut s, &cfg));
+        })
+    });
+
+    group.bench_function("fifo", |b| {
+        let pkts = arrivals(n);
+        b.iter(|| {
+            let mut s = FifoSched::new(1_000_000);
+            black_box(run_port(&pkts, &mut s, &cfg));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_port);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Hardware-model benchmarks: cycle-level mesh throughput and the
+//! pipelined flow-scheduler op rate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pifo_algos::Stfq;
+use pifo_compiler::{compile, instantiate, TreeSpec};
+use pifo_core::prelude::*;
+use pifo_hw::{BlockConfig, FlowEntry, LogicalPifoId, PipelinedFlowScheduler};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_sched_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let cycles = 1_000u64;
+    group.throughput(Throughput::Elements(cycles * 3));
+    group.bench_function("2push_1pop_per_cycle", |b| {
+        b.iter(|| {
+            let mut pipe = PipelinedFlowScheduler::new(2_048);
+            let l = LogicalPifoId(0);
+            for cyc in 0..cycles {
+                pipe.push(FlowEntry {
+                    rank: Rank(cyc * 2),
+                    lpifo: l,
+                    flow: FlowId((cyc % 1_000) as u32),
+                    meta: 0,
+                })
+                .expect("push");
+                pipe.push(FlowEntry {
+                    rank: Rank(cyc * 2 + 1),
+                    lpifo: l,
+                    flow: FlowId(((cyc + 7) % 1_000) as u32),
+                    meta: 0,
+                })
+                .expect("push");
+                black_box(pipe.pop(l).expect("pop"));
+                pipe.tick();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_cycles");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &depth in &[2usize, 5] {
+        let pkts = 5_000u64;
+        group.throughput(Throughput::Elements(pkts));
+        group.bench_with_input(BenchmarkId::new("levels", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let spec = TreeSpec::linear(depth);
+                let layout = compile(&spec).expect("valid");
+                let n = layout.placements.len();
+                let sched: Vec<Box<dyn SchedulingTransaction>> = (0..n)
+                    .map(|_| Box::new(Stfq::unweighted()) as Box<dyn SchedulingTransaction>)
+                    .collect();
+                let shape = (0..n).map(|_| None).collect();
+                let leaf = n - 1;
+                let mut mesh = instantiate(
+                    &layout,
+                    sched,
+                    shape,
+                    Box::new(move |_| leaf),
+                    BlockConfig::default(),
+                    1,
+                );
+                let mut sent = 0u64;
+                let mut got = 0u64;
+                let mut cycle = 0u64;
+                while got < pkts {
+                    if sent < pkts {
+                        if mesh
+                            .enqueue_packet(Packet::new(
+                                sent,
+                                FlowId((sent % 512) as u32),
+                                64,
+                                mesh.now(),
+                            ))
+                            .is_ok()
+                        {
+                            sent += 1;
+                        }
+                    }
+                    if cycle % 5 == 4 {
+                        if let Ok(Some(p)) = mesh.transmit() {
+                            black_box(p);
+                            got += 1;
+                        }
+                    }
+                    mesh.tick();
+                    cycle += 1;
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_mesh);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Rank-computation benchmarks: native Rust transactions vs the same
+//! algorithms interpreted from domino-lite source — the cost of
+//! programmability in the software model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use domino_lite::{figures, DominoScheduling, DominoShaping};
+use pifo_algos::{Stfq, TokenBucketFilter, WeightTable};
+use pifo_core::prelude::*;
+
+fn bench_stfq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_stfq");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            let mut tx = Stfq::new(WeightTable::new());
+            for i in 0..n {
+                let p = Packet::new(i, FlowId((i % 16) as u32), 1_000, Nanos(i));
+                let ctx = EnqCtx {
+                    packet: &p,
+                    now: Nanos(i),
+                    flow: p.flow,
+                };
+                black_box(tx.rank(&ctx));
+            }
+        })
+    });
+
+    group.bench_function("domino_interpreted", |b| {
+        b.iter(|| {
+            let mut tx = DominoScheduling::new("stfq", figures::stfq());
+            for i in 0..n {
+                let p = Packet::new(i, FlowId((i % 16) as u32), 1_000, Nanos(i));
+                let ctx = EnqCtx {
+                    packet: &p,
+                    now: Nanos(i),
+                    flow: p.flow,
+                };
+                black_box(tx.rank(&ctx));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_tbf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_tbf");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            let mut tx = TokenBucketFilter::new(10_000_000, 15_000);
+            for i in 0..n {
+                let p = Packet::new(i, FlowId(0), 1_000, Nanos(i * 100));
+                let ctx = EnqCtx {
+                    packet: &p,
+                    now: Nanos(i * 100),
+                    flow: p.flow,
+                };
+                black_box(tx.send_time(&ctx));
+            }
+        })
+    });
+
+    group.bench_function("domino_interpreted", |b| {
+        b.iter(|| {
+            let mut tx = DominoShaping::new("tbf", figures::tbf(10_000_000, 15_000));
+            for i in 0..n {
+                let p = Packet::new(i, FlowId(0), 1_000, Nanos(i * 100));
+                let ctx = EnqCtx {
+                    packet: &p,
+                    now: Nanos(i * 100),
+                    flow: p.flow,
+                };
+                black_box(tx.send_time(&ctx));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stfq, bench_tbf);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Scheduling-tree benchmarks: per-packet enqueue+dequeue cost of flat
+//! WFQ vs 2-level HPFQ vs the 5-level headline hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pifo_algos::{fig3_hpfq, Hierarchy, Stfq, WeightTable};
+use pifo_core::prelude::*;
+
+fn flat_tree() -> ScheduleTree {
+    let mut b = TreeBuilder::new();
+    let root = b.add_root("wfq", Box::new(Stfq::new(WeightTable::new())));
+    b.build(Box::new(move |_| root)).expect("valid")
+}
+
+fn five_level_tree() -> ScheduleTree {
+    // A chain of classes ending in one leaf with 64 flows.
+    let leaf = Hierarchy::leaf("L5", (0..64u32).map(|f| (FlowId(f), 1u64)).collect());
+    let mut h = leaf;
+    for lvl in (1..5).rev() {
+        h = Hierarchy::class(&format!("L{lvl}"), vec![(1, h)]);
+    }
+    let (tree, _) = h.build();
+    tree
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_enq_deq");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function(BenchmarkId::new("flat_wfq", 64), |b| {
+        b.iter(|| {
+            let mut tree = flat_tree();
+            for i in 0..n {
+                tree.enqueue(
+                    Packet::new(i, FlowId((i % 64) as u32), 1_000, Nanos(i)),
+                    Nanos(i),
+                )
+                .expect("enqueue");
+            }
+            while let Some(p) = tree.dequeue(Nanos(n)) {
+                black_box(p);
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("hpfq_2level", 4), |b| {
+        b.iter(|| {
+            let (mut tree, _) = fig3_hpfq();
+            for i in 0..n {
+                tree.enqueue(
+                    Packet::new(i, FlowId((i % 4) as u32), 1_000, Nanos(i)),
+                    Nanos(i),
+                )
+                .expect("enqueue");
+            }
+            while let Some(p) = tree.dequeue(Nanos(n)) {
+                black_box(p);
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("hierarchy_5level", 64), |b| {
+        b.iter(|| {
+            let mut tree = five_level_tree();
+            for i in 0..n {
+                tree.enqueue(
+                    Packet::new(i, FlowId((i % 64) as u32), 1_000, Nanos(i)),
+                    Nanos(i),
+                )
+                .expect("enqueue");
+            }
+            while let Some(p) = tree.dequeue(Nanos(n)) {
+                black_box(p);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trees);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro list            # show all experiment ids
+//! repro <id> [<id>...]  # run selected experiments
+//! repro all             # run everything in order
+//! ```
+
+use pifo_bench::experiments::{registry, run};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: repro <experiment id>... | all | list\n");
+        eprintln!("experiments:");
+        for (id, desc, _) in registry() {
+            eprintln!("  {id:<12} {desc}");
+        }
+        std::process::exit(if args.first().map(|a| a == "list").unwrap_or(false) {
+            0
+        } else {
+            2
+        });
+    }
+
+    let ids: Vec<String> = if args[0] == "all" {
+        registry().into_iter().map(|(id, _, _)| id.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut failed = false;
+    for id in &ids {
+        match run(id) {
+            Some(report) => {
+                println!("================================================================");
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try `repro list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,14 @@
+//! # pifo-bench
+//!
+//! Experiment drivers (`repro` binary) and Criterion benchmarks.
+//!
+//! Every table and figure of the paper has a regenerator here — see
+//! `EXPERIMENTS.md` at the workspace root for the experiment index and
+//! the recorded paper-vs-measured outcomes. Run one with
+//! `cargo run -p pifo-bench --bin repro --release -- <id>` or all with
+//! `… -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,425 @@
+//! # pifo-compiler
+//!
+//! Compiles a scheduling tree — nodes with scheduling (and optionally
+//! shaping) transactions — onto a PIFO mesh (§4.3):
+//!
+//! 1. every tree *level* is assigned to its own PIFO block (each packet
+//!    needs at most one enqueue and one dequeue per level per cycle, and
+//!    a block provides exactly one of each);
+//! 2. every *shaping PIFO* gets a dedicated block: its releases fire at
+//!    arbitrary wall-clock times and would otherwise conflict with the
+//!    level's scheduling traffic (the Fig 11 `TBF_Right` block);
+//! 3. next-hop lookup tables are emitted per block (Fig 9): transmit,
+//!    dequeue-child, or enqueue-into-parent;
+//! 4. the full-mesh wiring is priced in bits (§5.4).
+//!
+//! [`compile`] is purely structural (drives the golden tests against
+//! Figs 10b/11b); [`instantiate`] binds transactions and returns a
+//! runnable [`pifo_hw::Mesh`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pifo_core::prelude::*;
+use pifo_hw::{BlockConfig, BlockId, LogicalPifoId, Mesh, NodePlacement};
+use std::fmt::Write as _;
+
+/// One node of the abstract tree handed to the compiler.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Display name (e.g. `WFQ_Root`).
+    pub name: String,
+    /// Parent index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Whether a shaping transaction is attached.
+    pub shaped: bool,
+}
+
+/// The abstract tree.
+#[derive(Debug, Clone)]
+pub struct TreeSpec {
+    /// Nodes in any order; exactly one must be parentless.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl TreeSpec {
+    /// Build from `(name, parent, shaped)` tuples.
+    pub fn new(nodes: Vec<(&str, Option<usize>, bool)>) -> Self {
+        TreeSpec {
+            nodes: nodes
+                .into_iter()
+                .map(|(n, p, s)| NodeSpec {
+                    name: n.to_string(),
+                    parent: p,
+                    shaped: s,
+                })
+                .collect(),
+        }
+    }
+
+    /// The Fig 3 HPFQ tree.
+    pub fn hpfq() -> Self {
+        TreeSpec::new(vec![
+            ("WFQ_Root", None, false),
+            ("WFQ_Left", Some(0), false),
+            ("WFQ_Right", Some(0), false),
+        ])
+    }
+
+    /// The Fig 4 Hierarchies-with-Shaping tree (TBF on Right).
+    pub fn hierarchies_with_shaping() -> Self {
+        TreeSpec::new(vec![
+            ("WFQ_Root", None, false),
+            ("WFQ_Left", Some(0), false),
+            ("WFQ_Right", Some(0), true),
+        ])
+    }
+
+    /// A linear hierarchy of `depth` levels, WFQ at each — the paper's
+    /// headline 5-level configuration when `depth = 5` (§1).
+    pub fn linear(depth: usize) -> Self {
+        assert!(depth >= 1, "need at least one level");
+        let mut nodes = Vec::with_capacity(depth);
+        for i in 0..depth {
+            nodes.push(NodeSpec {
+                name: format!("WFQ_L{}", i + 1),
+                parent: if i == 0 { None } else { Some(i - 1) },
+                shaped: false,
+            });
+        }
+        TreeSpec { nodes }
+    }
+}
+
+/// Where the compiler placed things, plus the derived tables.
+#[derive(Debug, Clone)]
+pub struct MeshLayout {
+    /// Per-node placements (indexes match the input spec).
+    pub placements: Vec<NodePlacement>,
+    /// Total blocks allocated.
+    pub n_blocks: usize,
+    /// Blocks occupied by scheduling levels (the rest serve shaping).
+    pub n_level_blocks: usize,
+    /// Human-readable next-hop lookup table entries, per block.
+    pub lookup_tables: Vec<Vec<String>>,
+}
+
+/// Errors the compiler reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// No root / several roots / bad parent index.
+    MalformedTree(String),
+    /// A shaping transaction on the root has no parent to release to.
+    ShaperOnRoot,
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompileError::MalformedTree(m) => write!(f, "malformed tree: {m}"),
+            CompileError::ShaperOnRoot => write!(f, "shaping transaction on the root"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile a tree spec to a mesh layout (§4.3).
+pub fn compile(spec: &TreeSpec) -> Result<MeshLayout, CompileError> {
+    if spec.nodes.is_empty() {
+        return Err(CompileError::MalformedTree("no nodes".into()));
+    }
+    let n = spec.nodes.len();
+    let mut root = None;
+    for (i, node) in spec.nodes.iter().enumerate() {
+        match node.parent {
+            None => {
+                if root.replace(i).is_some() {
+                    return Err(CompileError::MalformedTree("multiple roots".into()));
+                }
+                if node.shaped {
+                    return Err(CompileError::ShaperOnRoot);
+                }
+            }
+            Some(p) if p >= n => {
+                return Err(CompileError::MalformedTree(format!(
+                    "node {} has out-of-range parent {p}",
+                    node.name
+                )))
+            }
+            _ => {}
+        }
+    }
+    let root = root.ok_or_else(|| CompileError::MalformedTree("no root".into()))?;
+
+    // Levels (with cycle detection).
+    let mut level = vec![usize::MAX; n];
+    for i in 0..n {
+        let mut cur = i;
+        let mut depth = 0usize;
+        while let Some(p) = spec.nodes[cur].parent {
+            depth += 1;
+            cur = p;
+            if depth > n {
+                return Err(CompileError::MalformedTree("parent cycle".into()));
+            }
+        }
+        if cur != root {
+            return Err(CompileError::MalformedTree(format!(
+                "node {} not connected to the root",
+                spec.nodes[i].name
+            )));
+        }
+        level[i] = depth;
+    }
+    let n_levels = level.iter().copied().max().expect("non-empty") + 1;
+
+    // Level -> block; sequential lpifo ids within each block.
+    let mut next_lpifo = vec![0u16; n_levels];
+    let mut placements: Vec<NodePlacement> = Vec::with_capacity(n);
+    for (i, node) in spec.nodes.iter().enumerate() {
+        let b = BlockId(level[i] as u8);
+        let l = LogicalPifoId(next_lpifo[level[i]]);
+        next_lpifo[level[i]] += 1;
+        placements.push(NodePlacement {
+            name: node.name.clone(),
+            parent: node.parent,
+            block: b,
+            lpifo: l,
+            shaping: None, // filled below
+        });
+    }
+    // Dedicated block per shaping PIFO (Fig 11).
+    let mut n_blocks = n_levels;
+    for (i, node) in spec.nodes.iter().enumerate() {
+        if node.shaped {
+            placements[i].shaping = Some((BlockId(n_blocks as u8), LogicalPifoId(0)));
+            n_blocks += 1;
+        }
+    }
+
+    // Lookup tables (Fig 9): what happens after a dequeue at each block.
+    let mut lookup_tables: Vec<Vec<String>> = vec![Vec::new(); n_blocks];
+    for (i, p) in placements.iter().enumerate() {
+        let children: Vec<usize> = placements
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.parent == Some(i))
+            .map(|(j, _)| j)
+            .collect();
+        let b = p.block.0 as usize;
+        if children.is_empty() {
+            lookup_tables[b].push(format!("deq {}: packet -> Transmit", p.name));
+        } else {
+            for c in children {
+                let cp = &placements[c];
+                lookup_tables[b].push(format!(
+                    "deq {}: ref({}) -> Dequeue {} {}",
+                    p.name, cp.name, cp.block, cp.lpifo
+                ));
+            }
+        }
+        if let Some((sb, _)) = p.shaping {
+            let parent = p.parent.expect("no shaper on root");
+            let pp = &placements[parent];
+            lookup_tables[sb.0 as usize].push(format!(
+                "deq shaping({}): release -> Enqueue {} {} ({})",
+                p.name, pp.block, pp.lpifo, pp.name
+            ));
+        }
+    }
+
+    Ok(MeshLayout {
+        placements,
+        n_blocks,
+        n_level_blocks: n_levels,
+        lookup_tables,
+    })
+}
+
+impl MeshLayout {
+    /// Render the configuration like Figs 10b/11b (for golden tests and
+    /// the `repro compile` experiment).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "mesh: {} blocks ({} level, {} shaping)",
+            self.n_blocks,
+            self.n_level_blocks,
+            self.n_blocks - self.n_level_blocks
+        );
+        for b in 0..self.n_blocks {
+            let residents: Vec<String> = self
+                .placements
+                .iter()
+                .filter(|p| p.block.0 as usize == b)
+                .map(|p| format!("{}@{}", p.name, p.lpifo))
+                .chain(
+                    self.placements
+                        .iter()
+                        .filter(|p| p.shaping.map(|(sb, _)| sb.0 as usize) == Some(b))
+                        .map(|p| format!("shaping({})@q0", p.name)),
+                )
+                .collect();
+            let _ = writeln!(s, "B{b}: [{}]", residents.join(", "));
+            for e in &self.lookup_tables[b] {
+                let _ = writeln!(s, "  {e}");
+            }
+        }
+        s
+    }
+
+    /// §5.4: bits per enqueue+dequeue wire set for a given block config.
+    /// Baseline: 8 (lpifo) + 16 (rank) + 32 (meta) + 10 (flow) for the
+    /// enqueue, plus 8 (lpifo) + 32 (element) for the dequeue = 106.
+    pub fn wire_set_bits(cfg: &BlockConfig) -> u32 {
+        let enq = cfg.lpifo_id_bits() + cfg.rank_bits + cfg.meta_bits + cfg.flow_id_bits();
+        let deq = cfg.lpifo_id_bits() + cfg.meta_bits;
+        enq + deq
+    }
+
+    /// §5.4: total wire bits for the full mesh (`blocks · (blocks-1)`
+    /// directed sets).
+    pub fn total_wiring_bits(&self, cfg: &BlockConfig) -> u64 {
+        let sets = (self.n_blocks * self.n_blocks.saturating_sub(1)) as u64;
+        sets * Self::wire_set_bits(cfg) as u64
+    }
+}
+
+/// Bind transactions to a compiled layout and build a runnable mesh.
+///
+/// `sched[i]`/`shape[i]` correspond to `spec.nodes[i]`; `classifier` maps
+/// packets to leaf node indices; each block gets `block_cfg`.
+///
+/// # Panics
+///
+/// Panics if a shaped node lacks a shaping transaction (or vice versa) —
+/// the 1-to-1 relationship of §3.5 is structural.
+pub fn instantiate(
+    layout: &MeshLayout,
+    sched: Vec<Box<dyn SchedulingTransaction>>,
+    shape: Vec<Option<Box<dyn ShapingTransaction>>>,
+    classifier: Box<dyn Fn(&Packet) -> usize>,
+    block_cfg: BlockConfig,
+    cycle_ns: u64,
+) -> Mesh {
+    assert_eq!(layout.placements.len(), sched.len(), "one sched tx per node");
+    assert_eq!(layout.placements.len(), shape.len(), "one shape slot per node");
+    for (i, p) in layout.placements.iter().enumerate() {
+        assert_eq!(
+            p.shaping.is_some(),
+            shape[i].is_some(),
+            "shaping placement/transaction mismatch at {}",
+            p.name
+        );
+    }
+    let cfgs = (0..layout.n_blocks).map(|_| block_cfg.clone()).collect();
+    Mesh::new(
+        cfgs,
+        layout.placements.clone(),
+        sched,
+        shape,
+        classifier,
+        cycle_ns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig 10b: HPFQ compiles to two blocks — WFQ_Root alone, WFQ_Left
+    /// and WFQ_Right sharing the second.
+    #[test]
+    fn hpfq_matches_fig_10b() {
+        let layout = compile(&TreeSpec::hpfq()).unwrap();
+        assert_eq!(layout.n_blocks, 2);
+        assert_eq!(layout.n_level_blocks, 2);
+        assert_eq!(layout.placements[0].block, BlockId(0));
+        assert_eq!(layout.placements[1].block, BlockId(1));
+        assert_eq!(layout.placements[2].block, BlockId(1));
+        assert_ne!(layout.placements[1].lpifo, layout.placements[2].lpifo);
+        let rendered = layout.render();
+        assert!(rendered.contains("WFQ_Root@q0"));
+        assert!(rendered.contains("deq WFQ_Left: packet -> Transmit"));
+        assert!(rendered.contains("deq WFQ_Root: ref(WFQ_Left) -> Dequeue B1 q0"));
+    }
+
+    /// Fig 11b: shaping adds a dedicated third block for TBF_Right.
+    #[test]
+    fn shaping_matches_fig_11b() {
+        let layout = compile(&TreeSpec::hierarchies_with_shaping()).unwrap();
+        assert_eq!(layout.n_blocks, 3);
+        assert_eq!(layout.n_level_blocks, 2);
+        let right = &layout.placements[2];
+        assert_eq!(right.shaping, Some((BlockId(2), LogicalPifoId(0))));
+        let rendered = layout.render();
+        assert!(
+            rendered.contains("deq shaping(WFQ_Right): release -> Enqueue B0 q0 (WFQ_Root)"),
+            "{rendered}"
+        );
+    }
+
+    /// The headline 5-level hierarchy fits 5 blocks (§4.2: "we expect a
+    /// small number of PIFO blocks in a typical switch, e.g. less than
+    /// five").
+    #[test]
+    fn five_level_tree_uses_five_blocks() {
+        let layout = compile(&TreeSpec::linear(5)).unwrap();
+        assert_eq!(layout.n_blocks, 5);
+        for (i, p) in layout.placements.iter().enumerate() {
+            assert_eq!(p.block, BlockId(i as u8), "level i -> block i");
+        }
+    }
+
+    #[test]
+    fn wire_bits_match_section_5_4() {
+        let cfg = BlockConfig::default();
+        assert_eq!(MeshLayout::wire_set_bits(&cfg), 106);
+        let layout = compile(&TreeSpec::linear(5)).unwrap();
+        assert_eq!(layout.total_wiring_bits(&cfg), 20 * 106); // = 2120
+    }
+
+    #[test]
+    fn malformed_trees_rejected() {
+        assert!(matches!(
+            compile(&TreeSpec { nodes: vec![] }),
+            Err(CompileError::MalformedTree(_))
+        ));
+        // Two roots.
+        assert!(compile(&TreeSpec::new(vec![("a", None, false), ("b", None, false)])).is_err());
+        // Parent out of range.
+        assert!(compile(&TreeSpec::new(vec![("a", None, false), ("b", Some(9), false)])).is_err());
+        // Shaper on root.
+        assert!(matches!(
+            compile(&TreeSpec::new(vec![("a", None, true)])),
+            Err(CompileError::ShaperOnRoot)
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // 1 -> 2 -> 1 cycle plus a proper root.
+        let spec = TreeSpec::new(vec![
+            ("root", None, false),
+            ("a", Some(2), false),
+            ("b", Some(1), false),
+        ]);
+        assert!(matches!(compile(&spec), Err(CompileError::MalformedTree(_))));
+    }
+
+    #[test]
+    fn siblings_share_block_distinct_lpifos() {
+        let spec = TreeSpec::new(vec![
+            ("root", None, false),
+            ("a", Some(0), false),
+            ("b", Some(0), false),
+            ("c", Some(0), false),
+        ]);
+        let layout = compile(&spec).unwrap();
+        assert_eq!(layout.n_blocks, 2);
+        let lpifos: Vec<u16> = layout.placements[1..].iter().map(|p| p.lpifo.0).collect();
+        assert_eq!(lpifos, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! # pifo-core
+//!
+//! Core abstractions of *Programmable Packet Scheduling at Line Rate*
+//! (SIGCOMM 2016): the push-in first-out queue (PIFO) and the programming
+//! model built on it — scheduling transactions, trees of transactions, and
+//! shaping transactions.
+//!
+//! The paper's central observation: every scheduling algorithm decides
+//! (1) in what **order** packets leave and (2) at what **time** — and for
+//! many algorithms both decisions can be made at *enqueue*. A PIFO stores
+//! that decision: elements push in at an arbitrary rank-determined
+//! position, but always pop from the head.
+//!
+//! ## Layout
+//!
+//! * [`pifo`] — the PIFO data structure ([`pifo::SortedArrayPifo`] is the
+//!   reference semantics; [`pifo::HeapPifo`] the fast software variant).
+//! * [`packet`], [`rank`], [`time`] — the vocabulary types.
+//! * [`transaction`] — scheduling & shaping transaction traits (§2.1, §2.3).
+//! * [`tree`] — trees of transactions with suspend/resume shaping (§2.2–2.3).
+//!
+//! Algorithm implementations (WFQ/STFQ, HPFQ, LSTF, token buckets, …) live
+//! in the companion crate `pifo-algos`; the hardware model in `pifo-hw`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pifo_core::prelude::*;
+//!
+//! // A strict-priority scheduler in three lines: rank = packet class.
+//! let mut b = TreeBuilder::new();
+//! let root = b.add_root(
+//!     "strict",
+//!     Box::new(FnTransaction::new("strict", |ctx: &EnqCtx| Rank(ctx.packet.class as u64))),
+//! );
+//! let mut tree = b.build(Box::new(move |_| root)).unwrap();
+//!
+//! tree.enqueue(Packet::new(0, FlowId(0), 1500, Nanos(0)).with_class(7), Nanos(0)).unwrap();
+//! tree.enqueue(Packet::new(1, FlowId(1), 64, Nanos(1)).with_class(0), Nanos(1)).unwrap();
+//!
+//! // The later, higher-priority packet leaves first.
+//! assert_eq!(tree.dequeue(Nanos(2)).unwrap().id.0, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod packet;
+pub mod pifo;
+pub mod rank;
+pub mod time;
+pub mod transaction;
+pub mod tree;
+
+/// Convenient glob-import of the types nearly every user needs.
+pub mod prelude {
+    pub use crate::packet::{FlowId, Packet, PacketId};
+    pub use crate::pifo::{HeapPifo, PifoFull, PifoQueue, SortedArrayPifo};
+    pub use crate::rank::{Rank, VT_SHIFT};
+    pub use crate::time::{bytes_in, tx_time, Nanos};
+    pub use crate::transaction::{
+        DeqCtx, EnqCtx, FnTransaction, SchedulingTransaction, ShapingTransaction,
+    };
+    pub use crate::tree::{Classifier, Element, FlowFn, NodeId, ScheduleTree, TreeBuilder, TreeError};
+}

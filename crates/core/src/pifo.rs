@@ -1,0 +1,418 @@
+//! The push-in first-out queue (PIFO).
+//!
+//! A PIFO is a priority queue that allows elements to be *pushed into an
+//! arbitrary location* based on the element's rank, but always *dequeues
+//! from the head* (§1, §2 of the paper). Ties between equal ranks are
+//! broken in enqueue order — a property the paper relies on, e.g. for
+//! Stop-and-Go Queueing where all packets of a frame share one rank (§3.2).
+//!
+//! Two software implementations are provided behind one trait:
+//!
+//! * [`SortedArrayPifo`] — a flat sorted array, the direct analogue of the
+//!   "naive" hardware design of §5.2 and the reference semantics for every
+//!   other implementation in this workspace (including the hardware model
+//!   in `pifo-hw`, which is checked against it property-wise).
+//! * [`HeapPifo`] — a binary heap with explicit enqueue sequence numbers to
+//!   preserve FIFO tie-breaking; the fast choice for software simulation.
+
+use crate::rank::Rank;
+use core::fmt;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Error returned by [`PifoQueue::try_push`] when the queue is at capacity.
+/// Carries the rejected element back to the caller (so a switch model can
+/// count and drop it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PifoFull<T> {
+    /// The rank the rejected element would have had.
+    pub rank: Rank,
+    /// The rejected element.
+    pub item: T,
+}
+
+impl<T> fmt::Display for PifoFull<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PIFO full: rejected element with rank {}", self.rank)
+    }
+}
+
+/// The PIFO contract shared by every implementation.
+///
+/// Invariants every implementation must uphold (checked by the shared
+/// property tests in this module and by `tests/` integration suites):
+///
+/// 1. `pop` returns elements in non-decreasing rank order **among the
+///    elements present at the time of each pop** (push-in, first-out).
+/// 2. Elements with equal rank pop in the order they were pushed.
+/// 3. `len` is the number of pushes minus the number of successful pops.
+pub trait PifoQueue<T> {
+    /// Push `item` with `rank`, failing if the queue is at capacity.
+    fn try_push(&mut self, rank: Rank, item: T) -> Result<(), PifoFull<T>>;
+
+    /// Pop the head (lowest rank, earliest enqueued among ties).
+    fn pop(&mut self) -> Option<(Rank, T)>;
+
+    /// Inspect the head without removing it.
+    fn peek(&self) -> Option<(Rank, &T)>;
+
+    /// Number of buffered elements.
+    fn len(&self) -> usize;
+
+    /// Capacity limit, if any.
+    fn capacity(&self) -> Option<usize>;
+
+    /// True when no element is buffered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push, panicking if the queue is full. Use in contexts where the
+    /// caller has already checked admission (e.g. the scheduling tree after
+    /// its buffer-accounting gate).
+    fn push(&mut self, rank: Rank, item: T) {
+        if self.try_push(rank, item).is_err() {
+            panic!("push into full PIFO (capacity {:?})", self.capacity());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SortedArrayPifo
+// ---------------------------------------------------------------------------
+
+/// Reference PIFO: a flat array kept sorted by `(rank, enqueue sequence)`.
+///
+/// `push` binary-searches for the insertion point *after* all equal ranks
+/// (FIFO tie-break) and shifts; `pop` takes from the front. This mirrors
+/// the naive hardware organisation of §5.2 ("an incoming element is
+/// compared against all elements in parallel … then inserted by shifting
+/// the array") and is the semantic reference for all other PIFOs.
+#[derive(Debug, Clone)]
+pub struct SortedArrayPifo<T> {
+    items: VecDeque<(Rank, u64, T)>,
+    seq: u64,
+    capacity: Option<usize>,
+}
+
+impl<T> Default for SortedArrayPifo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SortedArrayPifo<T> {
+    /// An unbounded PIFO.
+    pub fn new() -> Self {
+        SortedArrayPifo {
+            items: VecDeque::new(),
+            seq: 0,
+            capacity: None,
+        }
+    }
+
+    /// A PIFO that rejects pushes beyond `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SortedArrayPifo {
+            items: VecDeque::with_capacity(capacity),
+            seq: 0,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Iterate over `(rank, item)` in dequeue order without removing.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, &T)> {
+        self.items.iter().map(|(r, _, t)| (*r, t))
+    }
+
+    /// Remove and return the first element matching `pred` (head-most).
+    ///
+    /// This is not a PIFO primitive — it exists for the hardware model's
+    /// logical-PIFO sharing, where a pop targets "the first element with a
+    /// given logical PIFO ID" (§5.2), and for PFC masking (§6.2).
+    pub fn pop_first_matching(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<(Rank, T)> {
+        let idx = self.items.iter().position(|(_, _, t)| pred(t))?;
+        self.items.remove(idx).map(|(r, _, t)| (r, t))
+    }
+
+    /// Peek the first element matching `pred` (head-most).
+    pub fn peek_first_matching(&self, mut pred: impl FnMut(&T) -> bool) -> Option<(Rank, &T)> {
+        self.items
+            .iter()
+            .find(|(_, _, t)| pred(t))
+            .map(|(r, _, t)| (*r, t))
+    }
+}
+
+impl<T> PifoQueue<T> for SortedArrayPifo<T> {
+    fn try_push(&mut self, rank: Rank, item: T) -> Result<(), PifoFull<T>> {
+        if let Some(cap) = self.capacity {
+            if self.items.len() >= cap {
+                return Err(PifoFull { rank, item });
+            }
+        }
+        // First index whose rank exceeds the new rank: equal ranks stay
+        // ahead of us (FIFO tie-break).
+        let idx = self.items.partition_point(|(r, _, _)| *r <= rank);
+        self.items.insert(idx, (rank, self.seq, item));
+        self.seq += 1;
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Option<(Rank, T)> {
+        self.items.pop_front().map(|(r, _, t)| (r, t))
+    }
+
+    fn peek(&self) -> Option<(Rank, &T)> {
+        self.items.front().map(|(r, _, t)| (*r, t))
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HeapPifo
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct HeapEntry<T> {
+    rank: Rank,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (rank, seq) is
+        // at the top. seq breaks ties FIFO.
+        (other.rank, other.seq).cmp(&(self.rank, self.seq))
+    }
+}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Binary-heap PIFO with stable FIFO tie-breaking: `O(log n)` push/pop.
+///
+/// Functionally identical to [`SortedArrayPifo`]; preferred for software
+/// simulation at Trident scale (60 K elements).
+#[derive(Debug, Clone)]
+pub struct HeapPifo<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    seq: u64,
+    capacity: Option<usize>,
+}
+
+impl<T> Default for HeapPifo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> HeapPifo<T> {
+    /// An unbounded PIFO.
+    pub fn new() -> Self {
+        HeapPifo {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            capacity: None,
+        }
+    }
+
+    /// A PIFO that rejects pushes beyond `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        HeapPifo {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            capacity: Some(capacity),
+        }
+    }
+}
+
+impl<T> PifoQueue<T> for HeapPifo<T> {
+    fn try_push(&mut self, rank: Rank, item: T) -> Result<(), PifoFull<T>> {
+        if let Some(cap) = self.capacity {
+            if self.heap.len() >= cap {
+                return Err(PifoFull { rank, item });
+            }
+        }
+        self.heap.push(HeapEntry {
+            rank,
+            seq: self.seq,
+            item,
+        });
+        self.seq += 1;
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Option<(Rank, T)> {
+        self.heap.pop().map(|e| (e.rank, e.item))
+    }
+
+    fn peek(&self) -> Option<(Rank, &T)> {
+        self.heap.peek().map(|e| (e.rank, &e.item))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T, Q: PifoQueue<T>>(q: &mut Q) -> Vec<(Rank, T)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    fn basic_order<Q: PifoQueue<&'static str>>(mut q: Q) {
+        q.push(Rank(30), "c");
+        q.push(Rank(10), "a");
+        q.push(Rank(20), "b");
+        let order: Vec<_> = drain(&mut q).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn sorted_array_orders_by_rank() {
+        basic_order(SortedArrayPifo::new());
+    }
+
+    #[test]
+    fn heap_orders_by_rank() {
+        basic_order(HeapPifo::new());
+    }
+
+    fn fifo_tie_break<Q: PifoQueue<u32>>(mut q: Q) {
+        q.push(Rank(5), 1);
+        q.push(Rank(5), 2);
+        q.push(Rank(1), 0);
+        q.push(Rank(5), 3);
+        let order: Vec<_> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sorted_array_fifo_ties() {
+        fifo_tie_break(SortedArrayPifo::new());
+    }
+
+    #[test]
+    fn heap_fifo_ties() {
+        fifo_tie_break(HeapPifo::new());
+    }
+
+    #[test]
+    fn push_in_reorders_pending() {
+        // The defining PIFO behaviour: a later push with a smaller rank
+        // overtakes earlier pushes still in the queue.
+        let mut q = SortedArrayPifo::new();
+        q.push(Rank(100), "slow");
+        q.push(Rank(1), "urgent");
+        assert_eq!(q.pop().unwrap().1, "urgent");
+        assert_eq!(q.pop().unwrap().1, "slow");
+    }
+
+    #[test]
+    fn capacity_rejects_and_returns_item() {
+        let mut q = SortedArrayPifo::with_capacity(2);
+        assert!(q.try_push(Rank(1), 'a').is_ok());
+        assert!(q.try_push(Rank(2), 'b').is_ok());
+        let err = q.try_push(Rank(0), 'c').unwrap_err();
+        assert_eq!(err.item, 'c');
+        assert_eq!(err.rank, Rank(0));
+        assert_eq!(q.len(), 2);
+        // After a pop there is room again.
+        q.pop();
+        assert!(q.try_push(Rank(0), 'c').is_ok());
+    }
+
+    #[test]
+    fn heap_capacity_rejects() {
+        let mut q = HeapPifo::with_capacity(1);
+        assert!(q.try_push(Rank(1), 1).is_ok());
+        assert!(q.try_push(Rank(1), 2).is_err());
+        assert_eq!(q.capacity(), Some(1));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = HeapPifo::new();
+        q.push(Rank(2), "x");
+        q.push(Rank(1), "y");
+        assert_eq!(q.peek(), Some((Rank(1), &"y")));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Rank(1), "y")));
+    }
+
+    #[test]
+    fn empty_pops_none() {
+        let mut q: SortedArrayPifo<u8> = SortedArrayPifo::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn pop_first_matching_respects_head_order() {
+        let mut q = SortedArrayPifo::new();
+        q.push(Rank(1), ("a", 1));
+        q.push(Rank(2), ("b", 2));
+        q.push(Rank(3), ("a", 3));
+        // First "a" by dequeue order is the rank-1 one.
+        let (r, (tag, v)) = q.pop_first_matching(|(t, _)| *t == "a").unwrap();
+        assert_eq!((r, tag, v), (Rank(1), "a", 1));
+        // Remaining order intact.
+        assert_eq!(q.pop().unwrap().1, ("b", 2));
+        assert_eq!(q.pop().unwrap().1, ("a", 3));
+    }
+
+    #[test]
+    fn peek_first_matching_finds_headmost() {
+        let mut q = SortedArrayPifo::new();
+        q.push(Rank(4), 40u32);
+        q.push(Rank(2), 21u32);
+        q.push(Rank(3), 31u32);
+        let (r, v) = q.peek_first_matching(|v| *v % 2 == 1).unwrap();
+        assert_eq!((r, *v), (Rank(2), 21));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = HeapPifo::new();
+        q.push(Rank(10), 10);
+        q.push(Rank(5), 5);
+        assert_eq!(q.pop().unwrap().0, Rank(5));
+        q.push(Rank(1), 1);
+        q.push(Rank(7), 7);
+        assert_eq!(q.pop().unwrap().0, Rank(1));
+        assert_eq!(q.pop().unwrap().0, Rank(7));
+        assert_eq!(q.pop().unwrap().0, Rank(10));
+        assert!(q.pop().is_none());
+    }
+}

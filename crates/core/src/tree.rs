@@ -1,0 +1,824 @@
+//! Trees of scheduling and shaping transactions (§2.2–§2.3).
+//!
+//! A PIFO tree encodes the *instantaneous scheduling order* of a
+//! hierarchical algorithm (Fig 2): each node owns a scheduling PIFO whose
+//! elements are packets (at leaves) or references to child PIFOs (at
+//! interior nodes). Dequeueing walks from the root, popping one element at
+//! each level, until a packet is reached.
+//!
+//! Enqueueing a packet executes the scheduling transaction at every node on
+//! the leaf→root path, pushing the packet at the leaf and a reference to
+//! each child at its parent. A node with a *shaping transaction* suspends
+//! this walk (Fig 5): the reference destined for the parent is parked in
+//! the node's shaping PIFO, ranked by wall-clock release time, and the walk
+//! resumes at the parent only when that time arrives.
+//!
+//! # Invariants
+//!
+//! * Work-conserving subtrees: a node's scheduling-PIFO length equals the
+//!   number of packets buffered in its subtree minus references currently
+//!   held back by shapers strictly below it.
+//! * Dequeue never pops a reference to an empty child (checked; a failure
+//!   is a bug in this module, not in user code).
+//! * All shaped elements whose release time has passed are released before
+//!   any enqueue/dequeue at a later wall-clock time is processed.
+
+use crate::packet::{FlowId, Packet};
+use crate::pifo::{PifoQueue, SortedArrayPifo};
+use crate::rank::Rank;
+use crate::time::Nanos;
+use crate::transaction::{DeqCtx, EnqCtx, SchedulingTransaction, ShapingTransaction};
+use core::fmt;
+
+/// Identifies a node within one [`ScheduleTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The flow identifier this node presents to its parent's transaction.
+    ///
+    /// At an interior node, elements are grouped per *child* — e.g.
+    /// WFQ_Root in Fig 3 treats `Left` and `Right` as its two flows — so
+    /// the child's node id doubles as the flow id at the parent.
+    pub fn as_flow(self) -> FlowId {
+        FlowId(self.0)
+    }
+
+    /// Raw index (stable for the lifetime of the tree).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a `NodeId` from a raw index.
+    ///
+    /// Node ids are assigned densely in the order of
+    /// [`TreeBuilder::add_root`]/[`TreeBuilder::add_child`] calls (root
+    /// first). Builder helpers (e.g. `pifo-algos`' tree constructors) use
+    /// this to wire classifiers before the tree exists; an id that does not
+    /// name a real node is caught at `enqueue` as
+    /// [`TreeError::UnknownNode`].
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).unwrap_or(u32::MAX))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An element stored in a scheduling PIFO: a packet at a leaf, a reference
+/// to a child PIFO at an interior node (Fig 2).
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// A buffered packet (leaf PIFOs only).
+    Packet(Packet),
+    /// A reference to a child node's scheduling PIFO.
+    Ref(NodeId),
+}
+
+/// A reference parked in a shaping PIFO, waiting for its release time.
+///
+/// Carries a snapshot of the triggering packet so that the parent's
+/// scheduling transaction can read packet fields when the walk resumes —
+/// the hardware equivalently carries element metadata (§4.2).
+#[derive(Debug, Clone)]
+struct Suspended {
+    packet: Packet,
+    node: NodeId,
+}
+
+/// Errors surfaced by tree construction and use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The tree has no nodes.
+    Empty,
+    /// More than one root was defined.
+    MultipleRoots,
+    /// A shaper was attached to the root (there is no parent to release to).
+    ShaperOnRoot,
+    /// The classifier returned a non-leaf node for a packet.
+    NotALeaf(NodeId),
+    /// The shared packet buffer is exhausted; the packet was dropped.
+    BufferFull(Packet),
+    /// A node id from a different tree (or out of range) was used.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree has no nodes"),
+            TreeError::MultipleRoots => write!(f, "tree has multiple roots"),
+            TreeError::ShaperOnRoot => write!(f, "shaping transaction attached to the root"),
+            TreeError::NotALeaf(n) => write!(f, "classifier routed a packet to non-leaf {n}"),
+            TreeError::BufferFull(p) => write!(f, "buffer full, dropped {}", p.id),
+            TreeError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A function mapping a packet to the flow it belongs to at a leaf node.
+/// Defaults to `packet.flow` when not overridden.
+pub type FlowFn = Box<dyn Fn(&Packet) -> FlowId>;
+
+/// A function mapping a packet to the leaf node that should buffer it —
+/// the composition of all packet predicates down one root-to-leaf path
+/// (Fig 3b's `p.class == Left` etc.).
+pub type Classifier = Box<dyn Fn(&Packet) -> NodeId>;
+
+struct Node {
+    name: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    sched: Box<dyn SchedulingTransaction>,
+    shaper: Option<Box<dyn ShapingTransaction>>,
+    flow_fn: Option<FlowFn>,
+    sched_pifo: SortedArrayPifo<Element>,
+    /// Rank = wall-clock release time in nanoseconds.
+    shaping_pifo: SortedArrayPifo<Suspended>,
+}
+
+/// Builder for [`ScheduleTree`].
+///
+/// ```
+/// use pifo_core::prelude::*;
+///
+/// // Single-node tree = one PIFO with one scheduling transaction (§2.1).
+/// let mut b = TreeBuilder::new();
+/// let root = b.add_root("fifo", Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+///     Rank(ctx.now.as_nanos())
+/// })));
+/// let mut tree = b.build(Box::new(move |_p| root)).unwrap();
+/// tree.enqueue(Packet::new(0, FlowId(1), 100, Nanos(5)), Nanos(5)).unwrap();
+/// assert_eq!(tree.len(), 1);
+/// ```
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+    buffer_limit: Option<usize>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TreeBuilder {
+            nodes: Vec::new(),
+            root: None,
+            buffer_limit: None,
+        }
+    }
+
+    /// Limit the total number of buffered packets across the tree; beyond
+    /// it, [`ScheduleTree::enqueue`] returns [`TreeError::BufferFull`].
+    /// Models the shared packet buffer of §5.1 (60 K packets).
+    pub fn buffer_limit(&mut self, packets: usize) -> &mut Self {
+        self.buffer_limit = Some(packets);
+        self
+    }
+
+    /// Add the root node with its scheduling transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root already exists (programming error in tree setup).
+    pub fn add_root(&mut self, name: &str, sched: Box<dyn SchedulingTransaction>) -> NodeId {
+        assert!(self.root.is_none(), "tree already has a root");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            parent: None,
+            children: Vec::new(),
+            sched,
+            shaper: None,
+            flow_fn: None,
+            sched_pifo: SortedArrayPifo::new(),
+            shaping_pifo: SortedArrayPifo::new(),
+        });
+        self.root = Some(id);
+        id
+    }
+
+    /// Add a child of `parent` with its scheduling transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of this builder.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        sched: Box<dyn SchedulingTransaction>,
+    ) -> NodeId {
+        assert!(
+            (parent.index()) < self.nodes.len(),
+            "unknown parent {parent}"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            sched,
+            shaper: None,
+            flow_fn: None,
+            sched_pifo: SortedArrayPifo::new(),
+            shaping_pifo: SortedArrayPifo::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Attach a shaping transaction to `node` (§2.3). One shaper per node —
+    /// the paper's 1-to-1 scheduling/shaping relationship (§3.5).
+    pub fn set_shaper(&mut self, node: NodeId, shaper: Box<dyn ShapingTransaction>) {
+        self.nodes[node.index()].shaper = Some(shaper);
+    }
+
+    /// Override how packets map to flows at leaf `node` (e.g. HPFQ's leaf
+    /// `Left` distinguishing flows A and B).
+    pub fn set_flow_fn(&mut self, node: NodeId, f: FlowFn) {
+        self.nodes[node.index()].flow_fn = Some(f);
+    }
+
+    /// Finish construction. `classifier` maps each packet to its leaf.
+    pub fn build(self, classifier: Classifier) -> Result<ScheduleTree, TreeError> {
+        let root = self.root.ok_or(TreeError::Empty)?;
+        if self.nodes[root.index()].shaper.is_some() {
+            return Err(TreeError::ShaperOnRoot);
+        }
+        Ok(ScheduleTree {
+            nodes: self.nodes,
+            root,
+            classifier,
+            buffered: 0,
+            shaped: 0,
+            buffer_limit: self.buffer_limit,
+        })
+    }
+}
+
+/// A runnable tree of scheduling and shaping transactions — the complete
+/// programming model of §2 in one object.
+pub struct ScheduleTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    classifier: Classifier,
+    buffered: usize,
+    shaped: usize,
+    buffer_limit: Option<usize>,
+}
+
+impl fmt::Debug for ScheduleTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScheduleTree")
+            .field("nodes", &self.nodes.len())
+            .field("root", &self.root)
+            .field("buffered", &self.buffered)
+            .field("shaped", &self.shaped)
+            .finish()
+    }
+}
+
+impl ScheduleTree {
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of packets currently buffered (across all leaves).
+    pub fn len(&self) -> usize {
+        self.buffered
+    }
+
+    /// True when no packet is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffered == 0
+    }
+
+    /// Number of elements currently held back by shaping transactions.
+    pub fn shaped_len(&self) -> usize {
+        self.shaped
+    }
+
+    /// Name given to `node` at construction.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// Children of `node`, in insertion order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// Parent of `node` (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids, root first (construction order).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Scheduling-PIFO occupancy of `node` (for tests and introspection).
+    pub fn sched_pifo_len(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].sched_pifo.len()
+    }
+
+    /// Shaping-PIFO occupancy of `node`.
+    pub fn shaping_pifo_len(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].shaping_pifo.len()
+    }
+
+    fn flow_at(&self, node: NodeId, packet: &Packet) -> FlowId {
+        match &self.nodes[node.index()].flow_fn {
+            Some(f) => f(packet),
+            None => packet.flow,
+        }
+    }
+
+    /// Enqueue `packet` at wall-clock time `now`.
+    ///
+    /// Executes one scheduling transaction per node on the leaf→root path,
+    /// suspending at shaping nodes per Fig 5. Any shaped elements whose
+    /// release time is ≤ `now` are released first, so external callers can
+    /// drive the tree with only `enqueue`/`dequeue` and
+    /// [`next_shaping_event`](Self::next_shaping_event).
+    ///
+    /// **Time contract:** successive calls into one tree must use
+    /// non-decreasing `now` values (a switch experiences time forward).
+    /// Going backwards does not corrupt the structure, but shaped
+    /// elements already released by a later-timed call stay released.
+    pub fn enqueue(&mut self, packet: Packet, now: Nanos) -> Result<(), TreeError> {
+        self.release_due(now);
+        let leaf = (self.classifier)(&packet);
+        if leaf.index() >= self.nodes.len() {
+            return Err(TreeError::UnknownNode(leaf));
+        }
+        if !self.nodes[leaf.index()].children.is_empty() {
+            return Err(TreeError::NotALeaf(leaf));
+        }
+        if let Some(limit) = self.buffer_limit {
+            if self.buffered >= limit {
+                return Err(TreeError::BufferFull(packet));
+            }
+        }
+
+        // Leaf: the element is the packet itself.
+        let flow = self.flow_at(leaf, &packet);
+        let ctx = EnqCtx {
+            packet: &packet,
+            now,
+            flow,
+        };
+        let rank = self.nodes[leaf.index()].sched.rank(&ctx);
+        self.nodes[leaf.index()]
+            .sched_pifo
+            .push(rank, Element::Packet(packet.clone()));
+        self.buffered += 1;
+
+        self.after_insert(leaf, packet, now);
+        Ok(())
+    }
+
+    /// Continue the upward walk after an element entered `node`'s
+    /// scheduling PIFO: either suspend at `node`'s shaper or push a
+    /// reference into the parent (and recurse).
+    fn after_insert(&mut self, node: NodeId, packet: Packet, now: Nanos) {
+        if self.nodes[node.index()].shaper.is_some() {
+            let flow = self.flow_at(node, &packet);
+            let ctx = EnqCtx {
+                packet: &packet,
+                now,
+                flow,
+            };
+            let t = self.nodes[node.index()]
+                .shaper
+                .as_mut()
+                .expect("checked above")
+                .send_time(&ctx);
+            self.nodes[node.index()]
+                .shaping_pifo
+                .push(Rank(t.as_nanos()), Suspended { packet, node });
+            self.shaped += 1;
+            return; // Suspended: the parent sees nothing until release.
+        }
+        self.push_ref_to_parent(node, packet, now);
+    }
+
+    /// Push `Ref(node)` into `node`'s parent scheduling PIFO, executing the
+    /// parent's scheduling transaction, then continue upward.
+    fn push_ref_to_parent(&mut self, node: NodeId, packet: Packet, now: Nanos) {
+        let Some(parent) = self.nodes[node.index()].parent else {
+            return; // Reached the root: walk complete.
+        };
+        let ctx = EnqCtx {
+            packet: &packet,
+            now,
+            flow: node.as_flow(),
+        };
+        let rank = self.nodes[parent.index()].sched.rank(&ctx);
+        self.nodes[parent.index()]
+            .sched_pifo
+            .push(rank, Element::Ref(node));
+        self.after_insert(parent, packet, now);
+    }
+
+    /// Release every shaped element whose wall-clock time has arrived,
+    /// resuming the suspended walks in release-time order (ties broken by
+    /// node index, then FIFO). A resumed walk may suspend again at a higher
+    /// shaper; if that release time has also passed it is processed in the
+    /// same call.
+    pub fn release_due(&mut self, now: Nanos) {
+        loop {
+            // Find the globally earliest due entry across all shaping PIFOs.
+            let mut best: Option<(Rank, usize)> = None;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if let Some((r, _)) = n.shaping_pifo.peek() {
+                    if r.value() <= now.as_nanos() && best.map_or(true, |(br, _)| r < br) {
+                        best = Some((r, i));
+                    }
+                }
+            }
+            let Some((_, idx)) = best else { break };
+            let (_, susp) = self.nodes[idx]
+                .shaping_pifo
+                .pop()
+                .expect("peeked entry vanished");
+            self.shaped -= 1;
+            self.push_ref_to_parent(susp.node, susp.packet, now);
+        }
+    }
+
+    /// The earliest pending shaping release time, if any. A simulator
+    /// should call [`release_due`](Self::release_due) (or any
+    /// enqueue/dequeue) at or after this instant.
+    pub fn next_shaping_event(&self) -> Option<Nanos> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.shaping_pifo.peek().map(|(r, _)| Nanos(r.value())))
+            .min()
+    }
+
+    /// Dequeue the next packet at wall-clock time `now`: walk from the root
+    /// popping one element per level until a packet is reached (Fig 2).
+    ///
+    /// Returns `None` if the root PIFO is empty — which, with shapers, can
+    /// happen even while packets are buffered (non-work-conserving).
+    pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        self.release_due(now);
+        let mut node = self.root;
+        loop {
+            let (rank, elem) = self.nodes[node.index()].sched_pifo.pop()?;
+            let flow = match &elem {
+                Element::Packet(p) => self.flow_at(node, p),
+                Element::Ref(child) => child.as_flow(),
+            };
+            self.nodes[node.index()]
+                .sched
+                .on_dequeue(rank, &DeqCtx { now, flow });
+            match elem {
+                Element::Packet(p) => {
+                    self.buffered -= 1;
+                    return Some(p);
+                }
+                Element::Ref(child) => {
+                    debug_assert!(
+                        !self.nodes[child.index()].sched_pifo.is_empty(),
+                        "dequeued a reference to empty child {child} — tree invariant broken"
+                    );
+                    node = child;
+                }
+            }
+        }
+    }
+
+    /// Peek the packet that `dequeue` would return *right now*, without
+    /// mutating any state (and without releasing due shaped elements).
+    pub fn peek(&self) -> Option<&Packet> {
+        let mut node = self.root;
+        loop {
+            let (_, elem) = self.nodes[node.index()].sched_pifo.peek()?;
+            match elem {
+                Element::Packet(p) => return Some(p),
+                Element::Ref(child) => node = *child,
+            }
+        }
+    }
+
+    /// Render the instantaneous scheduling order of a node's PIFO as a
+    /// debug string, e.g. `"[L@3, R@5, L@7]"` — used by the Fig 2 tests.
+    pub fn debug_pifo(&self, node: NodeId) -> String {
+        let items: Vec<String> = self.nodes[node.index()]
+            .sched_pifo
+            .iter()
+            .map(|(r, e)| match e {
+                Element::Packet(p) => format!("{}@{}", p.id, r),
+                Element::Ref(c) => format!("{}@{}", self.node_name(*c), r),
+            })
+            .collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::FnTransaction;
+
+    fn fifo_tx() -> Box<dyn SchedulingTransaction> {
+        Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx<'_>| {
+            Rank(ctx.now.as_nanos())
+        }))
+    }
+
+    fn pkt(id: u64, flow: u32, t: u64) -> Packet {
+        Packet::new(id, FlowId(flow), 100, Nanos(t))
+    }
+
+    /// Single-node tree behaves as one PIFO.
+    #[test]
+    fn single_node_fifo() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("fifo", fifo_tx());
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+
+        tree.enqueue(pkt(0, 1, 10), Nanos(10)).unwrap();
+        tree.enqueue(pkt(1, 2, 20), Nanos(20)).unwrap();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.dequeue(Nanos(30)).unwrap().id.0, 0);
+        assert_eq!(tree.dequeue(Nanos(30)).unwrap().id.0, 1);
+        assert!(tree.dequeue(Nanos(30)).is_none());
+        assert!(tree.is_empty());
+    }
+
+    /// Fig 2 reproduced literally: a root with two leaves L and R; packets
+    /// P1..P4 with the ranks drawn in the figure dequeue as P3,P1,P2,P4.
+    #[test]
+    fn fig2_instantaneous_order() {
+        // Fixed ranks per element, injected through packet "class" maps.
+        // Leaf PIFOs:  L = [P3, P4], R = [P1, P2]
+        // Root PIFO :  [L, R, R, L]
+        // We reproduce exactly by assigning explicit ranks.
+        let leaf_rank = |ranks: &'static [(u64, u64)]| {
+            Box::new(FnTransaction::new("fixed", move |ctx: &EnqCtx<'_>| {
+                let id = ctx.packet.id.0;
+                Rank(
+                    ranks
+                        .iter()
+                        .find(|(pid, _)| *pid == id)
+                        .map(|(_, r)| *r)
+                        .expect("unknown packet"),
+                )
+            })) as Box<dyn SchedulingTransaction>
+        };
+        // Root ranks chosen so the order of refs is L, R, R, L.
+        let root_rank = Box::new(FnTransaction::new("fixed", |ctx: &EnqCtx<'_>| {
+            Rank(match ctx.packet.id.0 {
+                3 => 0, // P3 arrives at L -> ref L first
+                1 => 1,
+                2 => 2,
+                4 => 3,
+                _ => unreachable!(),
+            })
+        }));
+
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("Root", root_rank);
+        let left = b.add_child(root, "L", leaf_rank(&[(3, 0), (4, 1)]));
+        let right = b.add_child(root, "R", leaf_rank(&[(1, 0), (2, 1)]));
+        let mut tree = b
+            .build(Box::new(move |p: &Packet| {
+                if p.flow.0 == 0 {
+                    left
+                } else {
+                    right
+                }
+            }))
+            .unwrap();
+
+        // Enqueue in the order P3, P1, P2, P4 (flow 0 = L, flow 1 = R).
+        tree.enqueue(pkt(3, 0, 0), Nanos(0)).unwrap();
+        tree.enqueue(pkt(1, 1, 1), Nanos(1)).unwrap();
+        tree.enqueue(pkt(2, 1, 2), Nanos(2)).unwrap();
+        tree.enqueue(pkt(4, 0, 3), Nanos(3)).unwrap();
+
+        assert_eq!(tree.debug_pifo(root), "[L@0, R@1, R@2, L@3]");
+
+        let order: Vec<u64> = std::iter::from_fn(|| tree.dequeue(Nanos(10)))
+            .map(|p| p.id.0)
+            .collect();
+        assert_eq!(order, vec![3, 1, 2, 4], "Fig 2: P3, P1, P2, P4");
+    }
+
+    /// Later arrivals with smaller ranks overtake buffered packets at the
+    /// root — the push-in property lifted to trees.
+    #[test]
+    fn push_in_at_root_level() {
+        let by_class = Box::new(FnTransaction::new("class", |ctx: &EnqCtx<'_>| {
+            Rank(ctx.packet.class as u64)
+        }));
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("prio", by_class);
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+        tree.enqueue(pkt(0, 0, 0).with_class(5), Nanos(0)).unwrap();
+        tree.enqueue(pkt(1, 0, 1).with_class(1), Nanos(1)).unwrap();
+        assert_eq!(tree.dequeue(Nanos(2)).unwrap().id.0, 1);
+        assert_eq!(tree.dequeue(Nanos(2)).unwrap().id.0, 0);
+    }
+
+    /// The classifier must return a leaf.
+    #[test]
+    fn classifier_must_hit_leaf() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let _leaf = b.add_child(root, "leaf", fifo_tx());
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+        let err = tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap_err();
+        assert_eq!(err, TreeError::NotALeaf(root));
+    }
+
+    /// Root shapers are rejected at build time.
+    #[test]
+    fn no_shaper_on_root() {
+        struct NullShaper;
+        impl ShapingTransaction for NullShaper {
+            fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+                ctx.now
+            }
+        }
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        b.set_shaper(root, Box::new(NullShaper));
+        let err = b.build(Box::new(move |_| root)).unwrap_err();
+        assert_eq!(err, TreeError::ShaperOnRoot);
+    }
+
+    /// Buffer limit drops and reports the packet.
+    #[test]
+    fn buffer_limit_enforced() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("fifo", fifo_tx());
+        b.buffer_limit(2);
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+        tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap();
+        tree.enqueue(pkt(1, 0, 1), Nanos(1)).unwrap();
+        match tree.enqueue(pkt(2, 0, 2), Nanos(2)) {
+            Err(TreeError::BufferFull(p)) => assert_eq!(p.id.0, 2),
+            other => panic!("expected BufferFull, got {other:?}"),
+        }
+        // Draining makes room again.
+        tree.dequeue(Nanos(3));
+        tree.enqueue(pkt(3, 0, 3), Nanos(3)).unwrap();
+    }
+
+    /// A shaper delays visibility at the parent: the packet sits in the
+    /// leaf PIFO but the root stays empty until the release time.
+    #[test]
+    fn shaping_defers_parent_visibility() {
+        struct FixedDelay(u64);
+        impl ShapingTransaction for FixedDelay {
+            fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+                Nanos(ctx.now.as_nanos() + self.0)
+            }
+            fn name(&self) -> &str {
+                "fixed-delay"
+            }
+        }
+
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let leaf = b.add_child(root, "leaf", fifo_tx());
+        b.set_shaper(leaf, Box::new(FixedDelay(100)));
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+
+        tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.shaped_len(), 1);
+        assert_eq!(tree.sched_pifo_len(leaf), 1);
+        assert_eq!(tree.sched_pifo_len(root), 0, "root must not see the ref yet");
+
+        // Before the release time: nothing to dequeue.
+        assert!(tree.dequeue(Nanos(50)).is_none());
+        assert_eq!(tree.next_shaping_event(), Some(Nanos(100)));
+
+        // At the release time the walk resumes and the packet drains.
+        let p = tree.dequeue(Nanos(100)).expect("released at t=100");
+        assert_eq!(p.id.0, 0);
+        assert_eq!(tree.shaped_len(), 0);
+        assert!(tree.is_empty());
+    }
+
+    /// Two stacked shapers suspend/resume twice (Fig 5's multi-suspension).
+    #[test]
+    fn nested_shapers_resume_in_stages() {
+        struct FixedAt(u64);
+        impl ShapingTransaction for FixedAt {
+            fn send_time(&mut self, _ctx: &EnqCtx<'_>) -> Nanos {
+                Nanos(self.0)
+            }
+        }
+
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let mid = b.add_child(root, "mid", fifo_tx());
+        let leaf = b.add_child(mid, "leaf", fifo_tx());
+        b.set_shaper(leaf, Box::new(FixedAt(100)));
+        b.set_shaper(mid, Box::new(FixedAt(200)));
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+
+        tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap();
+        // Suspended at leaf's shaper.
+        assert_eq!(tree.sched_pifo_len(mid), 0);
+        assert!(tree.dequeue(Nanos(99)).is_none());
+
+        // t=100: ref released to mid, which immediately suspends again.
+        tree.release_due(Nanos(100));
+        assert_eq!(tree.sched_pifo_len(mid), 1);
+        assert_eq!(tree.sched_pifo_len(root), 0);
+        assert!(tree.dequeue(Nanos(150)).is_none());
+        assert_eq!(tree.next_shaping_event(), Some(Nanos(200)));
+
+        // t=200: second release reaches the root; packet drains.
+        let p = tree.dequeue(Nanos(200)).expect("fully released");
+        assert_eq!(p.id.0, 0);
+    }
+
+    /// A shaper whose release time is already due releases within the same
+    /// call (send_time in the past = work-conserving fallthrough).
+    #[test]
+    fn immediate_release_when_not_throttled() {
+        struct Immediate;
+        impl ShapingTransaction for Immediate {
+            fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+                ctx.now
+            }
+        }
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let leaf = b.add_child(root, "leaf", fifo_tx());
+        b.set_shaper(leaf, Box::new(Immediate));
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+        tree.enqueue(pkt(0, 0, 5), Nanos(5)).unwrap();
+        // The entry is parked momentarily, then released by the next call
+        // at the same instant.
+        let p = tree.dequeue(Nanos(5)).expect("releases at the same time");
+        assert_eq!(p.id.0, 0);
+    }
+
+    /// Work-conserving invariant: each node's PIFO holds exactly the
+    /// number of packets in its subtree.
+    #[test]
+    fn ref_counting_invariant() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let l = b.add_child(root, "L", fifo_tx());
+        let r = b.add_child(root, "R", fifo_tx());
+        let mut tree = b
+            .build(Box::new(move |p: &Packet| if p.flow.0 == 0 { l } else { r }))
+            .unwrap();
+        for i in 0..10 {
+            tree.enqueue(pkt(i, (i % 2) as u32, i), Nanos(i)).unwrap();
+        }
+        assert_eq!(tree.sched_pifo_len(root), 10);
+        assert_eq!(tree.sched_pifo_len(l), 5);
+        assert_eq!(tree.sched_pifo_len(r), 5);
+        for _ in 0..4 {
+            tree.dequeue(Nanos(100));
+        }
+        assert_eq!(tree.sched_pifo_len(root), 6);
+        assert_eq!(
+            tree.sched_pifo_len(l) + tree.sched_pifo_len(r),
+            6,
+            "leaf occupancy tracks root refs"
+        );
+    }
+
+    #[test]
+    fn peek_matches_dequeue() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("fifo", fifo_tx());
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+        assert!(tree.peek().is_none());
+        tree.enqueue(pkt(7, 0, 1), Nanos(1)).unwrap();
+        tree.enqueue(pkt(8, 0, 2), Nanos(2)).unwrap();
+        assert_eq!(tree.peek().unwrap().id.0, 7);
+        assert_eq!(tree.dequeue(Nanos(3)).unwrap().id.0, 7);
+        assert_eq!(tree.peek().unwrap().id.0, 8);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the PIFO contract and the scheduling tree.
+//!
+//! The central property: [`HeapPifo`] and [`SortedArrayPifo`] are
+//! observationally equivalent under any interleaving of pushes and pops —
+//! the heap is "just" a faster implementation of the same abstract PIFO.
+
+use pifo_core::prelude::*;
+use proptest::prelude::*;
+
+/// An abstract operation on a PIFO.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64, u32),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u64>(), any::<u32>()).prop_map(|(r, v)| Op::Push(r, v)),
+        2 => Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// Heap and sorted-array PIFOs agree on every observable step.
+    #[test]
+    fn heap_equals_sorted_array(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut a: SortedArrayPifo<u32> = SortedArrayPifo::new();
+        let mut b: HeapPifo<u32> = HeapPifo::new();
+        for op in ops {
+            match op {
+                Op::Push(r, v) => {
+                    a.push(Rank(r), v);
+                    b.push(Rank(r), v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(a.pop(), b.pop());
+                }
+            }
+            prop_assert_eq!(a.len(), b.len());
+            // peek() agreement (compare owned copies to avoid borrow overlap).
+            let pa = a.peek().map(|(r, v)| (r, *v));
+            let pb = b.peek().map(|(r, v)| (r, *v));
+            prop_assert_eq!(pa, pb);
+        }
+        // Drain both and compare the tail.
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            prop_assert_eq!(x, y);
+            if x.is_none() { break; }
+        }
+    }
+
+    /// Popping everything yields non-decreasing ranks, with FIFO ties.
+    #[test]
+    fn drain_is_sorted_and_stable(entries in proptest::collection::vec((0u64..50, any::<u32>()), 0..300)) {
+        let mut q: HeapPifo<(usize, u32)> = HeapPifo::new();
+        for (i, (r, v)) in entries.iter().enumerate() {
+            q.push(Rank(*r), (i, *v));
+        }
+        let mut last: Option<(Rank, usize)> = None;
+        while let Some((r, (i, _))) = q.pop() {
+            if let Some((lr, li)) = last {
+                prop_assert!(r >= lr, "ranks must be non-decreasing");
+                if r == lr {
+                    prop_assert!(i > li, "equal ranks must pop FIFO");
+                }
+            }
+            last = Some((r, i));
+        }
+    }
+
+    /// len() is pushes minus successful pops; capacity is never exceeded.
+    #[test]
+    fn capacity_is_respected(cap in 1usize..20, ops in proptest::collection::vec(op_strategy(), 0..100)) {
+        let mut q: SortedArrayPifo<u32> = SortedArrayPifo::with_capacity(cap);
+        let mut expected_len = 0usize;
+        for op in ops {
+            match op {
+                Op::Push(r, v) => {
+                    if expected_len < cap {
+                        prop_assert!(q.try_push(Rank(r), v).is_ok());
+                        expected_len += 1;
+                    } else {
+                        prop_assert!(q.try_push(Rank(r), v).is_err());
+                    }
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    prop_assert_eq!(got.is_some(), expected_len > 0);
+                    expected_len = expected_len.saturating_sub(1);
+                }
+            }
+            prop_assert_eq!(q.len(), expected_len);
+            prop_assert!(q.len() <= cap);
+        }
+    }
+}
+
+// Tree-level properties: for a work-conserving tree (no shapers), the
+// number of dequeued packets always equals the number enqueued, the tree
+// drains completely, and per-node PIFO occupancies match subtree packet
+// counts throughout.
+proptest! {
+    #[test]
+    fn two_level_tree_conserves_packets(
+        flows in proptest::collection::vec(0u32..4, 1..100),
+    ) {
+        use pifo_core::transaction::FnTransaction;
+
+        let fifo = || -> Box<dyn SchedulingTransaction> {
+            Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| Rank(ctx.packet.arrival.as_nanos())))
+        };
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo());
+        let l = b.add_child(root, "L", fifo());
+        let r = b.add_child(root, "R", fifo());
+        let mut tree = b.build(Box::new(move |p: &Packet| {
+            if p.flow.0 < 2 { l } else { r }
+        })).unwrap();
+
+        let n = flows.len();
+        for (i, f) in flows.iter().enumerate() {
+            let pkt = Packet::new(i as u64, FlowId(*f), 100, Nanos(i as u64));
+            tree.enqueue(pkt, Nanos(i as u64)).unwrap();
+            prop_assert_eq!(tree.sched_pifo_len(root), i + 1);
+            prop_assert_eq!(
+                tree.sched_pifo_len(l) + tree.sched_pifo_len(r),
+                i + 1
+            );
+        }
+        let mut got = 0;
+        while tree.dequeue(Nanos(1_000_000)).is_some() {
+            got += 1;
+            prop_assert_eq!(tree.len(), n - got);
+        }
+        prop_assert_eq!(got, n);
+        prop_assert_eq!(tree.sched_pifo_len(root), 0);
+        prop_assert_eq!(tree.sched_pifo_len(l), 0);
+        prop_assert_eq!(tree.sched_pifo_len(r), 0);
+    }
+
+    /// With a shaper that delays every element by a bounded amount, no
+    /// packet is lost: everything eventually drains once time passes the
+    /// last release, and nothing drains before its release time.
+    #[test]
+    fn shaped_tree_conserves_packets(
+        delays in proptest::collection::vec(1u64..1000, 1..50),
+    ) {
+        use pifo_core::transaction::FnTransaction;
+
+        struct PerPacketDelay { delays: Vec<u64>, i: usize }
+        impl ShapingTransaction for PerPacketDelay {
+            fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+                let d = self.delays[self.i % self.delays.len()];
+                self.i += 1;
+                Nanos(ctx.now.as_nanos() + d)
+            }
+        }
+
+        let fifo = || -> Box<dyn SchedulingTransaction> {
+            Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| Rank(ctx.packet.arrival.as_nanos())))
+        };
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo());
+        let leaf = b.add_child(root, "leaf", fifo());
+        let max_delay = *delays.iter().max().unwrap();
+        let n = delays.len();
+        b.set_shaper(leaf, Box::new(PerPacketDelay { delays, i: 0 }));
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+
+        // All packets arrive at t=0; every release is at t >= 1.
+        for i in 0..n {
+            tree.enqueue(
+                Packet::new(i as u64, FlowId(0), 100, Nanos(0)),
+                Nanos(0),
+            ).unwrap();
+        }
+        // Nothing can drain before the earliest possible release (t >= 1).
+        prop_assert!(tree.dequeue(Nanos(0)).is_none());
+
+        // After the horizon, everything drains.
+        let horizon = Nanos(max_delay + 1);
+        let mut got = 0;
+        while tree.dequeue(horizon).is_some() {
+            got += 1;
+        }
+        prop_assert_eq!(got, n);
+        prop_assert_eq!(tree.shaped_len(), 0);
+    }
+}

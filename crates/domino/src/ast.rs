@@ -1,0 +1,231 @@
+//! Abstract syntax for domino-lite packet transactions.
+//!
+//! The language is deliberately small — it is the paper's transaction
+//! pseudocode (Figs 1, 4c, 6, 7, 8) made executable: integer scalars,
+//! per-flow state maps, packet fields, `if/else`, `min`/`max`, and the
+//! usual arithmetic/comparison operators. No loops — Domino programs
+//! must finish in a bounded pipeline, so the language has no unbounded
+//! control flow by construction.
+
+use core::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division, traps on zero)
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar state variable or parameter, e.g. `virtual_time`.
+    Var(String),
+    /// Packet field, e.g. `p.length`.
+    Field(String),
+    /// State-map lookup keyed by the packet's flow: `last_finish[flow]`.
+    MapGet(String),
+    /// Membership test: `flow in last_finish`.
+    MapContains(String),
+    /// `min(a, b)`.
+    Min(Box<Expr>, Box<Expr>),
+    /// `max(a, b)`.
+    Max(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation `!e`.
+    Not(Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// Scalar state variable.
+    Var(String),
+    /// Packet field (scratch fields spring into existence on write).
+    Field(String),
+    /// State-map entry keyed by the packet's flow.
+    MapPut(String),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `lhs = expr;`
+    Assign(LValue, Expr),
+    /// `if (cond) { then } else { otherwise }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Fallback branch (possibly empty).
+        otherwise: Vec<Stmt>,
+    },
+}
+
+/// A declared scalar state variable with its initial value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDecl {
+    /// Name.
+    pub name: String,
+    /// Initial value.
+    pub init: i64,
+}
+
+/// A parsed transaction program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Scalar state declarations (`state x = 0;`).
+    pub states: Vec<StateDecl>,
+    /// State map declarations (`statemap last_finish;`).
+    pub maps: Vec<String>,
+    /// Named constants (`param r = 125;`).
+    pub params: Vec<StateDecl>,
+    /// The per-packet (enqueue) body.
+    pub body: Vec<Stmt>,
+    /// Optional `@dequeue { ... }` body, run when the element leaves the
+    /// PIFO (STFQ's virtual-time update). Has access to `rank`.
+    pub dequeue_body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Names of all declared scalar state variables.
+    pub fn state_names(&self) -> impl Iterator<Item = &str> {
+        self.states.iter().map(|s| s.name.as_str())
+    }
+
+    /// True if `name` is a declared state scalar or map.
+    pub fn is_state(&self, name: &str) -> bool {
+        self.states.iter().any(|s| s.name == name) || self.maps.iter().any(|m| m == name)
+    }
+
+    /// True if `name` is a declared parameter.
+    pub fn is_param(&self, name: &str) -> bool {
+        self.params.iter().any(|p| p.name == name)
+    }
+}
+
+/// The atom ladder (§4.1): hardware templates ordered by capability, from
+/// stateless ALUs up to `Pairs` (the largest atom the Domino paper
+/// synthesised, 6000 µm² at 32 nm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AtomKind {
+    /// Pure function of packet fields; no switch state.
+    Stateless,
+    /// Read-add-write on one state variable: `s = s + e`.
+    ReadAddWrite,
+    /// Predicated read-add-write: `if (pred) s = s + e`.
+    PredRaw,
+    /// Two-armed additive update: `if (pred) s += e1 else s += e2`.
+    IfElseRaw,
+    /// Additive/subtractive with general guarded reset.
+    Sub,
+    /// Arbitrary nested conditional updates of **one** state variable.
+    NestedIf,
+    /// Atomic update of **two** mutually dependent state variables.
+    Pairs,
+}
+
+impl fmt::Display for AtomKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomKind::Stateless => "Stateless",
+            AtomKind::ReadAddWrite => "RAW",
+            AtomKind::PredRaw => "PRAW",
+            AtomKind::IfElseRaw => "IfElseRAW",
+            AtomKind::Sub => "Sub",
+            AtomKind::NestedIf => "NestedIf",
+            AtomKind::Pairs => "Pairs",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_ladder_is_ordered() {
+        assert!(AtomKind::Stateless < AtomKind::ReadAddWrite);
+        assert!(AtomKind::ReadAddWrite < AtomKind::PredRaw);
+        assert!(AtomKind::NestedIf < AtomKind::Pairs);
+    }
+
+    #[test]
+    fn program_lookup_helpers() {
+        let p = Program {
+            states: vec![StateDecl {
+                name: "vt".into(),
+                init: 0,
+            }],
+            maps: vec!["last_finish".into()],
+            params: vec![StateDecl {
+                name: "r".into(),
+                init: 5,
+            }],
+            body: vec![],
+            dequeue_body: vec![],
+        };
+        assert!(p.is_state("vt"));
+        assert!(p.is_state("last_finish"));
+        assert!(!p.is_state("r"));
+        assert!(p.is_param("r"));
+        assert_eq!(p.state_names().collect::<Vec<_>>(), vec!["vt"]);
+    }
+
+    #[test]
+    fn display_ops() {
+        assert_eq!(BinOp::Add.to_string(), "+");
+        assert_eq!(BinOp::Le.to_string(), "<=");
+        assert_eq!(AtomKind::Pairs.to_string(), "Pairs");
+    }
+}

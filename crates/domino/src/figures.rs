@@ -1,0 +1,245 @@
+//! The paper's transaction figures as domino-lite programs.
+//!
+//! Each constant is the (lightly de-sugared) source of one figure; each
+//! constructor instantiates an [`Interp`] with concrete parameters. The
+//! test suites in `pifo-bench` and `tests/` check these programs against
+//! the native Rust transactions in `pifo-algos`, packet for packet.
+
+use crate::interp::Interp;
+use crate::parser::parse;
+
+/// Fig 1 — STFQ. Fixed-point `length/weight` uses 8 fractional bits
+/// (`* 256`), matching `pifo_algos::Stfq`'s `VT_SHIFT`. The
+/// `virtual_time` update runs in the `@dequeue` hook, as §2.1 specifies
+/// ("tracks the virtual start time of the last dequeued packet").
+pub const STFQ_SRC: &str = r#"
+state virtual_time = 0;
+statemap last_finish;
+
+if (flow in last_finish) {
+    p.start = max(virtual_time, last_finish[flow]);
+} else {
+    p.start = virtual_time;
+}
+p.serv = (p.length * 256) / weight;
+if (p.serv < 1) { p.serv = 1; }
+last_finish[flow] = p.start + p.serv;
+p.rank = p.start;
+
+@dequeue {
+    virtual_time = max(virtual_time, rank);
+}
+"#;
+
+/// Fig 4c — Token Bucket Filter. Token units are *nanobits* (1e-9 bit):
+/// at `r` bits/second one nanosecond adds exactly `r` tokens, so the
+/// refill path needs no division; the wait computation uses ceiling
+/// division (the packet cannot leave before its last token).
+pub const TBF_SRC: &str = r#"
+param r = 10_000_000;
+param B = 1_200_000_000_000;
+state tokens = 0;
+state last_time = 0;
+
+tokens = min(tokens + r * (now - last_time), B);
+if (p.length_nb <= tokens) {
+    p.send_time = now;
+} else {
+    p.send_time = now + (p.length_nb - tokens + r - 1) / r;
+}
+tokens = tokens - p.length_nb;
+last_time = now;
+p.rank = p.send_time;
+"#;
+
+/// Fig 6 — LSTF. `prev_wait_time` is the in-band tag carried from the
+/// previous switch (§3.1); stateless.
+pub const LSTF_SRC: &str = r#"
+p.slack = p.slack - p.prev_wait_time;
+p.rank = p.slack;
+"#;
+
+/// Fig 7 — Stop-and-Go. Note this is the paper's *literal* single-step
+/// frame advance: after an idle gap longer than one frame the state
+/// catches up one frame per arriving packet, briefly assigning past
+/// departure times. `pifo_algos::StopAndGo` tiles time instead; the
+/// difference is observable only after multi-frame idle gaps (see
+/// `tests/domino_equivalence.rs`).
+pub const STOP_AND_GO_SRC: &str = r#"
+param T = 1000;
+state frame_begin = 0;
+state frame_end = 0;
+
+if (now >= frame_end) {
+    frame_begin = frame_end;
+    frame_end = frame_begin + T;
+}
+p.rank = frame_end;
+p.send_time = frame_end;
+"#;
+
+/// Fig 8 — minimum rate guarantees. One token bucket (this program
+/// instantiates per-flow at the tree level, exactly like Fig 8 which is
+/// written for a single flow's opportunity stream).
+pub const MIN_RATE_SRC: &str = r#"
+param min_rate = 1_000_000;
+param BURST = 12_000_000_000_000;
+state tb = 0;
+state last_time = 0;
+
+tb = tb + min_rate * (now - last_time);
+if (tb > BURST) { tb = BURST; }
+if (tb > p.length_nb) {
+    p.over_min = 0;
+    tb = tb - p.length_nb;
+} else {
+    p.over_min = 1;
+}
+last_time = now;
+p.rank = p.over_min;
+"#;
+
+const NANOBITS_PER_BYTE: i64 = 8 * 1_000_000_000;
+
+/// Fig 1 instantiated.
+pub fn stfq() -> Interp {
+    Interp::new(parse(STFQ_SRC).expect("STFQ_SRC parses"))
+}
+
+/// Fig 4c instantiated at `rate_bps` / `burst_bytes`, bucket starting
+/// full (matching `pifo_algos::TokenBucketFilter`).
+pub fn tbf(rate_bps: i64, burst_bytes: i64) -> Interp {
+    let mut i = Interp::new(parse(TBF_SRC).expect("TBF_SRC parses"));
+    let burst_nb = burst_bytes * NANOBITS_PER_BYTE;
+    i.set_param("r", rate_bps);
+    i.set_param("B", burst_nb);
+    i.set_state("tokens", burst_nb);
+    i
+}
+
+/// Fig 6 instantiated.
+pub fn lstf() -> Interp {
+    Interp::new(parse(LSTF_SRC).expect("LSTF_SRC parses"))
+}
+
+/// Fig 7 instantiated with frames of `frame_ns`.
+pub fn stop_and_go(frame_ns: i64) -> Interp {
+    let mut i = Interp::new(parse(STOP_AND_GO_SRC).expect("STOP_AND_GO_SRC parses"));
+    i.set_param("T", frame_ns);
+    i.set_state("frame_end", frame_ns);
+    i
+}
+
+/// Fig 8 instantiated at `rate_bps` / `burst_bytes`, bucket starting full
+/// (matching `pifo_algos::MinRateGuarantee`).
+pub fn min_rate(rate_bps: i64, burst_bytes: i64) -> Interp {
+    let mut i = Interp::new(parse(MIN_RATE_SRC).expect("MIN_RATE_SRC parses"));
+    let burst_nb = burst_bytes * NANOBITS_PER_BYTE;
+    i.set_param("min_rate", rate_bps);
+    i.set_param("BURST", burst_nb);
+    i.set_state("tb", burst_nb);
+    i
+}
+
+/// All figure programs with their names — driven by the `repro domino`
+/// experiment (X4).
+pub fn all_figures() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Fig 1: STFQ", STFQ_SRC),
+        ("Fig 4c: Token Bucket Filter", TBF_SRC),
+        ("Fig 6: LSTF", LSTF_SRC),
+        ("Fig 7: Stop-and-Go", STOP_AND_GO_SRC),
+        ("Fig 8: Min-rate guarantee", MIN_RATE_SRC),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AtomKind;
+    use crate::interp::PacketView;
+    use crate::pipeline::{analyze, compile};
+
+    #[test]
+    fn all_figures_parse() {
+        for (name, src) in all_figures() {
+            parse(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_figures_compile_with_pairs() {
+        // §4.1's claim: the paper's transactions run at line rate given
+        // the Domino atom vocabulary (Pairs being the largest).
+        for (name, src) in all_figures() {
+            let prog = parse(src).unwrap();
+            compile(&prog, AtomKind::Pairs)
+                .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn stfq_requires_pairs_exactly() {
+        // The Domino result the paper quotes: Fig 1 runs with Pairs…
+        let prog = parse(STFQ_SRC).unwrap();
+        let report = analyze(&prog).unwrap();
+        assert_eq!(report.required_atom, AtomKind::Pairs);
+        // …and is rejected by anything weaker.
+        assert!(compile(&prog, AtomKind::NestedIf).is_err());
+    }
+
+    #[test]
+    fn lstf_is_stateless() {
+        let prog = parse(LSTF_SRC).unwrap();
+        assert_eq!(analyze(&prog).unwrap().required_atom, AtomKind::Stateless);
+    }
+
+    #[test]
+    fn stfq_first_packets_rank_zero_then_advance() {
+        let mut i = stfq();
+        let mut pkt = PacketView::synthetic(1, 0);
+        pkt.set("length", 1000);
+        i.run(&mut pkt).unwrap();
+        assert_eq!(pkt.get("rank"), Some(0));
+        i.run(&mut pkt).unwrap();
+        assert_eq!(pkt.get("rank"), Some(1000 * 256));
+    }
+
+    #[test]
+    fn tbf_delays_after_burst() {
+        let mut i = tbf(10_000_000, 1_500); // 10 Mb/s, one-packet burst
+        let mut pkt = PacketView::synthetic(0, 0);
+        pkt.set("length_nb", 1_500 * NANOBITS_PER_BYTE);
+        i.run(&mut pkt).unwrap();
+        assert_eq!(pkt.get("send_time"), Some(0));
+        i.run(&mut pkt).unwrap();
+        assert_eq!(pkt.get("send_time"), Some(1_200_000), "1.2 ms at 10 Mb/s");
+    }
+
+    #[test]
+    fn stop_and_go_frames() {
+        let mut i = stop_and_go(1_000);
+        let mut pkt = PacketView::synthetic(0, 10);
+        i.run(&mut pkt).unwrap();
+        assert_eq!(pkt.get("rank"), Some(1_000));
+        let mut pkt = PacketView::synthetic(0, 1_001);
+        i.run(&mut pkt).unwrap();
+        assert_eq!(pkt.get("rank"), Some(2_000));
+    }
+
+    #[test]
+    fn min_rate_flags_hog() {
+        let mut i = min_rate(8_000_000_000, 1_000); // 1 B/ns, 1 KB burst
+        let mut pkt = PacketView::synthetic(0, 0);
+        pkt.set("length_nb", 1_000 * NANOBITS_PER_BYTE);
+        i.run(&mut pkt).unwrap();
+        // Burst exactly equals the packet: `tb > p.size` is false.
+        assert_eq!(pkt.get("over_min"), Some(1));
+        // After 2000 ns the bucket holds 1 KB (capped): strictly greater
+        // than a 999 B packet.
+        let mut pkt = PacketView::synthetic(0, 2_000);
+        pkt.set("length_nb", 999 * NANOBITS_PER_BYTE);
+        i.run(&mut pkt).unwrap();
+        assert_eq!(pkt.get("over_min"), Some(0));
+    }
+}

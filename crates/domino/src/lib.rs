@@ -1,0 +1,44 @@
+//! # domino-lite
+//!
+//! A small reimplementation of the Domino substrate the paper builds on
+//! (§4.1): scheduling and shaping transactions are *programs*, compiled
+//! onto a pipeline of hardware atoms, and rejected when no atom template
+//! can execute their state updates atomically at line rate.
+//!
+//! Four pieces:
+//!
+//! * [`parser`] — a C-ish surface syntax for the paper's transaction
+//!   pseudocode (Figs 1, 4c, 6, 7, 8);
+//! * [`interp`] — deterministic checked-integer execution with serial
+//!   packet-transaction semantics;
+//! * [`pipeline`] — the atom-pipeline compiler: state-variable
+//!   clustering, atom classification against the vocabulary of §4.1
+//!   (up to `Pairs`), and pipeline-depth estimation;
+//! * [`adapter`] — run any program as a `pifo-core`
+//!   scheduling/shaping transaction, interchangeable with the native
+//!   Rust implementations in `pifo-algos`.
+//!
+//! ```
+//! use domino_lite::{figures, pipeline, ast::AtomKind};
+//!
+//! // The paper's §4.1 claim, executable: STFQ needs the Pairs atom.
+//! let prog = domino_lite::parser::parse(figures::STFQ_SRC).unwrap();
+//! let report = pipeline::analyze(&prog).unwrap();
+//! assert_eq!(report.required_atom, AtomKind::Pairs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod ast;
+pub mod figures;
+pub mod interp;
+pub mod parser;
+pub mod pipeline;
+
+pub use adapter::{DominoScheduling, DominoShaping};
+pub use ast::{AtomKind, Program};
+pub use interp::{Interp, PacketView, RuntimeError};
+pub use parser::{parse, ParseError};
+pub use pipeline::{analyze, compile, CompileError, PipelineReport};

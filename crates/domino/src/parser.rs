@@ -1,0 +1,680 @@
+//! Lexer and recursive-descent parser for domino-lite.
+//!
+//! Grammar (EBNF-ish):
+//!
+//! ```text
+//! program   := decl* stmt* deq?
+//! decl      := "state" ident "=" int ";"
+//!            | "statemap" ident ";"
+//!            | "param" ident "=" int ";"
+//! deq       := "@dequeue" block
+//! stmt      := lvalue "=" expr ";"
+//!            | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//! block     := "{" stmt* "}"
+//! lvalue    := ident | ident "[" "flow" "]" | ("p"|"pkt") "." ident
+//! expr      := or-chain of comparisons over additive/multiplicative
+//!              terms; `min(a,b)`, `max(a,b)`, `flow in map`, `!e`,
+//!              parentheses, integers (optionally negative), idents,
+//!              fields, map reads.
+//! ```
+
+use crate::ast::{BinOp, Expr, LValue, Program, StateDecl, Stmt};
+use core::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, ParseError> {
+        self.skip_ws_and_comments();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok(Spanned {
+                tok: Tok::Eof,
+                line,
+                col,
+            });
+        };
+        // Identifiers / keywords (includes '@' for @dequeue).
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'@' {
+            let mut s = String::new();
+            s.push(self.bump().unwrap() as char);
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    s.push(self.bump().unwrap() as char);
+                } else {
+                    break;
+                }
+            }
+            return Ok(Spanned {
+                tok: Tok::Ident(s),
+                line,
+                col,
+            });
+        }
+        // Numbers (decimal; underscores allowed).
+        if c.is_ascii_digit() {
+            let mut v: i64 = 0;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    let d = (self.bump().unwrap() - b'0') as i64;
+                    v = v.checked_mul(10).and_then(|x| x.checked_add(d)).ok_or(
+                        ParseError {
+                            message: "integer literal overflows i64".into(),
+                            line,
+                            col,
+                        },
+                    )?;
+                } else if c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(Spanned {
+                tok: Tok::Num(v),
+                line,
+                col,
+            });
+        }
+        // Punctuation (two-char first).
+        let two: Option<&'static str> = match (c, self.peek2()) {
+            (b'<', Some(b'=')) => Some("<="),
+            (b'>', Some(b'=')) => Some(">="),
+            (b'=', Some(b'=')) => Some("=="),
+            (b'!', Some(b'=')) => Some("!="),
+            (b'&', Some(b'&')) => Some("&&"),
+            (b'|', Some(b'|')) => Some("||"),
+            _ => None,
+        };
+        if let Some(p) = two {
+            self.bump();
+            self.bump();
+            return Ok(Spanned {
+                tok: Tok::Punct(p),
+                line,
+                col,
+            });
+        }
+        let one: &'static str = match c {
+            b'+' => "+",
+            b'-' => "-",
+            b'*' => "*",
+            b'/' => "/",
+            b'%' => "%",
+            b'<' => "<",
+            b'>' => ">",
+            b'=' => "=",
+            b'!' => "!",
+            b'(' => "(",
+            b')' => ")",
+            b'{' => "{",
+            b'}' => "}",
+            b'[' => "[",
+            b']' => "]",
+            b';' => ";",
+            b',' => ",",
+            b'.' => ".",
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character '{}'", other as char),
+                    line,
+                    col,
+                })
+            }
+        };
+        self.bump();
+        Ok(Spanned {
+            tok: Tok::Punct(one),
+            line,
+            col,
+        })
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> (usize, usize) {
+        (self.toks[self.i].line, self.toks[self.i].col)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.pos();
+        ParseError {
+            message: msg.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{p}', found {other:?}"))),
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_int(&mut self) -> Result<i64, ParseError> {
+        // Allow a leading minus.
+        let neg = matches!(self.peek(), Tok::Punct("-"));
+        if neg {
+            self.bump();
+        }
+        match self.peek().clone() {
+            Tok::Num(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut p = Program {
+            states: vec![],
+            maps: vec![],
+            params: vec![],
+            body: vec![],
+            dequeue_body: vec![],
+        };
+        // Declarations.
+        loop {
+            if self.at_ident("state") {
+                self.bump();
+                let name = self.eat_ident()?;
+                self.eat_punct("=")?;
+                let init = self.eat_int()?;
+                self.eat_punct(";")?;
+                p.states.push(StateDecl { name, init });
+            } else if self.at_ident("statemap") {
+                self.bump();
+                let name = self.eat_ident()?;
+                self.eat_punct(";")?;
+                p.maps.push(name);
+            } else if self.at_ident("param") {
+                self.bump();
+                let name = self.eat_ident()?;
+                self.eat_punct("=")?;
+                let init = self.eat_int()?;
+                self.eat_punct(";")?;
+                p.params.push(StateDecl { name, init });
+            } else {
+                break;
+            }
+        }
+        // Body.
+        while !matches!(self.peek(), Tok::Eof) && !self.at_ident("@dequeue") {
+            let s = self.stmt(&p)?;
+            p.body.push(s);
+        }
+        // Optional dequeue hook.
+        if self.at_ident("@dequeue") {
+            self.bump();
+            p.dequeue_body = self.block(&p)?;
+        }
+        match self.peek() {
+            Tok::Eof => Ok(p),
+            other => Err(self.err(format!("trailing input: {other:?}"))),
+        }
+    }
+
+    fn block(&mut self, ctx: &Program) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_punct("{")?;
+        let mut out = vec![];
+        while !matches!(self.peek(), Tok::Punct("}")) {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.stmt(ctx)?);
+        }
+        self.eat_punct("}")?;
+        Ok(out)
+    }
+
+    fn stmt(&mut self, ctx: &Program) -> Result<Stmt, ParseError> {
+        if self.at_ident("if") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.expr(ctx)?;
+            self.eat_punct(")")?;
+            let then = self.block(ctx)?;
+            let otherwise = if self.at_ident("else") {
+                self.bump();
+                if self.at_ident("if") {
+                    vec![self.stmt(ctx)?]
+                } else {
+                    self.block(ctx)?
+                }
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If {
+                cond,
+                then,
+                otherwise,
+            });
+        }
+        // Assignment.
+        let lv = self.lvalue()?;
+        self.eat_punct("=")?;
+        let e = self.expr(ctx)?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Assign(lv, e))
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        let name = self.eat_ident()?;
+        if (name == "p" || name == "pkt") && matches!(self.peek(), Tok::Punct(".")) {
+            self.bump();
+            let field = self.eat_ident()?;
+            return Ok(LValue::Field(field));
+        }
+        if matches!(self.peek(), Tok::Punct("[")) {
+            self.bump();
+            let key = self.eat_ident()?;
+            if key != "flow" {
+                return Err(self.err("state maps are keyed by 'flow' only"));
+            }
+            self.eat_punct("]")?;
+            return Ok(LValue::MapPut(name));
+        }
+        Ok(LValue::Var(name))
+    }
+
+    // Precedence climbing: || < && < comparison < additive < multiplicative.
+    fn expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+        self.or_expr(ctx)
+    }
+
+    fn or_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr(ctx)?;
+        while matches!(self.peek(), Tok::Punct("||")) {
+            self.bump();
+            let rhs = self.and_expr(ctx)?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+        let mut e = self.cmp_expr(ctx)?;
+        while matches!(self.peek(), Tok::Punct("&&")) {
+            self.bump();
+            let rhs = self.cmp_expr(ctx)?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+        let e = self.add_expr(ctx)?;
+        let op = match self.peek() {
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("!=") => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr(ctx)?;
+            return Ok(Expr::Bin(op, Box::new(e), Box::new(rhs)));
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr(ctx)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr(ctx)?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr(ctx)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr(ctx)?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Punct("!") => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary_expr(ctx)?)))
+            }
+            Tok::Punct("-") => {
+                self.bump();
+                let e = self.unary_expr(ctx)?;
+                Ok(Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Num(0)),
+                    Box::new(e),
+                ))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr(ctx)?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Num(v) => {
+                self.bump();
+                Ok(Expr::Num(v))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                // min/max calls
+                if (name == "min" || name == "max") && matches!(self.peek(), Tok::Punct("(")) {
+                    self.bump();
+                    let a = self.expr(ctx)?;
+                    self.eat_punct(",")?;
+                    let b = self.expr(ctx)?;
+                    self.eat_punct(")")?;
+                    return Ok(if name == "min" {
+                        Expr::Min(Box::new(a), Box::new(b))
+                    } else {
+                        Expr::Max(Box::new(a), Box::new(b))
+                    });
+                }
+                // p.field / pkt.field
+                if (name == "p" || name == "pkt") && matches!(self.peek(), Tok::Punct(".")) {
+                    self.bump();
+                    let field = self.eat_ident()?;
+                    return Ok(Expr::Field(field));
+                }
+                // flow in map
+                if name == "flow" && self.at_ident("in") {
+                    self.bump();
+                    let map = self.eat_ident()?;
+                    return Ok(Expr::MapContains(map));
+                }
+                // map[flow]
+                if matches!(self.peek(), Tok::Punct("[")) {
+                    self.bump();
+                    let key = self.eat_ident()?;
+                    if key != "flow" {
+                        return Err(self.err("state maps are keyed by 'flow' only"));
+                    }
+                    self.eat_punct("]")?;
+                    return Ok(Expr::MapGet(name));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parse a domino-lite program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = matches!(t.tok, Tok::Eof);
+        toks.push(t);
+        if eof {
+            break;
+        }
+    }
+    let mut p = Parser { toks, i: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, LValue, Stmt};
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse("state vt = 0;\nstatemap last_finish;\nparam r = 125;\np.rank = 1;")
+            .unwrap();
+        assert_eq!(p.states.len(), 1);
+        assert_eq!(p.maps, vec!["last_finish"]);
+        assert_eq!(p.params.len(), 1);
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_negative_init() {
+        let p = parse("state x = -5; p.rank = x;").unwrap();
+        assert_eq!(p.states[0].init, -5);
+    }
+
+    #[test]
+    fn parses_if_else_and_membership() {
+        let p = parse(
+            "statemap m;\nif (flow in m) { p.rank = m[flow]; } else { p.rank = 0; }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::If { cond, then, otherwise } => {
+                assert_eq!(*cond, Expr::MapContains("m".into()));
+                assert_eq!(then.len(), 1);
+                assert_eq!(otherwise.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_min_max_and_precedence() {
+        let p = parse("p.rank = max(1, 2) + 3 * 4;").unwrap();
+        match &p.body[0] {
+            Stmt::Assign(LValue::Field(f), Expr::Bin(BinOp::Add, lhs, rhs)) => {
+                assert_eq!(f, "rank");
+                assert!(matches!(**lhs, Expr::Max(_, _)));
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_map_assignment_and_field_read() {
+        let p = parse("statemap lf;\nlf[flow] = p.start + p.length / 2;").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Assign(LValue::MapPut(m), _) if m == "lf"));
+    }
+
+    #[test]
+    fn parses_dequeue_section() {
+        let p = parse("state vt = 0;\np.rank = vt;\n@dequeue { vt = max(vt, rank); }").unwrap();
+        assert_eq!(p.dequeue_body.len(), 1);
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse(
+            "p.x = 0;\nif (p.a > 1) { p.x = 1; } else if (p.a > 0) { p.x = 2; } else { p.x = 3; }",
+        )
+        .unwrap();
+        match &p.body[1] {
+            Stmt::If { otherwise, .. } => {
+                assert_eq!(otherwise.len(), 1);
+                assert!(matches!(otherwise[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_underscored_numbers() {
+        let p = parse("// a comment\nparam B = 1_500_000; # another\np.rank = B;").unwrap();
+        assert_eq!(p.params[0].init, 1_500_000);
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("p.rank = ;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.col > 1);
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn rejects_non_flow_map_key() {
+        let err = parse("statemap m;\nm[other] = 1;").unwrap_err();
+        assert!(err.message.contains("keyed by 'flow'"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("p.rank = 1; }").unwrap_err();
+        assert!(err.message.contains("expected identifier"));
+        let err = parse("p.rank = 1;\n@dequeue { } junk = 1;").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let p = parse("p.rank = -p.slack;\nif (!(p.a > 0)) { p.rank = 0; }").unwrap();
+        assert_eq!(p.body.len(), 2);
+    }
+}

@@ -1,0 +1,574 @@
+//! The atom-pipeline compiler (§4.1).
+//!
+//! Domino compiles a packet transaction into a pipeline of *atoms* —
+//! small stateful processing units — and **rejects** the transaction if no
+//! atom template is strong enough to execute its state updates atomically
+//! at line rate. This module reproduces that accept/reject behaviour over
+//! the same atom vocabulary, up to the `Pairs` atom the paper cites
+//! (§4.1: "the largest of these atoms, called Pairs … the transaction in
+//! Figure 1 can be run at 1 GHz … with the Pairs atom").
+//!
+//! The analysis:
+//!
+//! 1. **Flatten** branches into guarded assignments (Domino's branch
+//!    removal).
+//! 2. **Cluster** state variables that must update together: if the
+//!    update (or guard) of state `A` reads state `B` (or vice versa), the
+//!    hardware must read and write both in one stage — pipelining them
+//!    apart would let a later packet read stale state. Clusters are the
+//!    connected components of this relation. State read in the
+//!    `@dequeue` hook shares the same physical atom, so both bodies count.
+//! 3. **Classify** each cluster against the atom ladder: one variable
+//!    with a plain `s = s ± e` is `RAW`/`Sub`; guarded variants need
+//!    `PRAW`/`IfElseRAW`; arbitrary single-variable updates need
+//!    `NestedIf`; two mutually dependent variables need `Pairs`; three or
+//!    more are rejected — no template exists.
+//! 4. **Stage** the guarded assignments by data dependency to estimate
+//!    pipeline depth.
+
+use crate::ast::{AtomKind, Expr, LValue, Program, Stmt};
+use core::fmt;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a transaction cannot run at line rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// More than two state variables must update atomically together —
+    /// beyond every template in the atom vocabulary.
+    TooManyCoupledStateVars(Vec<String>),
+    /// The transaction needs a stronger atom than the target provides.
+    AtomTooWeak {
+        /// What the program needs.
+        required: AtomKind,
+        /// What the target switch offers.
+        available: AtomKind,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyCoupledStateVars(vs) => write!(
+                f,
+                "state variables {{{}}} must update atomically together; no atom template is that large",
+                vs.join(", ")
+            ),
+            CompileError::AtomTooWeak {
+                required,
+                available,
+            } => write!(
+                f,
+                "transaction requires the {required} atom but the target only provides {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A branch-flattened assignment: `if (guard) lhs = rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardedAssign {
+    /// Conjunction of branch conditions on the path to this assignment
+    /// (`None` = unconditional).
+    pub guard: Option<Expr>,
+    /// Target.
+    pub lhs: LValue,
+    /// Value.
+    pub rhs: Expr,
+}
+
+/// Flatten nested `if/else` into guarded assignments, in program order.
+pub fn flatten(stmts: &[Stmt]) -> Vec<GuardedAssign> {
+    fn go(stmts: &[Stmt], guard: Option<&Expr>, out: &mut Vec<GuardedAssign>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(lhs, rhs) => out.push(GuardedAssign {
+                    guard: guard.cloned(),
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                }),
+                Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
+                    let then_guard = conjoin(guard, cond.clone());
+                    go(then, Some(&then_guard), out);
+                    if !otherwise.is_empty() {
+                        let else_guard = conjoin(guard, Expr::Not(Box::new(cond.clone())));
+                        go(otherwise, Some(&else_guard), out);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(stmts, None, &mut out);
+    out
+}
+
+fn conjoin(guard: Option<&Expr>, cond: Expr) -> Expr {
+    match guard {
+        None => cond,
+        Some(g) => Expr::Bin(
+            crate::ast::BinOp::And,
+            Box::new(g.clone()),
+            Box::new(cond),
+        ),
+    }
+}
+
+/// Collect the state variables (scalars and maps) read by an expression.
+fn state_reads(e: &Expr, prog: &Program, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Var(v) if prog.is_state(v) => {
+            out.insert(v.clone());
+        }
+        Expr::MapGet(m) | Expr::MapContains(m) => {
+            out.insert(m.clone());
+        }
+        Expr::Min(a, b) | Expr::Max(a, b) | Expr::Bin(_, a, b) => {
+            state_reads(a, prog, out);
+            state_reads(b, prog, out);
+        }
+        Expr::Not(a) => state_reads(a, prog, out),
+        _ => {}
+    }
+}
+
+fn lvalue_state(lv: &LValue, prog: &Program) -> Option<String> {
+    match lv {
+        LValue::Var(v) if prog.is_state(v) => Some(v.clone()),
+        LValue::MapPut(m) => Some(m.clone()),
+        _ => None,
+    }
+}
+
+/// The analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// The weakest atom that can execute this transaction.
+    pub required_atom: AtomKind,
+    /// Estimated pipeline depth (stages).
+    pub stages: usize,
+    /// Number of atoms/ALUs placed (one per flattened assignment, with
+    /// each state cluster fused into one).
+    pub atoms: usize,
+    /// The state-variable clusters, sorted.
+    pub clusters: Vec<Vec<String>>,
+}
+
+/// Analyze a program: cluster state, classify atoms, estimate stages.
+pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
+    // Both bodies access the same physical state atoms.
+    let mut flat = flatten(&prog.body);
+    flat.extend(flatten(&prog.dequeue_body));
+
+    // --- Step 2: cluster state variables -------------------------------
+    // Union-find over written state vars plus any state they read.
+    let mut parent: BTreeMap<String, String> = BTreeMap::new();
+    fn find(parent: &mut BTreeMap<String, String>, x: &str) -> String {
+        let p = parent.get(x).cloned().unwrap_or_else(|| x.to_string());
+        if p == x {
+            parent.insert(x.to_string(), p.clone());
+            return p;
+        }
+        let root = find(parent, &p);
+        parent.insert(x.to_string(), root.clone());
+        root
+    }
+    fn union(parent: &mut BTreeMap<String, String>, a: &str, b: &str) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+    }
+
+    // State dependencies propagate *through packet temporaries*: in STFQ,
+    // `p.start` carries a read of `virtual_time` into the `last_finish`
+    // update, so the two variables must share an atom even though no
+    // single statement touches both. Track, per field, the set of state
+    // variables its current value depends on.
+    let mut field_deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let deps_of = |e: &Expr, field_deps: &BTreeMap<String, BTreeSet<String>>| -> BTreeSet<String> {
+        let mut direct = BTreeSet::new();
+        state_reads(e, prog, &mut direct);
+        fn fields_read(e: &Expr, out: &mut BTreeSet<String>) {
+            match e {
+                Expr::Field(f) => {
+                    out.insert(f.clone());
+                }
+                Expr::Min(a, b) | Expr::Max(a, b) | Expr::Bin(_, a, b) => {
+                    fields_read(a, out);
+                    fields_read(b, out);
+                }
+                Expr::Not(a) => fields_read(a, out),
+                _ => {}
+            }
+        }
+        let mut fr = BTreeSet::new();
+        fields_read(e, &mut fr);
+        for f in fr {
+            if let Some(ds) = field_deps.get(&f) {
+                direct.extend(ds.iter().cloned());
+            }
+        }
+        direct
+    };
+
+    let mut written: BTreeSet<String> = BTreeSet::new();
+    let mut read_anywhere: BTreeSet<String> = BTreeSet::new();
+    for ga in &flat {
+        let mut reads = deps_of(&ga.rhs, &field_deps);
+        if let Some(g) = &ga.guard {
+            reads.extend(deps_of(g, &field_deps));
+        }
+        read_anywhere.extend(reads.iter().cloned());
+        match (&ga.lhs, lvalue_state(&ga.lhs, prog)) {
+            (_, Some(w)) => {
+                written.insert(w.clone());
+                // Materialise a singleton cluster even for blind writes
+                // (a written variable always occupies an atom).
+                let _ = find(&mut parent, &w);
+                for r in &reads {
+                    union(&mut parent, &w, r);
+                }
+            }
+            (LValue::Field(f), None) => {
+                field_deps.insert(f.clone(), reads);
+            }
+            _ => {}
+        }
+    }
+    // Only clusters containing at least one *written* variable matter;
+    // read-only state has no update hazard.
+    let mut clusters: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let keys: Vec<String> = parent.keys().cloned().collect();
+    for k in keys {
+        let root = find(&mut parent, &k);
+        clusters.entry(root).or_default().insert(k);
+    }
+    let clusters: Vec<BTreeSet<String>> = clusters
+        .into_values()
+        .filter(|c| c.iter().any(|v| written.contains(v)))
+        .collect();
+
+    // --- Step 3: classify ----------------------------------------------
+    let mut required = AtomKind::Stateless;
+    for c in &clusters {
+        let kind = match c.len() {
+            1 => {
+                let var = c.iter().next().expect("non-empty");
+                classify_single(var, &flat, prog, read_anywhere.contains(var))
+            }
+            2 => AtomKind::Pairs,
+            _ => {
+                return Err(CompileError::TooManyCoupledStateVars(
+                    c.iter().cloned().collect(),
+                ))
+            }
+        };
+        required = required.max(kind);
+    }
+
+    // --- Step 4: stage estimate ----------------------------------------
+    let stages = stage_depth(&flatten(&prog.body), prog, &clusters);
+
+    Ok(PipelineReport {
+        required_atom: required,
+        stages,
+        atoms: flatten(&prog.body).len(),
+        clusters: clusters
+            .into_iter()
+            .map(|c| c.into_iter().collect())
+            .collect(),
+    })
+}
+
+/// Classify the update pattern of a single state variable.
+///
+/// `read_elsewhere` reports whether the variable's value is consumed
+/// anywhere in the transaction (directly or through a packet temporary):
+/// a read-then-overwrite pair must execute in one atom (the flowlet
+/// pattern), whereas a blind overwrite only needs a write port.
+fn classify_single(
+    var: &str,
+    flat: &[GuardedAssign],
+    prog: &Program,
+    read_elsewhere: bool,
+) -> AtomKind {
+    use crate::ast::BinOp;
+    let updates: Vec<&GuardedAssign> = flat
+        .iter()
+        .filter(|ga| lvalue_state(&ga.lhs, prog).as_deref() == Some(var))
+        .collect();
+
+    // Is an rhs of the form `var + e` / `var - e` with `e` stateless?
+    let additive = |rhs: &Expr| -> Option<bool> {
+        if let Expr::Bin(op, a, b) = rhs {
+            let var_on_left = matches!(&**a, Expr::Var(v) if v == var)
+                || matches!(&**a, Expr::MapGet(m) if m == var);
+            if var_on_left && matches!(op, BinOp::Add | BinOp::Sub) {
+                let mut reads = BTreeSet::new();
+                state_reads(b, prog, &mut reads);
+                reads.remove(var);
+                if reads.is_empty() {
+                    return Some(*op == BinOp::Sub);
+                }
+            }
+        }
+        None
+    };
+
+    // Is an rhs free of any state reads (a blind overwrite)?
+    let stateless_rhs = |rhs: &Expr| -> bool {
+        let mut reads = BTreeSet::new();
+        state_reads(rhs, prog, &mut reads);
+        reads.is_empty()
+    };
+
+    match updates.as_slice() {
+        [only] => match (&only.guard, additive(&only.rhs)) {
+            (None, Some(false)) => AtomKind::ReadAddWrite,
+            (None, Some(true)) => AtomKind::Sub,
+            (Some(_), Some(false)) => AtomKind::PredRaw,
+            (Some(_), Some(true)) => AtomKind::Sub,
+            // Unguarded blind overwrite of a value no one reads back in
+            // this transaction: a plain state write (RAW-class port).
+            (None, None) if !read_elsewhere && stateless_rhs(&only.rhs) => {
+                AtomKind::ReadAddWrite
+            }
+            _ => AtomKind::NestedIf,
+        },
+        [a, b] if a.guard.is_some() && b.guard.is_some() => {
+            match (additive(&a.rhs), additive(&b.rhs)) {
+                (Some(false), Some(false)) => AtomKind::IfElseRaw,
+                (Some(_), Some(_)) => AtomKind::Sub,
+                _ => AtomKind::NestedIf,
+            }
+        }
+        _ => AtomKind::NestedIf,
+    }
+}
+
+/// Longest dependency chain over the flattened body, with each state
+/// cluster fused to one node.
+fn stage_depth(
+    flat: &[GuardedAssign],
+    prog: &Program,
+    clusters: &[BTreeSet<String>],
+) -> usize {
+    let cluster_of = |v: &str| -> Option<usize> {
+        clusters.iter().position(|c| c.contains(v))
+    };
+    // Node id per assignment (fused by cluster).
+    let mut node_of: Vec<usize> = Vec::new();
+    let mut cluster_node: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut n_nodes = 0usize;
+    for ga in flat {
+        let id = match lvalue_state(&ga.lhs, prog).and_then(|v| cluster_of(&v)) {
+            Some(c) => *cluster_node.entry(c).or_insert_with(|| {
+                let id = n_nodes;
+                n_nodes += 1;
+                id
+            }),
+            None => {
+                let id = n_nodes;
+                n_nodes += 1;
+                id
+            }
+        };
+        node_of.push(id);
+    }
+    // Field/var write tracking for dependencies.
+    fn all_reads(ga: &GuardedAssign, prog: &Program) -> BTreeSet<String> {
+        fn reads(e: &Expr, prog: &Program, out: &mut BTreeSet<String>) {
+            match e {
+                Expr::Field(f) => {
+                    out.insert(format!("p.{f}"));
+                }
+                Expr::Var(v) if prog.is_state(v) => {
+                    out.insert(format!("s.{v}"));
+                }
+                Expr::MapGet(m) | Expr::MapContains(m) => {
+                    out.insert(format!("s.{m}"));
+                }
+                Expr::Min(a, b) | Expr::Max(a, b) | Expr::Bin(_, a, b) => {
+                    reads(a, prog, out);
+                    reads(b, prog, out);
+                }
+                Expr::Not(a) => reads(a, prog, out),
+                _ => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        reads(&ga.rhs, prog, &mut out);
+        if let Some(g) = &ga.guard {
+            reads(g, prog, &mut out);
+        }
+        out
+    }
+    let write_key = |lv: &LValue| -> String {
+        match lv {
+            LValue::Var(v) => format!("s.{v}"),
+            LValue::MapPut(m) => format!("s.{m}"),
+            LValue::Field(f) => format!("p.{f}"),
+        }
+    };
+
+    let mut depth: Vec<usize> = vec![1; n_nodes];
+    let mut last_writer: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, ga) in flat.iter().enumerate() {
+        let me = node_of[i];
+        let mut d = depth[me];
+        for r in all_reads(ga, prog) {
+            if let Some(&w) = last_writer.get(&r) {
+                if w != me {
+                    d = d.max(depth[w] + 1);
+                }
+            }
+        }
+        depth[me] = d;
+        last_writer.insert(write_key(&ga.lhs), me);
+    }
+    depth.into_iter().max().unwrap_or(0)
+}
+
+/// Compile against a target whose strongest atom is `available`; rejects
+/// exactly when Domino would (the §4.1 line-rate check).
+pub fn compile(prog: &Program, available: AtomKind) -> Result<PipelineReport, CompileError> {
+    let report = analyze(prog)?;
+    if report.required_atom > available {
+        return Err(CompileError::AtomTooWeak {
+            required: report.required_atom,
+            available,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn req(src: &str) -> AtomKind {
+        analyze(&parse(src).unwrap()).unwrap().required_atom
+    }
+
+    #[test]
+    fn stateless_transaction() {
+        assert_eq!(req("p.rank = p.slack;"), AtomKind::Stateless);
+        assert_eq!(req("p.rank = max(p.deadline, now);"), AtomKind::Stateless);
+    }
+
+    #[test]
+    fn counter_is_raw() {
+        assert_eq!(req("state c = 0;\nc = c + 1;\np.rank = c;"), AtomKind::ReadAddWrite);
+    }
+
+    #[test]
+    fn guarded_counter_is_praw() {
+        assert_eq!(
+            req("state c = 0;\nif (p.length > 100) { c = c + 1; }\np.rank = c;"),
+            AtomKind::PredRaw
+        );
+    }
+
+    #[test]
+    fn two_arm_additive_is_ifelseraw() {
+        assert_eq!(
+            req("state c = 0;\nif (p.length > 100) { c = c + 1; } else { c = c + 2; }\np.rank = c;"),
+            AtomKind::IfElseRaw
+        );
+    }
+
+    #[test]
+    fn subtraction_is_sub() {
+        assert_eq!(req("state c = 0;\nc = c - p.length;\np.rank = c;"), AtomKind::Sub);
+    }
+
+    #[test]
+    fn reset_update_is_nested() {
+        assert_eq!(
+            req("state c = 0;\nif (c > 10) { c = 0; } else { c = c + 1; }\np.rank = c;"),
+            AtomKind::NestedIf
+        );
+    }
+
+    #[test]
+    fn coupled_pair_is_pairs() {
+        // b's update reads a: they must share an atom.
+        assert_eq!(
+            req("state a = 0;\nstate b = 0;\na = a + 1;\nb = b + a;\np.rank = b;"),
+            AtomKind::Pairs
+        );
+    }
+
+    #[test]
+    fn three_coupled_vars_rejected() {
+        let err = analyze(
+            &parse("state a = 0;\nstate b = 0;\nstate c = 0;\na = b + 1;\nb = c + 1;\nc = a + 1;\np.rank = a;")
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::TooManyCoupledStateVars(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn independent_states_do_not_couple() {
+        // Two counters with no cross-reads: two RAW atoms, not Pairs.
+        assert_eq!(
+            req("state a = 0;\nstate b = 0;\na = a + 1;\nb = b + 2;\np.rank = a + b;"),
+            AtomKind::ReadAddWrite
+        );
+    }
+
+    #[test]
+    fn read_only_state_is_free() {
+        // virtual_time is only read in the body; with no writer anywhere
+        // it costs nothing.
+        assert_eq!(
+            req("state vt = 0;\np.rank = vt + p.length;"),
+            AtomKind::Stateless
+        );
+    }
+
+    #[test]
+    fn dequeue_hook_couples_state() {
+        // vt written at dequeue, read by the map update at enqueue: the
+        // two share the physical atom -> Pairs. This is exactly the STFQ
+        // shape (§4.1).
+        let src = "state vt = 0;\nstatemap lf;\nlf[flow] = max(vt, lf[flow]) + p.length;\np.rank = vt;\n@dequeue { vt = max(vt, rank); }";
+        assert_eq!(req(src), AtomKind::Pairs);
+    }
+
+    #[test]
+    fn compile_rejects_weak_target() {
+        let prog = parse("state c = 0;\nc = c + 1;\np.rank = c;").unwrap();
+        assert!(compile(&prog, AtomKind::Stateless).is_err());
+        assert!(compile(&prog, AtomKind::ReadAddWrite).is_ok());
+        assert!(compile(&prog, AtomKind::Pairs).is_ok(), "stronger is fine");
+    }
+
+    #[test]
+    fn flatten_produces_guards() {
+        let prog = parse("if (p.a > 0) { p.x = 1; } else { p.x = 2; }").unwrap();
+        let flat = flatten(&prog.body);
+        assert_eq!(flat.len(), 2);
+        assert!(flat[0].guard.is_some());
+        assert!(flat[1].guard.is_some());
+    }
+
+    #[test]
+    fn stage_depth_counts_chains() {
+        // x depends on nothing; y on x; z on y: 3 stages.
+        let r = analyze(&parse("p.x = 1;\np.y = p.x + 1;\np.z = p.y + 1;").unwrap()).unwrap();
+        assert_eq!(r.stages, 3);
+        // Independent assignments: 1 stage.
+        let r = analyze(&parse("p.x = 1;\np.y = 2;").unwrap()).unwrap();
+        assert_eq!(r.stages, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! A corpus of transaction programs beyond the paper's figures,
+//! exercising every rung of the atom ladder and the compiler's reject
+//! path — the kind of programs an operator would actually write against
+//! this substrate (§8: "they could create their own").
+
+use domino_lite::ast::AtomKind;
+use domino_lite::{analyze, compile, parse, DominoScheduling, Interp};
+use pifo_core::prelude::*;
+
+fn required(src: &str) -> AtomKind {
+    analyze(&parse(src).expect("parses")).expect("analyzes").required_atom
+}
+
+/// Strict priority / SJF / EDF style one-liners: pure field reads.
+#[test]
+fn one_line_priorities_are_stateless() {
+    for src in [
+        "p.rank = p.class;",
+        "p.rank = p.flow_size;",
+        "p.rank = p.remaining;",
+        "p.rank = p.deadline;",
+        "p.rank = p.attained;",
+    ] {
+        assert_eq!(required(src), AtomKind::Stateless, "{src}");
+    }
+}
+
+/// A packet counter per switch: classic RAW.
+#[test]
+fn packet_counter_is_raw() {
+    let src = "state total = 0;\ntotal = total + 1;\np.rank = total;";
+    assert_eq!(required(src), AtomKind::ReadAddWrite);
+    // And it runs.
+    let mut tx = DominoScheduling::new("count", Interp::new(parse(src).unwrap()));
+    let p = Packet::new(0, FlowId(0), 64, Nanos(0));
+    let ctx = EnqCtx {
+        packet: &p,
+        now: Nanos(0),
+        flow: p.flow,
+    };
+    assert_eq!(tx.rank(&ctx), Rank(1));
+    assert_eq!(tx.rank(&ctx), Rank(2));
+}
+
+/// Byte counter gated on a header test — PRAW territory.
+#[test]
+fn conditional_byte_counter_is_praw() {
+    let src = "state bytes = 0;\nif (p.class == 0) { bytes = bytes + p.length; }\np.rank = bytes;";
+    assert_eq!(required(src), AtomKind::PredRaw);
+    assert!(compile(&parse(src).unwrap(), AtomKind::ReadAddWrite).is_err());
+    assert!(compile(&parse(src).unwrap(), AtomKind::PredRaw).is_ok());
+}
+
+/// Two-armed additive update (sample either way): IfElseRAW.
+#[test]
+fn two_armed_update_is_ifelseraw() {
+    let src = "state acc = 0;\nif (p.length > 500) { acc = acc + 2; } else { acc = acc + 1; }\np.rank = acc;";
+    assert_eq!(required(src), AtomKind::IfElseRaw);
+}
+
+/// Flowlet-style reset: a gap test resets per-flow state — the nested
+/// conditional shape from the Domino paper's running example.
+#[test]
+fn flowlet_gap_reset_is_nested() {
+    let src = r#"
+statemap last_seen;
+if (now - last_seen[flow] > 1000) {
+    p.new_flowlet = 1;
+} else {
+    p.new_flowlet = 0;
+}
+last_seen[flow] = now;
+p.rank = p.new_flowlet;
+"#;
+    // last_seen is written unconditionally with a stateless value, but
+    // it is also *read* in the guard: self-coupled, non-additive.
+    assert_eq!(required(src), AtomKind::NestedIf);
+}
+
+/// An EWMA of queueing delay feeding the rank: coupled pair.
+#[test]
+fn ewma_with_timestamp_is_pairs() {
+    let src = r#"
+state ewma = 0;
+state last_time = 0;
+ewma = (ewma * 7 + (now - last_time)) / 8;
+last_time = now;
+p.rank = ewma;
+"#;
+    assert_eq!(required(src), AtomKind::Pairs);
+}
+
+/// Three mutually-entangled state variables: beyond every template.
+#[test]
+fn three_way_entanglement_rejected() {
+    let src = r#"
+state a = 0;
+state b = 0;
+state c = 0;
+a = a + b;
+b = b + c;
+c = c + a;
+p.rank = a;
+"#;
+    let err = analyze(&parse(src).unwrap()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("no atom template"), "{msg}");
+}
+
+/// Division and modulo work and trap on zero divisors at runtime, not
+/// at compile time (data-dependent).
+#[test]
+fn division_semantics() {
+    let src = "p.rank = p.length / p.class;";
+    let prog = parse(src).unwrap();
+    assert_eq!(analyze(&prog).unwrap().required_atom, AtomKind::Stateless);
+    let mut i = Interp::new(prog);
+    let mut view = domino_lite::PacketView::synthetic(0, 0);
+    view.set("length", 100);
+    view.set("class", 0);
+    assert!(matches!(
+        i.run(&mut view),
+        Err(domino_lite::RuntimeError::DivByZero)
+    ));
+    view.set("class", 3);
+    i.run(&mut view).unwrap();
+    assert_eq!(view.get("rank"), Some(33));
+}
+
+/// Programs can be parameterised and instantiated at different operating
+/// points without re-parsing (the compiler-once, configure-many flow).
+#[test]
+fn params_configure_instances() {
+    let src = "param threshold = 1000;\nif (p.length > threshold) { p.rank = 1; } else { p.rank = 0; }";
+    let prog = parse(src).unwrap();
+    let mut small = Interp::new(prog.clone());
+    small.set_param("threshold", 100);
+    let mut large = Interp::new(prog);
+    large.set_param("threshold", 10_000);
+
+    let mut view = domino_lite::PacketView::synthetic(0, 0);
+    view.set("length", 1_500);
+    small.run(&mut view).unwrap();
+    assert_eq!(view.get("rank"), Some(1), "1500 > 100");
+    large.run(&mut view).unwrap();
+    assert_eq!(view.get("rank"), Some(0), "1500 < 10000");
+}
+
+/// The whole corpus stays within the published atom vocabulary except
+/// the deliberate counterexample — i.e. the substrate is *useful*.
+#[test]
+fn corpus_compiles_with_pairs() {
+    let corpus = [
+        "p.rank = p.class;",
+        "state total = 0;\ntotal = total + 1;\np.rank = total;",
+        "state bytes = 0;\nif (p.class == 0) { bytes = bytes + p.length; }\np.rank = bytes;",
+        "statemap last_seen;\nif (now - last_seen[flow] > 1000) { p.x = 1; } else { p.x = 0; }\nlast_seen[flow] = now;\np.rank = p.x;",
+        "state ewma = 0;\nstate last_time = 0;\newma = (ewma * 7 + (now - last_time)) / 8;\nlast_time = now;\np.rank = ewma;",
+    ];
+    for src in corpus {
+        compile(&parse(src).unwrap(), AtomKind::Pairs)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
+    }
+}

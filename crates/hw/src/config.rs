@@ -1,0 +1,120 @@
+//! Hardware configuration parameters (§5.1, §5.3).
+//!
+//! Defaults mirror the paper's baseline PIFO block: 1024 flows shared
+//! across 256 logical PIFOs, 16-bit ranks, 32-bit metadata, and a 64 K
+//! element rank store — sized for a Broadcom-Trident-class shared-memory
+//! switch (64 × 10 Gb/s ports, 12 MB buffer, 200 B cells ⇒ 60 K cells).
+
+/// Identifies a PIFO block within a mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u8);
+
+/// Identifies a logical PIFO within a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalPifoId(pub u16);
+
+impl core::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl core::fmt::Display for LogicalPifoId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Sizing of one PIFO block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Flow-scheduler capacity: number of flows sorted in flip-flops.
+    pub n_flows: usize,
+    /// Number of logical PIFOs sharing the block.
+    pub n_logical_pifos: usize,
+    /// Rank field width in bits (§5.3 baseline: 16).
+    pub rank_bits: u32,
+    /// Metadata field width in bits (§5.3 baseline: 32).
+    pub meta_bits: u32,
+    /// Rank-store capacity in elements (§5.3 baseline: 64 K).
+    pub rank_store_capacity: usize,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig {
+            n_flows: 1024,
+            n_logical_pifos: 256,
+            rank_bits: 16,
+            meta_bits: 32,
+            rank_store_capacity: 64 * 1024,
+        }
+    }
+}
+
+impl BlockConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        BlockConfig {
+            n_flows: 8,
+            n_logical_pifos: 4,
+            rank_bits: 16,
+            meta_bits: 32,
+            rank_store_capacity: 64,
+        }
+    }
+
+    /// Bits to address a flow (§5.4 uses 10 bits for 1024 flows).
+    pub fn flow_id_bits(&self) -> u32 {
+        (self.n_flows as u64).next_power_of_two().trailing_zeros()
+    }
+
+    /// Bits to address a logical PIFO (§5.4 uses 8 bits for 256).
+    pub fn lpifo_id_bits(&self) -> u32 {
+        (self.n_logical_pifos as u64)
+            .next_power_of_two()
+            .trailing_zeros()
+    }
+}
+
+/// Per-cycle performance envelope of a block (§5.2): the flow scheduler
+/// sustains 2 pushes + 1 pop per clock; a block exposes 1 enqueue + 1
+/// dequeue per clock; the same logical PIFO can be dequeued at most once
+/// every [`DEQ_SAME_LPIFO_INTERVAL`] cycles.
+pub const PUSHES_PER_CYCLE: u32 = 2;
+/// Pops per cycle the flow scheduler sustains.
+pub const POPS_PER_CYCLE: u32 = 1;
+/// Minimum cycle gap between dequeues of one logical PIFO (2-cycle pop +
+/// 1-cycle SRAM access for the reinsert; §5.2).
+pub const DEQ_SAME_LPIFO_INTERVAL: u64 = 3;
+/// Cycles between dequeues needed to sustain 100 Gb/s at 64 B packets
+/// (§5.2: "at most once every 5 clock cycles").
+pub const DEQ_INTERVAL_100G: u64 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_trident_baseline() {
+        let c = BlockConfig::default();
+        assert_eq!(c.n_flows, 1024);
+        assert_eq!(c.n_logical_pifos, 256);
+        assert_eq!(c.rank_bits, 16);
+        assert_eq!(c.meta_bits, 32);
+        assert_eq!(c.rank_store_capacity, 65_536);
+    }
+
+    #[test]
+    fn address_widths_match_section_5_4() {
+        let c = BlockConfig::default();
+        assert_eq!(c.flow_id_bits(), 10);
+        assert_eq!(c.lpifo_id_bits(), 8);
+    }
+
+    #[test]
+    fn lpifo_deq_interval_supports_100g() {
+        // The 3-cycle restriction is looser than the 5-cycle requirement.
+        assert!(DEQ_SAME_LPIFO_INTERVAL <= DEQ_INTERVAL_100G);
+    }
+}

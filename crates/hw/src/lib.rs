@@ -1,0 +1,31 @@
+//! # pifo-hw
+//!
+//! The cycle-level hardware model of §4–§5: the flow-scheduler +
+//! rank-store decomposition of a PIFO block (Fig 12), the 2-stage
+//! pipeline (Fig 13), per-cycle port budgets, and the full PIFO mesh with
+//! next-hop chaining, scheduling-over-shaping conflict resolution, and
+//! over-clocking (§4.2–§4.3).
+//!
+//! The model's contract: under the documented precondition — per-flow
+//! ranks monotonically non-decreasing — a [`block::PifoBlock`] dequeues
+//! exactly like the reference `SortedArrayPifo` of `pifo-core` (checked
+//! by property tests), while sorting only per-flow heads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod config;
+pub mod error;
+pub mod flow_scheduler;
+pub mod mesh;
+pub mod rank_store;
+pub mod timing;
+
+pub use block::PifoBlock;
+pub use config::{BlockConfig, BlockId, LogicalPifoId};
+pub use error::HwError;
+pub use flow_scheduler::{FlowEntry, FlowScheduler};
+pub use mesh::{Mesh, MeshStats, NodePlacement};
+pub use rank_store::{RankStore, StoredElement};
+pub use timing::{PipelinedFlowScheduler, PortGates};

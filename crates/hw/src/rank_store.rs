@@ -1,0 +1,279 @@
+//! The rank store (§5.2, Fig 12): a bank of FIFOs in SRAM holding element
+//! ranks *beyond the per-flow head* (heads live in the flow scheduler).
+//!
+//! Implemented exactly as Table 1 prices it: a dynamically-allocated pool
+//! of cells with
+//!
+//! * a **next-pointer** array (linked lists through the pool),
+//! * a **free list** threaded through the same pointer array, and
+//! * **head / tail / count** state per (logical PIFO, flow) FIFO.
+//!
+//! Any FIFO can grow and shrink subject to the shared pool limit — the
+//! same structure switches use for packet data buffering, which is why the
+//! paper reuses it.
+
+use crate::config::LogicalPifoId;
+use crate::error::HwError;
+use pifo_core::prelude::*;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+/// One stored element: rank plus opaque metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredElement {
+    /// The element's rank.
+    pub rank: Rank,
+    /// Opaque metadata carried with the element (§4.2).
+    pub meta: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FifoState {
+    head: u32,
+    tail: u32,
+    count: u32,
+}
+
+/// A dynamically-allocated bank of FIFOs over a fixed cell pool.
+#[derive(Debug)]
+pub struct RankStore {
+    cells: Vec<StoredElement>,
+    next: Vec<u32>,
+    free_head: u32,
+    free_count: usize,
+    fifos: HashMap<(LogicalPifoId, FlowId), FifoState>,
+}
+
+impl RankStore {
+    /// A rank store with `capacity` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or does not fit 32-bit cell indices.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rank store needs capacity");
+        assert!(capacity < NIL as usize, "capacity too large for pointers");
+        // Thread the free list through `next`.
+        let mut next: Vec<u32> = (1..=capacity as u32).collect();
+        next[capacity - 1] = NIL;
+        RankStore {
+            cells: vec![
+                StoredElement {
+                    rank: Rank(0),
+                    meta: 0
+                };
+                capacity
+            ],
+            next,
+            free_head: 0,
+            free_count: capacity,
+            fifos: HashMap::new(),
+        }
+    }
+
+    /// Total cells in the pool.
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cells currently free.
+    pub fn free(&self) -> usize {
+        self.free_count
+    }
+
+    /// Cells currently occupied.
+    pub fn occupied(&self) -> usize {
+        self.capacity() - self.free_count
+    }
+
+    /// Elements queued in one FIFO.
+    pub fn len(&self, lpifo: LogicalPifoId, flow: FlowId) -> usize {
+        self.fifos
+            .get(&(lpifo, flow))
+            .map_or(0, |f| f.count as usize)
+    }
+
+    /// True if the given FIFO holds no elements.
+    pub fn is_empty(&self, lpifo: LogicalPifoId, flow: FlowId) -> bool {
+        self.len(lpifo, flow) == 0
+    }
+
+    /// Append an element to the tail of `(lpifo, flow)`'s FIFO.
+    pub fn push_back(
+        &mut self,
+        lpifo: LogicalPifoId,
+        flow: FlowId,
+        rank: Rank,
+        meta: u64,
+    ) -> Result<(), HwError> {
+        if self.free_head == NIL {
+            return Err(HwError::RankStoreFull);
+        }
+        // Pop a cell off the free list.
+        let cell = self.free_head;
+        self.free_head = self.next[cell as usize];
+        self.free_count -= 1;
+
+        self.cells[cell as usize] = StoredElement { rank, meta };
+        self.next[cell as usize] = NIL;
+
+        match self.fifos.get_mut(&(lpifo, flow)) {
+            Some(f) if f.count > 0 => {
+                self.next[f.tail as usize] = cell;
+                f.tail = cell;
+                f.count += 1;
+            }
+            _ => {
+                self.fifos.insert(
+                    (lpifo, flow),
+                    FifoState {
+                        head: cell,
+                        tail: cell,
+                        count: 1,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Pop the head of `(lpifo, flow)`'s FIFO.
+    pub fn pop_front(&mut self, lpifo: LogicalPifoId, flow: FlowId) -> Option<StoredElement> {
+        let f = self.fifos.get_mut(&(lpifo, flow))?;
+        if f.count == 0 {
+            return None;
+        }
+        let cell = f.head;
+        let elem = self.cells[cell as usize];
+        f.head = self.next[cell as usize];
+        f.count -= 1;
+        if f.count == 0 {
+            self.fifos.remove(&(lpifo, flow));
+        }
+        // Return the cell to the free list.
+        self.next[cell as usize] = self.free_head;
+        self.free_head = cell;
+        self.free_count += 1;
+        Some(elem)
+    }
+
+    /// Peek the head of a FIFO without removing it.
+    pub fn peek_front(&self, lpifo: LogicalPifoId, flow: FlowId) -> Option<StoredElement> {
+        let f = self.fifos.get(&(lpifo, flow))?;
+        if f.count == 0 {
+            return None;
+        }
+        Some(self.cells[f.head as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u16) -> LogicalPifoId {
+        LogicalPifoId(x)
+    }
+    fn f(x: u32) -> FlowId {
+        FlowId(x)
+    }
+
+    #[test]
+    fn fifo_order_within_flow() {
+        let mut rs = RankStore::new(16);
+        rs.push_back(l(0), f(1), Rank(30), 100).unwrap();
+        rs.push_back(l(0), f(1), Rank(10), 101).unwrap();
+        rs.push_back(l(0), f(1), Rank(20), 102).unwrap();
+        // FIFO, *not* sorted: the rank store never reorders (§5.2 relies
+        // on per-flow ranks increasing).
+        assert_eq!(rs.pop_front(l(0), f(1)).unwrap().meta, 100);
+        assert_eq!(rs.pop_front(l(0), f(1)).unwrap().meta, 101);
+        assert_eq!(rs.pop_front(l(0), f(1)).unwrap().meta, 102);
+        assert!(rs.pop_front(l(0), f(1)).is_none());
+    }
+
+    #[test]
+    fn fifos_are_isolated() {
+        let mut rs = RankStore::new(16);
+        rs.push_back(l(0), f(1), Rank(1), 10).unwrap();
+        rs.push_back(l(0), f(2), Rank(2), 20).unwrap();
+        rs.push_back(l(1), f(1), Rank(3), 30).unwrap();
+        assert_eq!(rs.len(l(0), f(1)), 1);
+        assert_eq!(rs.len(l(0), f(2)), 1);
+        assert_eq!(rs.len(l(1), f(1)), 1);
+        assert_eq!(rs.pop_front(l(0), f(2)).unwrap().meta, 20);
+        assert_eq!(rs.pop_front(l(1), f(1)).unwrap().meta, 30);
+        assert_eq!(rs.pop_front(l(0), f(1)).unwrap().meta, 10);
+    }
+
+    #[test]
+    fn pool_exhaustion_and_reuse() {
+        let mut rs = RankStore::new(4);
+        for i in 0..4 {
+            rs.push_back(l(0), f(i), Rank(i as u64), i as u64).unwrap();
+        }
+        assert_eq!(rs.free(), 0);
+        assert_eq!(
+            rs.push_back(l(0), f(9), Rank(9), 9),
+            Err(HwError::RankStoreFull)
+        );
+        // Freeing one cell makes room for exactly one push.
+        rs.pop_front(l(0), f(2)).unwrap();
+        assert_eq!(rs.free(), 1);
+        rs.push_back(l(0), f(9), Rank(9), 9).unwrap();
+        assert_eq!(rs.free(), 0);
+    }
+
+    #[test]
+    fn one_fifo_can_take_whole_pool() {
+        // Dynamic allocation: no static per-flow partition.
+        let mut rs = RankStore::new(8);
+        for i in 0..8 {
+            rs.push_back(l(0), f(1), Rank(i), i).unwrap();
+        }
+        assert_eq!(rs.len(l(0), f(1)), 8);
+        for i in 0..8 {
+            assert_eq!(rs.pop_front(l(0), f(1)).unwrap().meta, i);
+        }
+        assert_eq!(rs.free(), 8);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_lists_consistent() {
+        let mut rs = RankStore::new(8);
+        for round in 0..50u64 {
+            rs.push_back(l(0), f(0), Rank(round), round).unwrap();
+            rs.push_back(l(0), f(1), Rank(round), round + 1000).unwrap();
+            if round % 2 == 0 {
+                assert!(rs.pop_front(l(0), f(0)).is_some());
+            }
+            if round % 3 == 0 {
+                assert!(rs.pop_front(l(0), f(1)).is_some());
+            }
+            // Drain opportunistically to stay under capacity.
+            while rs.free() < 2 {
+                rs.pop_front(l(0), f(0))
+                    .or_else(|| rs.pop_front(l(0), f(1)))
+                    .unwrap();
+            }
+            assert_eq!(rs.occupied() + rs.free(), 8);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut rs = RankStore::new(4);
+        rs.push_back(l(0), f(0), Rank(5), 55).unwrap();
+        assert_eq!(rs.peek_front(l(0), f(0)).unwrap().meta, 55);
+        assert_eq!(rs.len(l(0), f(0)), 1);
+    }
+
+    #[test]
+    fn empty_pops_and_peeks_are_none() {
+        let mut rs = RankStore::new(4);
+        assert!(rs.pop_front(l(0), f(0)).is_none());
+        assert!(rs.peek_front(l(3), f(7)).is_none());
+        assert!(rs.is_empty(l(0), f(0)));
+    }
+}

@@ -1,0 +1,283 @@
+//! Cycle-level timing models.
+//!
+//! Two pieces:
+//!
+//! * [`PipelinedFlowScheduler`] — the 2-stage pipeline of Fig 13:
+//!   (parallel compare + priority encode) then (shift). Sustains 2 pushes
+//!   + 1 pop per cycle with a 2-cycle latency; checked by construction.
+//! * [`PortGates`] — per-cycle port accounting for a block in a mesh:
+//!   one enqueue + one dequeue per block per cycle (§4.2), the 3-cycle
+//!   same-logical-PIFO dequeue spacing (§5.2), and optional over-clock
+//!   credits that give *best-effort* (shaping) operations spare slots
+//!   (§4.3's 1.25 GHz workaround).
+
+use crate::config::{LogicalPifoId, DEQ_SAME_LPIFO_INTERVAL, POPS_PER_CYCLE, PUSHES_PER_CYCLE};
+use crate::error::HwError;
+use crate::flow_scheduler::{FlowEntry, FlowScheduler};
+use std::collections::HashMap;
+
+/// The Fig 13 pipeline wrapped around a [`FlowScheduler`].
+///
+/// Operations are submitted against an explicit cycle counter; the model
+/// enforces the per-cycle issue limits and reports each operation's
+/// completion cycle (submission + 2). State mutation is applied at
+/// submission — results are what a 2-stage pipeline would observe.
+#[derive(Debug)]
+pub struct PipelinedFlowScheduler {
+    inner: FlowScheduler,
+    cycle: u64,
+    pushes_this_cycle: u32,
+    pops_this_cycle: u32,
+    /// Completed operation count (for throughput assertions).
+    pub ops_completed: u64,
+}
+
+impl PipelinedFlowScheduler {
+    /// Wrap a flow scheduler of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        PipelinedFlowScheduler {
+            inner: FlowScheduler::new(capacity),
+            cycle: 0,
+            pushes_this_cycle: 0,
+            pops_this_cycle: 0,
+            ops_completed: 0,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advance one clock edge.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.pushes_this_cycle = 0;
+        self.pops_this_cycle = 0;
+    }
+
+    /// Submit a push this cycle. Returns the completion cycle.
+    pub fn push(&mut self, e: FlowEntry) -> Result<u64, HwError> {
+        if self.pushes_this_cycle >= PUSHES_PER_CYCLE {
+            return Err(HwError::EnqueuePortBusy(crate::config::BlockId(0)));
+        }
+        self.inner.push(e)?;
+        self.pushes_this_cycle += 1;
+        self.ops_completed += 1;
+        Ok(self.cycle + 2)
+    }
+
+    /// Submit a pop this cycle. Returns `(entry, completion_cycle)`.
+    pub fn pop(&mut self, lpifo: LogicalPifoId) -> Result<(Option<FlowEntry>, u64), HwError> {
+        if self.pops_this_cycle >= POPS_PER_CYCLE {
+            return Err(HwError::DequeuePortBusy(crate::config::BlockId(0)));
+        }
+        let e = self.inner.pop(lpifo);
+        self.pops_this_cycle += 1;
+        self.ops_completed += 1;
+        Ok((e, self.cycle + 2))
+    }
+
+    /// The wrapped scheduler (introspection).
+    pub fn inner(&self) -> &FlowScheduler {
+        &self.inner
+    }
+}
+
+/// Per-cycle port accounting for one block inside a mesh.
+#[derive(Debug)]
+pub struct PortGates {
+    enq_used: u32,
+    deq_used: u32,
+    /// Extra best-effort credits this cycle (over-clocking, §4.3).
+    bonus_enq: u32,
+    bonus_deq: u32,
+    last_lpifo_deq: HashMap<LogicalPifoId, u64>,
+}
+
+impl Default for PortGates {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PortGates {
+    /// Fresh gates (cycle 0).
+    pub fn new() -> Self {
+        PortGates {
+            enq_used: 0,
+            deq_used: 0,
+            bonus_enq: 0,
+            bonus_deq: 0,
+            last_lpifo_deq: HashMap::new(),
+        }
+    }
+
+    /// Start a new cycle, granting `bonus` extra best-effort ports (0 at
+    /// 1.0× clock; 1 every 4th cycle at 1.25×).
+    pub fn new_cycle(&mut self, bonus: u32) {
+        self.enq_used = 0;
+        self.deq_used = 0;
+        self.bonus_enq = bonus;
+        self.bonus_deq = bonus;
+    }
+
+    /// Whether a guaranteed enqueue claim would currently succeed
+    /// (all-or-nothing path checks in the mesh use this before claiming).
+    pub fn enqueue_would_succeed(&self) -> bool {
+        self.enq_used < 1
+    }
+
+    /// Claim the enqueue port. `best_effort` ops may use bonus credits
+    /// but never displace a guaranteed op.
+    pub fn claim_enqueue(&mut self, block: crate::config::BlockId, best_effort: bool) -> Result<(), HwError> {
+        if self.enq_used < 1 {
+            self.enq_used += 1;
+            return Ok(());
+        }
+        if best_effort && self.bonus_enq > 0 {
+            self.bonus_enq -= 1;
+            return Ok(());
+        }
+        Err(HwError::EnqueuePortBusy(block))
+    }
+
+    /// Claim the dequeue port, enforcing the 3-cycle same-lpifo rule.
+    pub fn claim_dequeue(
+        &mut self,
+        block: crate::config::BlockId,
+        lpifo: LogicalPifoId,
+        cycle: u64,
+        best_effort: bool,
+    ) -> Result<(), HwError> {
+        if let Some(&last) = self.last_lpifo_deq.get(&lpifo) {
+            if cycle.saturating_sub(last) < DEQ_SAME_LPIFO_INTERVAL {
+                return Err(HwError::LpifoDequeueTooSoon(lpifo));
+            }
+        }
+        if self.deq_used < 1 {
+            self.deq_used += 1;
+        } else if best_effort && self.bonus_deq > 0 {
+            self.bonus_deq -= 1;
+        } else {
+            return Err(HwError::DequeuePortBusy(block));
+        }
+        self.last_lpifo_deq.insert(lpifo, cycle);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BlockId;
+    use pifo_core::prelude::*;
+
+    fn entry(rank: u64, lpifo: u16, flow: u32) -> FlowEntry {
+        FlowEntry {
+            rank: Rank(rank),
+            lpifo: LogicalPifoId(lpifo),
+            flow: FlowId(flow),
+            meta: 0,
+        }
+    }
+
+    #[test]
+    fn pipeline_sustains_2_push_1_pop_per_cycle() {
+        let mut p = PipelinedFlowScheduler::new(64);
+        // Warm up with entries so pops succeed.
+        p.push(entry(1, 0, 1)).unwrap();
+        p.push(entry(2, 0, 2)).unwrap();
+        p.tick();
+        for c in 1..=10u64 {
+            assert!(p.push(entry(100 + c, 0, (10 + c) as u32)).is_ok());
+            assert!(p.push(entry(200 + c, 0, (30 + c) as u32)).is_ok());
+            assert!(p.pop(LogicalPifoId(0)).is_ok());
+            p.tick();
+        }
+        // 2 warmup + 10*(2+1) = 32 ops.
+        assert_eq!(p.ops_completed, 32);
+    }
+
+    #[test]
+    fn pipeline_rejects_third_push_in_cycle() {
+        let mut p = PipelinedFlowScheduler::new(64);
+        p.push(entry(1, 0, 1)).unwrap();
+        p.push(entry(2, 0, 2)).unwrap();
+        assert!(matches!(
+            p.push(entry(3, 0, 3)),
+            Err(HwError::EnqueuePortBusy(_))
+        ));
+        p.tick();
+        assert!(p.push(entry(3, 0, 3)).is_ok(), "next cycle is fine");
+    }
+
+    #[test]
+    fn pipeline_rejects_second_pop_in_cycle() {
+        let mut p = PipelinedFlowScheduler::new(64);
+        p.push(entry(1, 0, 1)).unwrap();
+        p.push(entry(2, 0, 2)).unwrap();
+        p.tick();
+        assert!(p.pop(LogicalPifoId(0)).is_ok());
+        assert!(matches!(
+            p.pop(LogicalPifoId(0)),
+            Err(HwError::DequeuePortBusy(_))
+        ));
+    }
+
+    #[test]
+    fn pipeline_latency_is_two_cycles() {
+        let mut p = PipelinedFlowScheduler::new(8);
+        p.tick();
+        p.tick(); // cycle 2
+        let done = p.push(entry(1, 0, 1)).unwrap();
+        assert_eq!(done, 4);
+    }
+
+    #[test]
+    fn gates_one_enq_one_deq_per_cycle() {
+        let mut g = PortGates::new();
+        g.new_cycle(0);
+        assert!(g.claim_enqueue(BlockId(0), false).is_ok());
+        assert!(g.claim_enqueue(BlockId(0), false).is_err());
+        assert!(g
+            .claim_dequeue(BlockId(0), LogicalPifoId(0), 0, false)
+            .is_ok());
+        assert!(g
+            .claim_dequeue(BlockId(0), LogicalPifoId(1), 0, false)
+            .is_err());
+    }
+
+    #[test]
+    fn gates_same_lpifo_needs_3_cycles() {
+        let mut g = PortGates::new();
+        g.new_cycle(0);
+        g.claim_dequeue(BlockId(0), LogicalPifoId(5), 0, false).unwrap();
+        g.new_cycle(0);
+        assert!(matches!(
+            g.claim_dequeue(BlockId(0), LogicalPifoId(5), 1, false),
+            Err(HwError::LpifoDequeueTooSoon(_))
+        ));
+        // A *different* lpifo is fine next cycle.
+        assert!(g
+            .claim_dequeue(BlockId(0), LogicalPifoId(6), 1, false)
+            .is_ok());
+        g.new_cycle(0);
+        g.new_cycle(0);
+        assert!(g
+            .claim_dequeue(BlockId(0), LogicalPifoId(5), 3, false)
+            .is_ok());
+    }
+
+    #[test]
+    fn overclock_bonus_serves_best_effort_only() {
+        let mut g = PortGates::new();
+        g.new_cycle(1); // one bonus credit (1.25x cycle)
+        g.claim_enqueue(BlockId(0), false).unwrap();
+        // A second *guaranteed* op still fails…
+        assert!(g.claim_enqueue(BlockId(0), false).is_err());
+        // …but a best-effort (shaping) op rides the bonus.
+        assert!(g.claim_enqueue(BlockId(0), true).is_ok());
+        assert!(g.claim_enqueue(BlockId(0), true).is_err(), "credit spent");
+    }
+}

@@ -1,0 +1,94 @@
+//! Model-based property test for the rank store: the linked-list FIFO
+//! bank over a shared cell pool (§5.2, Table 1) must behave exactly like
+//! a map of plain queues, under any interleaving of pushes and pops,
+//! while never leaking or double-freeing cells.
+
+use pifo_core::prelude::*;
+use pifo_hw::{HwError, LogicalPifoId, RankStore};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push { lpifo: u16, flow: u32, tag: u64 },
+    Pop { lpifo: u16, flow: u32 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u16..3, 0u32..4, any::<u64>()).prop_map(|(l, f, t)| Op::Push {
+                lpifo: l,
+                flow: f,
+                tag: t
+            }),
+            2 => (0u16..3, 0u32..4).prop_map(|(l, f)| Op::Pop { lpifo: l, flow: f }),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn rank_store_equals_queue_map(capacity in 1usize..64, ops in ops()) {
+        let mut store = RankStore::new(capacity);
+        let mut model: HashMap<(u16, u32), VecDeque<u64>> = HashMap::new();
+        let mut model_total = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Push { lpifo, flow, tag } => {
+                    let got = store.push_back(
+                        LogicalPifoId(lpifo),
+                        FlowId(flow),
+                        Rank(tag),
+                        tag,
+                    );
+                    if model_total < capacity {
+                        prop_assert!(got.is_ok(), "pool has space");
+                        model.entry((lpifo, flow)).or_default().push_back(tag);
+                        model_total += 1;
+                    } else {
+                        prop_assert_eq!(got, Err(HwError::RankStoreFull));
+                    }
+                }
+                Op::Pop { lpifo, flow } => {
+                    let got = store.pop_front(LogicalPifoId(lpifo), FlowId(flow));
+                    let want = model
+                        .get_mut(&(lpifo, flow))
+                        .and_then(|q| q.pop_front());
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(e), Some(tag)) => {
+                            prop_assert_eq!(e.meta, tag, "FIFO order per (lpifo, flow)");
+                            prop_assert_eq!(e.rank, Rank(tag));
+                            model_total -= 1;
+                        }
+                        (g, w) => prop_assert!(false, "divergence: {g:?} vs {w:?}"),
+                    }
+                }
+            }
+            // Global accounting never drifts: occupancy + free = capacity.
+            prop_assert_eq!(store.occupied(), model_total);
+            prop_assert_eq!(store.occupied() + store.free(), capacity);
+            // Per-FIFO lengths agree.
+            for (&(l, f), q) in &model {
+                prop_assert_eq!(
+                    store.len(LogicalPifoId(l), FlowId(f)),
+                    q.len(),
+                    "length of ({}, {})", l, f
+                );
+            }
+        }
+
+        // Drain everything; the free list must fully reassemble.
+        for (&(l, f), q) in model.iter_mut() {
+            while let Some(tag) = q.pop_front() {
+                let e = store.pop_front(LogicalPifoId(l), FlowId(f)).expect("model says present");
+                prop_assert_eq!(e.meta, tag);
+            }
+        }
+        prop_assert_eq!(store.occupied(), 0);
+        prop_assert_eq!(store.free(), capacity);
+    }
+}

@@ -1,0 +1,488 @@
+//! Buffer management (§6.1).
+//!
+//! "Buffer management is largely orthogonal to scheduling, and is
+//! implemented using counters that track the occupancies of various
+//! flows and ports. Before a packet is enqueued into the scheduler, if
+//! any of these counters exceeds a static or dynamic threshold, the
+//! packet is dropped."
+//!
+//! Two admission policies are provided, exactly as the paper sketches:
+//!
+//! * [`Threshold::Static`] — a fixed per-flow cap;
+//! * [`Threshold::Dynamic`] — the Choudhury–Hahne scheme the paper cites
+//!   as \[14\]: a flow may use at most `alpha ×` the *remaining free*
+//!   buffer, which automatically tightens under pressure and prevents a
+//!   single flow from locking everyone else out.
+//!
+//! [`ManagedScheduler`] wraps any [`PortScheduler`] with such a policy,
+//! and [`Red`] implements the other §6.1 option — Random Early Detection
+//! \[18\]: probabilistic drops driven by an EWMA of the queue length,
+//! seeded for deterministic simulation.
+
+use crate::scheduler::PortScheduler;
+use pifo_core::prelude::*;
+use std::collections::HashMap;
+
+/// Per-flow admission threshold.
+#[derive(Debug, Clone, Copy)]
+pub enum Threshold {
+    /// A flow may buffer at most this many packets.
+    Static(usize),
+    /// A flow may buffer at most `alpha × free_space` packets
+    /// (Choudhury–Hahne dynamic thresholds \[14\]; `alpha` as a ratio of
+    /// numerator/denominator to stay in integer arithmetic).
+    Dynamic {
+        /// Numerator of alpha.
+        num: usize,
+        /// Denominator of alpha.
+        den: usize,
+    },
+}
+
+/// Occupancy-tracking admission control over a shared buffer.
+#[derive(Debug)]
+pub struct SharedBuffer {
+    capacity: usize,
+    occupancy: usize,
+    per_flow: HashMap<FlowId, usize>,
+    threshold: Threshold,
+    drops: u64,
+}
+
+impl SharedBuffer {
+    /// A buffer of `capacity` packets with the given per-flow threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero or a dynamic denominator is zero.
+    pub fn new(capacity: usize, threshold: Threshold) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        if let Threshold::Dynamic { den, .. } = threshold {
+            assert!(den > 0, "alpha denominator must be positive");
+        }
+        SharedBuffer {
+            capacity,
+            occupancy: 0,
+            per_flow: HashMap::new(),
+            threshold,
+            drops: 0,
+        }
+    }
+
+    /// Would a packet of `flow` be admitted right now?
+    pub fn would_admit(&self, flow: FlowId) -> bool {
+        if self.occupancy >= self.capacity {
+            return false;
+        }
+        let used = self.per_flow.get(&flow).copied().unwrap_or(0);
+        match self.threshold {
+            Threshold::Static(t) => used < t,
+            Threshold::Dynamic { num, den } => {
+                let free = self.capacity - self.occupancy;
+                used < (free * num) / den
+            }
+        }
+    }
+
+    /// Record an admission.
+    pub fn on_enqueue(&mut self, flow: FlowId) {
+        self.occupancy += 1;
+        *self.per_flow.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Record a departure.
+    pub fn on_dequeue(&mut self, flow: FlowId) {
+        self.occupancy = self.occupancy.saturating_sub(1);
+        if let Some(c) = self.per_flow.get_mut(&flow) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.per_flow.remove(&flow);
+            }
+        }
+    }
+
+    /// Record a drop.
+    pub fn on_drop(&mut self) {
+        self.drops += 1;
+    }
+
+    /// Packets currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Packets of `flow` currently buffered.
+    pub fn flow_occupancy(&self, flow: FlowId) -> usize {
+        self.per_flow.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Admission-control drops so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+/// A [`PortScheduler`] with buffer-management admission control in front
+/// of it — the §6.1 composition: thresholds gate the enqueue, the
+/// scheduler orders what was admitted.
+pub struct ManagedScheduler<S> {
+    inner: S,
+    buffer: SharedBuffer,
+}
+
+impl<S: PortScheduler> ManagedScheduler<S> {
+    /// Wrap `inner` behind `buffer`.
+    pub fn new(inner: S, buffer: SharedBuffer) -> Self {
+        ManagedScheduler { inner, buffer }
+    }
+
+    /// The buffer state (occupancies, drops).
+    pub fn buffer(&self) -> &SharedBuffer {
+        &self.buffer
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: PortScheduler> PortScheduler for ManagedScheduler<S> {
+    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> bool {
+        let flow = pkt.flow;
+        if !self.buffer.would_admit(flow) {
+            self.buffer.on_drop();
+            return false;
+        }
+        if self.inner.enqueue(pkt, now) {
+            self.buffer.on_enqueue(flow);
+            true
+        } else {
+            self.buffer.on_drop();
+            false
+        }
+    }
+
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        let p = self.inner.dequeue(now)?;
+        self.buffer.on_dequeue(p.flow);
+        Some(p)
+    }
+
+    fn next_ready(&self, now: Nanos) -> Option<Nanos> {
+        self.inner.next_ready(now)
+    }
+
+    fn backlog(&self) -> usize {
+        self.inner.backlog()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+
+// ---------------------------------------------------------------------------
+// RED (Random Early Detection)
+// ---------------------------------------------------------------------------
+
+/// Random Early Detection \[18\] — §6.1's AQM alternative to thresholds.
+///
+/// Tracks an exponentially-weighted moving average of the queue length;
+/// packets are admitted below `min_th`, dropped above `max_th`, and
+/// dropped with probability rising linearly to `max_p` in between.
+/// Randomness comes from a seeded xorshift, keeping runs reproducible.
+#[derive(Debug)]
+pub struct Red {
+    min_th: f64,
+    max_th: f64,
+    max_p: f64,
+    /// EWMA weight (classic RED default 0.002; we use 1/128).
+    weight: f64,
+    avg: f64,
+    rng: u64,
+    drops: u64,
+}
+
+impl Red {
+    /// RED with thresholds in packets and `max_p` as a fraction (0..1].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_th < max_th` and `0 < max_p <= 1`.
+    pub fn new(min_th: usize, max_th: usize, max_p: f64, seed: u64) -> Self {
+        assert!(min_th > 0 && min_th < max_th, "need 0 < min_th < max_th");
+        assert!(max_p > 0.0 && max_p <= 1.0, "need 0 < max_p <= 1");
+        Red {
+            min_th: min_th as f64,
+            max_th: max_th as f64,
+            max_p,
+            weight: 1.0 / 128.0,
+            avg: 0.0,
+            rng: seed | 1,
+            drops: 0,
+        }
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        (self.rng >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Admission decision given the instantaneous queue length; updates
+    /// the average and the drop counter.
+    pub fn admit(&mut self, queue_len: usize) -> bool {
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * queue_len as f64;
+        let admit = if self.avg < self.min_th {
+            true
+        } else if self.avg >= self.max_th {
+            false
+        } else {
+            let p = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th);
+            self.next_uniform() >= p
+        };
+        if !admit {
+            self.drops += 1;
+        }
+        admit
+    }
+
+    /// Current EWMA of the queue length.
+    pub fn average(&self) -> f64 {
+        self.avg
+    }
+
+    /// RED drops so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+/// A [`PortScheduler`] gated by RED: early random drops keep the average
+/// queue (and therefore queueing delay) near `min_th` under persistent
+/// overload, instead of pinning at the buffer limit like tail drop.
+pub struct RedScheduler<S> {
+    inner: S,
+    red: Red,
+}
+
+impl<S: PortScheduler> RedScheduler<S> {
+    /// Wrap `inner` behind `red`.
+    pub fn new(inner: S, red: Red) -> Self {
+        RedScheduler { inner, red }
+    }
+
+    /// The RED state.
+    pub fn red(&self) -> &Red {
+        &self.red
+    }
+}
+
+impl<S: PortScheduler> PortScheduler for RedScheduler<S> {
+    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> bool {
+        if !self.red.admit(self.inner.backlog()) {
+            return false;
+        }
+        self.inner.enqueue(pkt, now)
+    }
+
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn next_ready(&self, now: Nanos) -> Option<Nanos> {
+        self.inner.next_ready(now)
+    }
+
+    fn backlog(&self) -> usize {
+        self.inner.backlog()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::FifoSched;
+
+    fn pkt(id: u64, flow: u32) -> Packet {
+        Packet::new(id, FlowId(flow), 1_000, Nanos(id))
+    }
+
+    #[test]
+    fn static_threshold_caps_each_flow() {
+        let mut s = ManagedScheduler::new(
+            FifoSched::new(100),
+            SharedBuffer::new(100, Threshold::Static(2)),
+        );
+        assert!(s.enqueue(pkt(0, 1), Nanos(0)));
+        assert!(s.enqueue(pkt(1, 1), Nanos(0)));
+        assert!(!s.enqueue(pkt(2, 1), Nanos(0)), "third of flow 1 dropped");
+        assert!(s.enqueue(pkt(3, 2), Nanos(0)), "other flows unaffected");
+        assert_eq!(s.buffer().drops(), 1);
+        assert_eq!(s.buffer().flow_occupancy(FlowId(1)), 2);
+    }
+
+    #[test]
+    fn dequeue_frees_headroom() {
+        let mut s = ManagedScheduler::new(
+            FifoSched::new(100),
+            SharedBuffer::new(100, Threshold::Static(1)),
+        );
+        assert!(s.enqueue(pkt(0, 1), Nanos(0)));
+        assert!(!s.enqueue(pkt(1, 1), Nanos(0)));
+        s.dequeue(Nanos(1)).expect("packet");
+        assert!(s.enqueue(pkt(2, 1), Nanos(2)), "freed by the dequeue");
+    }
+
+    #[test]
+    fn dynamic_threshold_tightens_under_pressure() {
+        // alpha = 1: a flow may hold at most the current free space.
+        let mut b = SharedBuffer::new(8, Threshold::Dynamic { num: 1, den: 1 });
+        // Flow 1 fills: each admission shrinks the free space; it
+        // converges to half the buffer (used < free).
+        let mut admitted = 0;
+        while b.would_admit(FlowId(1)) {
+            b.on_enqueue(FlowId(1));
+            admitted += 1;
+            assert!(admitted <= 8, "must converge");
+        }
+        assert_eq!(admitted, 4, "alpha=1 -> at most half the buffer");
+        // A *different* flow still gets in: lockout prevented.
+        assert!(b.would_admit(FlowId(2)));
+    }
+
+    #[test]
+    fn dynamic_threshold_prevents_monopoly_lockout() {
+        // The pathology observed with plain tail drop (see EXPERIMENTS.md
+        // F1 note): one flow owning the whole buffer. With dynamic
+        // thresholds a second flow always finds room.
+        let mut s = ManagedScheduler::new(
+            FifoSched::new(1_000),
+            SharedBuffer::new(64, Threshold::Dynamic { num: 1, den: 1 }),
+        );
+        let mut id = 0;
+        for _ in 0..200 {
+            let _ = s.enqueue(pkt(id, 1), Nanos(id));
+            id += 1;
+        }
+        assert!(
+            s.buffer().flow_occupancy(FlowId(1)) <= 32,
+            "hog capped at half"
+        );
+        assert!(s.enqueue(pkt(id, 2), Nanos(id)), "victim admitted");
+    }
+
+    #[test]
+    fn shared_capacity_is_hard_limit() {
+        let mut b = SharedBuffer::new(4, Threshold::Static(100));
+        for f in 0..4u32 {
+            assert!(b.would_admit(FlowId(f)));
+            b.on_enqueue(FlowId(f));
+        }
+        assert!(!b.would_admit(FlowId(9)), "buffer full");
+        b.on_dequeue(FlowId(0));
+        assert!(b.would_admit(FlowId(9)));
+        assert_eq!(b.occupancy(), 3);
+    }
+
+
+    #[test]
+    fn red_admits_below_min_threshold() {
+        let mut red = Red::new(10, 30, 0.1, 42);
+        for _ in 0..100 {
+            assert!(red.admit(5), "avg stays below min_th");
+        }
+        assert_eq!(red.drops(), 0);
+    }
+
+    #[test]
+    fn red_drops_everything_above_max_threshold() {
+        let mut red = Red::new(10, 30, 0.1, 42);
+        // Drive the average above max_th.
+        for _ in 0..2_000 {
+            let _ = red.admit(100);
+        }
+        assert!(red.average() > 30.0);
+        assert!(!red.admit(100));
+        assert!(!red.admit(100));
+    }
+
+    #[test]
+    fn red_drops_probabilistically_in_between() {
+        let mut red = Red::new(10, 30, 0.5, 7);
+        // Hold the instantaneous queue at 20 until the EWMA settles
+        // mid-band, then count drops over a window.
+        for _ in 0..2_000 {
+            let _ = red.admit(20);
+        }
+        let before = red.drops();
+        let mut admitted = 0;
+        for _ in 0..1_000 {
+            if red.admit(20) {
+                admitted += 1;
+            }
+        }
+        let dropped = (red.drops() - before) as usize;
+        assert_eq!(admitted + dropped, 1_000);
+        // Mid-band at max_p=0.5 -> drop prob ~0.25; allow wide slack.
+        assert!(dropped > 100 && dropped < 450, "dropped {dropped}");
+    }
+
+    #[test]
+    fn red_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut red = Red::new(5, 15, 0.3, seed);
+            (0..500).map(|_| red.admit(10)).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seed, different pattern");
+    }
+
+    #[test]
+    fn red_scheduler_keeps_average_queue_near_threshold() {
+        // Persistent 2x overload into a 1000-slot FIFO: tail drop pins
+        // the queue at the limit; RED holds the EWMA near max_th.
+        let mut red_sched = RedScheduler::new(
+            FifoSched::new(1_000),
+            Red::new(50, 150, 0.2, 3),
+        );
+        let mut plain = FifoSched::new(1_000);
+        let mut id = 0u64;
+        for round in 0..5_000u64 {
+            // Two arrivals, one departure per round.
+            for _ in 0..2 {
+                let _ = red_sched.enqueue(pkt(id, (id % 7) as u32), Nanos(round));
+                let _ = plain.enqueue(pkt(id, (id % 7) as u32), Nanos(round));
+                id += 1;
+            }
+            let _ = red_sched.dequeue(Nanos(round));
+            let _ = plain.dequeue(Nanos(round));
+        }
+        assert!(
+            red_sched.backlog() < 300,
+            "RED keeps the queue short: {}",
+            red_sched.backlog()
+        );
+        assert!(plain.backlog() >= 999, "tail drop pins at the limit: {}", plain.backlog());
+    }
+
+    #[test]
+    fn inner_rejection_counts_as_drop() {
+        // Inner scheduler full even though thresholds would admit.
+        let mut s = ManagedScheduler::new(
+            FifoSched::new(1),
+            SharedBuffer::new(100, Threshold::Static(50)),
+        );
+        assert!(s.enqueue(pkt(0, 1), Nanos(0)));
+        assert!(!s.enqueue(pkt(1, 1), Nanos(0)));
+        assert_eq!(s.buffer().drops(), 1);
+        assert_eq!(s.buffer().occupancy(), 1, "occupancy not double-counted");
+    }
+}

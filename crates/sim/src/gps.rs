@@ -1,0 +1,188 @@
+//! A fluid Generalized Processor Sharing (GPS) reference.
+//!
+//! WFQ/STFQ are packetized approximations of GPS \[17\]: an idealised server
+//! that serves every backlogged flow *simultaneously*, in proportion to
+//! its weight. This module simulates the fluid system exactly (piecewise
+//! constant service rates between events) so that experiments can compare
+//! a packetized scheduler's per-flow service against the ideal and bound
+//! the deviation.
+
+use pifo_core::prelude::*;
+use std::collections::HashMap;
+
+/// The fluid GPS server.
+#[derive(Debug, Clone)]
+pub struct FluidGps {
+    rate_bps: u64,
+    weights: HashMap<FlowId, u64>,
+    default_weight: u64,
+    /// Remaining backlog per flow, in *fluid* units of bytes × 2^20 (so
+    /// proportional division stays exact enough at ns granularity).
+    backlog: HashMap<FlowId, u128>,
+    served: HashMap<FlowId, u128>,
+    now: Nanos,
+}
+
+const FLUID: u128 = 1 << 20;
+
+impl FluidGps {
+    /// A GPS server at `rate_bps`.
+    pub fn new(rate_bps: u64) -> Self {
+        assert!(rate_bps > 0, "rate must be positive");
+        FluidGps {
+            rate_bps,
+            weights: HashMap::new(),
+            default_weight: 1,
+            backlog: HashMap::new(),
+            served: HashMap::new(),
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// Set a flow's weight.
+    pub fn set_weight(&mut self, flow: FlowId, w: u64) {
+        assert!(w > 0, "weight must be positive");
+        self.weights.insert(flow, w);
+    }
+
+    fn weight(&self, f: FlowId) -> u64 {
+        self.weights.get(&f).copied().unwrap_or(self.default_weight)
+    }
+
+    /// Advance the fluid system to time `t`, distributing service among
+    /// backlogged flows by weight; flows that drain mid-interval free
+    /// their share for the rest (handled by sub-interval iteration).
+    pub fn advance_to(&mut self, t: Nanos) {
+        assert!(t >= self.now, "time cannot go backwards");
+        let mut remaining_ns = (t - self.now).as_nanos();
+        self.now = t;
+
+        while remaining_ns > 0 {
+            let active: Vec<FlowId> = self
+                .backlog
+                .iter()
+                .filter(|(_, &b)| b > 0)
+                .map(|(f, _)| *f)
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let total_w: u128 = active.iter().map(|f| self.weight(*f) as u128).sum();
+            // Fluid bytes the link serves per ns, ×FLUID: rate_bps/8e9.
+            let link_per_ns = (self.rate_bps as u128) * FLUID / (8 * 1_000_000_000);
+
+            // Earliest drain among active flows at current shares.
+            let mut dt = remaining_ns;
+            for f in &active {
+                let share = link_per_ns * self.weight(*f) as u128 / total_w;
+                if share == 0 {
+                    continue;
+                }
+                let b = self.backlog[f];
+                let need_ns = (b + share - 1) / share;
+                dt = dt.min(need_ns as u64);
+            }
+            let dt = dt.max(1);
+
+            for f in &active {
+                let share = link_per_ns * self.weight(*f) as u128 / total_w;
+                let amount = (share * dt as u128).min(self.backlog[f]);
+                *self.backlog.get_mut(f).unwrap() -= amount;
+                *self.served.entry(*f).or_insert(0) += amount;
+            }
+            remaining_ns -= dt;
+        }
+    }
+
+    /// Inject `bytes` of flow `f` arriving at time `t` (advances first).
+    pub fn arrive(&mut self, f: FlowId, bytes: u64, t: Nanos) {
+        self.advance_to(t);
+        *self.backlog.entry(f).or_insert(0) += bytes as u128 * FLUID;
+    }
+
+    /// Cumulative service of `f` so far, in bytes (rounded down).
+    pub fn served_bytes(&self, f: FlowId) -> u64 {
+        (self.served.get(&f).copied().unwrap_or(0) / FLUID) as u64
+    }
+
+    /// Remaining backlog of `f`, in bytes (rounded up).
+    pub fn backlog_bytes(&self, f: FlowId) -> u64 {
+        ((self.backlog.get(&f).copied().unwrap_or(0) + FLUID - 1) / FLUID) as u64
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let mut g = FluidGps::new(8_000_000_000); // 1 B/ns
+        g.arrive(FlowId(1), 10_000, Nanos(0));
+        g.arrive(FlowId(2), 10_000, Nanos(0));
+        g.advance_to(Nanos(10_000)); // serves 10_000 B total
+        let s1 = g.served_bytes(FlowId(1));
+        let s2 = g.served_bytes(FlowId(2));
+        assert!((s1 as i64 - 5_000).abs() <= 1, "s1={s1}");
+        assert!((s2 as i64 - 5_000).abs() <= 1, "s2={s2}");
+    }
+
+    #[test]
+    fn weights_split_proportionally() {
+        let mut g = FluidGps::new(8_000_000_000);
+        g.set_weight(FlowId(1), 1);
+        g.set_weight(FlowId(2), 3);
+        g.arrive(FlowId(1), 100_000, Nanos(0));
+        g.arrive(FlowId(2), 100_000, Nanos(0));
+        g.advance_to(Nanos(40_000));
+        let s1 = g.served_bytes(FlowId(1)) as f64;
+        let s2 = g.served_bytes(FlowId(2)) as f64;
+        assert!((s2 / s1 - 3.0).abs() < 0.01, "ratio {}", s2 / s1);
+    }
+
+    #[test]
+    fn drained_flow_frees_capacity() {
+        let mut g = FluidGps::new(8_000_000_000);
+        g.arrive(FlowId(1), 1_000, Nanos(0));
+        g.arrive(FlowId(2), 100_000, Nanos(0));
+        // Shared phase at 0.5 B/ns each until flow 1 drains at t=2000
+        // (1000 B each); flow 2 then gets the full 1 B/ns for 8000 ns.
+        g.advance_to(Nanos(10_000));
+        assert_eq!(g.served_bytes(FlowId(1)), 1_000);
+        let s2 = g.served_bytes(FlowId(2)) as i64;
+        assert!((s2 - 9_000).abs() <= 2, "s2={s2}");
+    }
+
+    #[test]
+    fn idle_system_serves_nothing() {
+        let mut g = FluidGps::new(1_000_000);
+        g.advance_to(Nanos(1_000_000));
+        assert_eq!(g.served_bytes(FlowId(1)), 0);
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut g = FluidGps::new(8_000_000_000);
+        for f in 0..5u32 {
+            g.arrive(FlowId(f), 7_777, Nanos(0));
+        }
+        g.advance_to(Nanos::from_millis(1)); // plenty of time
+        for f in 0..5u32 {
+            assert_eq!(g.served_bytes(FlowId(f)), 7_777);
+            assert_eq!(g.backlog_bytes(FlowId(f)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time cannot go backwards")]
+    fn time_monotonicity_enforced() {
+        let mut g = FluidGps::new(1_000);
+        g.advance_to(Nanos(100));
+        g.advance_to(Nanos(50));
+    }
+}

@@ -1,0 +1,42 @@
+//! # pifo-sim
+//!
+//! A deterministic discrete-event network-simulation substrate for the
+//! PIFO reproduction: traffic generators, output ports, multi-hop paths,
+//! metric collectors, the fixed-function baseline schedulers the paper
+//! contrasts against (§1), a fluid GPS reference for fairness ground
+//! truth, and the pFabric reference queue used by the §3.5
+//! inexpressibility demonstration.
+//!
+//! Everything is seeded and single-threaded: identical inputs produce
+//! identical outputs, bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod buffer;
+pub mod events;
+pub mod gps;
+pub mod metrics;
+pub mod pfabric_ref;
+pub mod pipeline;
+pub mod port;
+pub mod scheduler;
+pub mod traffic;
+
+pub use baselines::{DrrSched, FifoSched, SfqSched, ShapedFifo, StrictPrioritySched};
+pub use buffer::{ManagedScheduler, Red, RedScheduler, SharedBuffer, Threshold};
+pub use events::EventQueue;
+pub use gps::FluidGps;
+pub use metrics::{
+    flow_completions, jain_index, latency_stats, throughput, throughput_series, waits_of,
+    FlowCompletion, LatencyStats, ThroughputReport,
+};
+pub use pfabric_ref::PFabricQueue;
+pub use pipeline::{run_pipeline, Hop, PipelineResult};
+pub use port::{run_port, Departure, PortConfig};
+pub use scheduler::{PortScheduler, TreeScheduler};
+pub use traffic::{
+    flow_workload, merge, renumber, CbrSource, FlowSpec, OnOffSource, PoissonSource,
+    SizeDistribution, TrafficSource,
+};

@@ -1,0 +1,271 @@
+//! Measurement utilities: per-flow throughput, latency percentiles, flow
+//! completion times, and Jain's fairness index.
+
+use crate::port::Departure;
+use pifo_core::prelude::*;
+use std::collections::HashMap;
+
+/// Per-flow bytes transmitted inside a window, and the implied rates.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputReport {
+    /// Bytes per flow inside the window.
+    pub bytes: HashMap<FlowId, u64>,
+    /// Window length.
+    pub window: Nanos,
+}
+
+impl ThroughputReport {
+    /// The measured rate of `flow` in bits/second.
+    pub fn rate_bps(&self, flow: FlowId) -> f64 {
+        let b = self.bytes.get(&flow).copied().unwrap_or(0);
+        if self.window == Nanos::ZERO {
+            return 0.0;
+        }
+        (b as f64 * 8.0) / self.window.as_secs_f64()
+    }
+
+    /// The fraction of `total` bytes that went to `flow`.
+    pub fn share(&self, flow: FlowId) -> f64 {
+        let total: u64 = self.bytes.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes.get(&flow).copied().unwrap_or(0) as f64 / total as f64
+    }
+}
+
+/// Tally bytes per flow for departures whose *finish* lies in
+/// `[from, to)`.
+pub fn throughput(departures: &[Departure], from: Nanos, to: Nanos) -> ThroughputReport {
+    let mut bytes: HashMap<FlowId, u64> = HashMap::new();
+    for d in departures {
+        if d.finish >= from && d.finish < to {
+            *bytes.entry(d.packet.flow).or_insert(0) += d.packet.length as u64;
+        }
+    }
+    ThroughputReport {
+        bytes,
+        window: to.saturating_sub(from),
+    }
+}
+
+/// Throughput time-series: per-flow rates in consecutive buckets of
+/// `bucket` length over `[0, horizon)`. Returns one report per bucket.
+pub fn throughput_series(
+    departures: &[Departure],
+    bucket: Nanos,
+    horizon: Nanos,
+) -> Vec<ThroughputReport> {
+    assert!(bucket > Nanos::ZERO, "bucket must be positive");
+    let n = (horizon.as_nanos() + bucket.as_nanos() - 1) / bucket.as_nanos();
+    let mut out = Vec::with_capacity(n as usize);
+    for k in 0..n {
+        let from = Nanos(k * bucket.as_nanos());
+        let to = Nanos(((k + 1) * bucket.as_nanos()).min(horizon.as_nanos()));
+        out.push(throughput(departures, from, to));
+    }
+    out
+}
+
+/// Summary statistics over a set of latency (or any duration) samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean, ns.
+    pub mean_ns: f64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Maximum, ns.
+    pub max_ns: u64,
+}
+
+/// Compute latency statistics from raw nanosecond samples.
+/// Returns `None` for an empty sample set.
+pub fn latency_stats(samples: &[u64]) -> Option<LatencyStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let count = v.len();
+    let sum: u128 = v.iter().map(|&x| x as u128).sum();
+    Some(LatencyStats {
+        count,
+        mean_ns: sum as f64 / count as f64,
+        p50_ns: v[percentile_index(count, 50.0)],
+        p99_ns: v[percentile_index(count, 99.0)],
+        max_ns: v[count - 1],
+    })
+}
+
+/// Index of the p-th percentile in a sorted array of `n` samples
+/// (nearest-rank method).
+fn percentile_index(n: usize, p: f64) -> usize {
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    rank.clamp(1, n) - 1
+}
+
+/// Queueing waits (ns) of all departures of `flow` (or all, if `None`).
+pub fn waits_of(departures: &[Departure], flow: Option<FlowId>) -> Vec<u64> {
+    departures
+        .iter()
+        .filter(|d| flow.map_or(true, |f| d.packet.flow == f))
+        .map(|d| d.wait.as_nanos())
+        .collect()
+}
+
+/// One completed flow: size and completion time.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowCompletion {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Total bytes observed.
+    pub bytes: u64,
+    /// First packet arrival.
+    pub start: Nanos,
+    /// Last packet finish.
+    pub end: Nanos,
+}
+
+impl FlowCompletion {
+    /// Flow completion time.
+    pub fn fct(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Extract flow completion times from a departure log. A flow "completes"
+/// when its last observed packet finishes; flows with packets still queued
+/// at the horizon are omitted when `expected_bytes` (from the workload
+/// spec) says they are incomplete.
+pub fn flow_completions(
+    departures: &[Departure],
+    expected_bytes: &HashMap<FlowId, u64>,
+) -> Vec<FlowCompletion> {
+    let mut agg: HashMap<FlowId, (u64, Nanos, Nanos)> = HashMap::new();
+    for d in departures {
+        let e = agg
+            .entry(d.packet.flow)
+            .or_insert((0, d.packet.arrival, d.finish));
+        e.0 += d.packet.length as u64;
+        e.1 = e.1.min(d.packet.arrival);
+        e.2 = e.2.max(d.finish);
+    }
+    let mut out: Vec<FlowCompletion> = agg
+        .into_iter()
+        .filter(|(f, (bytes, _, _))| expected_bytes.get(f).map_or(true, |&e| *bytes >= e))
+        .map(|(flow, (bytes, start, end))| FlowCompletion {
+            flow,
+            bytes,
+            start,
+            end,
+        })
+        .collect();
+    out.sort_by_key(|c| c.flow);
+    out
+}
+
+/// Jain's fairness index over a set of allocations:
+/// `(Σx)² / (n·Σx²)` — 1.0 is perfectly fair.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(flow: u32, len: u32, arrival: u64, start: u64, finish: u64) -> Departure {
+        Departure {
+            packet: Packet::new(0, FlowId(flow), len, Nanos(arrival)),
+            start: Nanos(start),
+            finish: Nanos(finish),
+            wait: Nanos(start - arrival),
+        }
+    }
+
+    #[test]
+    fn throughput_counts_window_only() {
+        let deps = vec![
+            dep(1, 1_000, 0, 0, 100),
+            dep(1, 1_000, 0, 100, 250),
+            dep(2, 500, 0, 250, 300),
+        ];
+        let r = throughput(&deps, Nanos(0), Nanos(200));
+        assert_eq!(r.bytes[&FlowId(1)], 1_000);
+        assert!(!r.bytes.contains_key(&FlowId(2)));
+    }
+
+    #[test]
+    fn rate_and_share() {
+        let deps = vec![dep(1, 1_000, 0, 0, 100), dep(2, 3_000, 0, 100, 200)];
+        let r = throughput(&deps, Nanos(0), Nanos(1_000));
+        // 1000 B in 1 us = 8 Gb/s.
+        assert!((r.rate_bps(FlowId(1)) - 8e9).abs() < 1.0);
+        assert!((r.share(FlowId(2)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_buckets_cover_horizon() {
+        let deps = vec![dep(1, 100, 0, 0, 50), dep(1, 100, 0, 950, 1_050)];
+        let s = throughput_series(&deps, Nanos(500), Nanos(1_500));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].bytes.get(&FlowId(1)), Some(&100));
+        assert_eq!(s[2].bytes.get(&FlowId(1)), Some(&100));
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let st = latency_stats(&samples).unwrap();
+        assert_eq!(st.count, 100);
+        assert_eq!(st.p50_ns, 50);
+        assert_eq!(st.p99_ns, 99);
+        assert_eq!(st.max_ns, 100);
+        assert!((st.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_empty_is_none() {
+        assert!(latency_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_stats() {
+        let st = latency_stats(&[7]).unwrap();
+        assert_eq!(st.p50_ns, 7);
+        assert_eq!(st.p99_ns, 7);
+        assert_eq!(st.max_ns, 7);
+    }
+
+    #[test]
+    fn completions_filter_incomplete_flows() {
+        let deps = vec![dep(1, 1_000, 0, 0, 100), dep(2, 500, 0, 100, 200)];
+        let mut expected = HashMap::new();
+        expected.insert(FlowId(1), 1_000u64);
+        expected.insert(FlowId(2), 9_999u64); // flow 2 incomplete
+        let fc = flow_completions(&deps, &expected);
+        assert_eq!(fc.len(), 1);
+        assert_eq!(fc[0].flow, FlowId(1));
+        assert_eq!(fc[0].fct(), Nanos(100));
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One flow hogs everything among 4: index -> 1/4.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! A reference implementation of pFabric's queue discipline — the paper's
+//! canonical example of an algorithm a PIFO *cannot* express (§3.5).
+//!
+//! pFabric \[9\] transmits "the earliest packet from the flow with the
+//! shortest remaining processing time". Crucially, a new arrival updates
+//! the urgency of *all* buffered packets of its flow — a PIFO only lets
+//! the arriving element choose its own position. The `repro pfabric`
+//! experiment replays §3.5's exact counterexample against both this
+//! reference and a PIFO programmed with SRPT, exhibiting the divergence.
+
+use pifo_core::prelude::*;
+use std::collections::HashMap;
+
+/// The pFabric reference queue.
+///
+/// Per-flow FIFOs plus a per-flow "remaining processing time" that is
+/// *re-evaluated on every arrival*; dequeue picks the flow with the least
+/// remaining time and returns its earliest packet (no intra-flow
+/// reordering).
+#[derive(Debug, Default)]
+pub struct PFabricQueue {
+    queues: HashMap<FlowId, std::collections::VecDeque<Packet>>,
+    /// Current remaining processing time per flow = the minimum
+    /// `remaining` field over its buffered packets (the freshest signal
+    /// the end host sent).
+    remaining: HashMap<FlowId, u64>,
+    len: usize,
+    /// Arrival counter used to break ties between flows deterministically
+    /// (earliest-arrived head packet first, like pFabric's "earliest").
+    arrival_seq: u64,
+    head_seq: HashMap<FlowId, u64>,
+}
+
+impl PFabricQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a packet; its `remaining` field (set by the end host)
+    /// updates the whole flow's urgency.
+    pub fn enqueue(&mut self, p: Packet) {
+        let f = p.flow;
+        let r = self
+            .remaining
+            .get(&f)
+            .map(|&old| old.min(p.remaining))
+            .unwrap_or(p.remaining);
+        self.remaining.insert(f, r);
+        let q = self.queues.entry(f).or_default();
+        if q.is_empty() {
+            self.head_seq.insert(f, self.arrival_seq);
+        }
+        self.arrival_seq += 1;
+        q.push_back(p);
+        self.len += 1;
+    }
+
+    /// Dequeue per pFabric: least remaining processing time flow first,
+    /// then its earliest packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let f = *self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by_key(|(f, _)| (self.remaining[f], self.head_seq[f]))
+            .map(|(f, _)| f)?;
+        let q = self.queues.get_mut(&f).expect("chosen flow exists");
+        let p = q.pop_front().expect("non-empty");
+        self.len -= 1;
+        if q.is_empty() {
+            self.queues.remove(&f);
+            self.remaining.remove(&f);
+            self.head_seq.remove(&f);
+        }
+        Some(p)
+    }
+
+    /// Buffered packet count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// pi(j): packet of flow i with remaining processing time j.
+    fn p(id: u64, flow: u32, remaining: u64) -> Packet {
+        Packet::new(id, FlowId(flow), 100, Nanos(id)).with_remaining(remaining)
+    }
+
+    /// §3.5's literal sequence:
+    ///  1. Enqueue p0(7).
+    ///  2. Enqueue p1(9), p1(8).
+    ///  3. Departure order now: p0(7), p1(9), p1(8).
+    ///  4. Enqueue p1(6).
+    ///  5. Departure order now: p1(9), p1(8), p1(6), p0(7).
+    #[test]
+    fn section_3_5_counterexample_order() {
+        // Step 3: check the pre-arrival order (on a clone).
+        let build_prefix = || {
+            let mut q = PFabricQueue::new();
+            q.enqueue(p(0, 0, 7));
+            q.enqueue(p(1, 1, 9));
+            q.enqueue(p(2, 1, 8));
+            q
+        };
+        let mut q = build_prefix();
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|x| x.id.0).collect();
+        assert_eq!(order, vec![0, 1, 2], "before p1(6): p0(7), p1(9), p1(8)");
+
+        // Steps 4–5: after p1(6), flow 1 overtakes wholesale.
+        let mut q = build_prefix();
+        q.enqueue(p(3, 1, 6));
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|x| x.id.0).collect();
+        assert_eq!(
+            order,
+            vec![1, 2, 3, 0],
+            "after p1(6): p1(9), p1(8), p1(6), p0(7)"
+        );
+    }
+
+    #[test]
+    fn no_intra_flow_reordering() {
+        let mut q = PFabricQueue::new();
+        q.enqueue(p(0, 1, 10));
+        q.enqueue(p(1, 1, 5));
+        q.enqueue(p(2, 1, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|x| x.id.0).collect();
+        assert_eq!(order, vec![0, 1, 2], "flow packets stay FIFO");
+    }
+
+    #[test]
+    fn shorter_flow_wins_ties_by_arrival() {
+        let mut q = PFabricQueue::new();
+        q.enqueue(p(0, 1, 5));
+        q.enqueue(p(1, 2, 5));
+        assert_eq!(q.dequeue().unwrap().id.0, 0, "tie -> earliest head");
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = PFabricQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(p(0, 0, 3));
+        q.enqueue(p(1, 1, 2));
+        assert_eq!(q.len(), 2);
+        q.dequeue();
+        assert_eq!(q.len(), 1);
+    }
+}

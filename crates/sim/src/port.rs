@@ -1,0 +1,203 @@
+//! A single switch output port: the event loop that drives a
+//! [`PortScheduler`] against a link of fixed rate.
+//!
+//! The port is the boundary between *scheduling decisions* (the
+//! scheduler's job) and *transmission* (the link's): it enqueues arrivals
+//! at their arrival times, asks the scheduler for the next packet whenever
+//! the link is free, and accounts each transmission at the link rate.
+
+use crate::scheduler::PortScheduler;
+use pifo_core::prelude::*;
+
+/// One transmitted packet with its port-level timing.
+#[derive(Debug, Clone)]
+pub struct Departure {
+    /// The packet as it left (fields may have been updated, e.g. LSTF
+    /// slack charging).
+    pub packet: Packet,
+    /// When transmission began.
+    pub start: Nanos,
+    /// When the last bit left (start + length/rate).
+    pub finish: Nanos,
+    /// Queueing wait: `start - packet.arrival`.
+    pub wait: Nanos,
+}
+
+/// Configuration for a port run.
+#[derive(Debug, Clone)]
+pub struct PortConfig {
+    /// Link rate in bits/second.
+    pub rate_bps: u64,
+    /// Simulation horizon: packets not transmitted by then stay queued.
+    pub horizon: Nanos,
+    /// Charge LSTF slack (Fig 6: `slack -= wait`) on each departure.
+    pub charge_lstf_slack: bool,
+}
+
+impl PortConfig {
+    /// A work-conserving port at `rate_bps` with a long horizon.
+    pub fn new(rate_bps: u64) -> Self {
+        PortConfig {
+            rate_bps,
+            horizon: Nanos::from_secs(3_600),
+            charge_lstf_slack: false,
+        }
+    }
+
+    /// Set the simulation horizon.
+    pub fn with_horizon(mut self, horizon: Nanos) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Enable LSTF slack charging at departure.
+    pub fn with_lstf_charging(mut self) -> Self {
+        self.charge_lstf_slack = true;
+        self
+    }
+}
+
+/// Run `arrivals` (sorted by arrival time) through `sched` on a link
+/// described by `cfg`. Returns the departures in transmission order.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not sorted by arrival time.
+pub fn run_port(
+    arrivals: &[Packet],
+    sched: &mut dyn PortScheduler,
+    cfg: &PortConfig,
+) -> Vec<Departure> {
+    assert!(
+        arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "arrivals must be time-sorted"
+    );
+    let mut out = Vec::with_capacity(arrivals.len());
+    let mut i = 0;
+    // The next instant the link could begin a transmission.
+    let mut t = arrivals.first().map(|p| p.arrival).unwrap_or(Nanos::ZERO);
+
+    loop {
+        if t >= cfg.horizon {
+            break;
+        }
+        // Everything that has arrived by `t` enters the scheduler, at its
+        // own arrival time (transactions read `now`).
+        while i < arrivals.len() && arrivals[i].arrival <= t {
+            let p = arrivals[i].clone();
+            let at = p.arrival;
+            sched.enqueue(p, at);
+            i += 1;
+        }
+
+        match sched.dequeue(t) {
+            Some(mut p) => {
+                let finish = t + tx_time(p.length as u64, cfg.rate_bps);
+                let wait = t.saturating_sub(p.arrival);
+                if cfg.charge_lstf_slack {
+                    p.slack -= wait.as_nanos() as i64;
+                }
+                out.push(Departure {
+                    packet: p,
+                    start: t,
+                    finish,
+                    wait,
+                });
+                t = finish;
+            }
+            None => {
+                // Idle: jump to the next arrival or shaping release.
+                let next_arrival = arrivals.get(i).map(|p| p.arrival);
+                let next_ready = sched.next_ready(t);
+                let next = match (next_arrival, next_ready) {
+                    (Some(a), Some(r)) => a.min(r),
+                    (Some(a), None) => a,
+                    (None, Some(r)) => r,
+                    (None, None) => break, // drained
+                };
+                debug_assert!(next > t, "port must make progress (t={t}, next={next})");
+                t = next.max(Nanos(t.as_nanos() + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::FifoSched;
+
+    fn pkts(times_lens: &[(u64, u32)]) -> Vec<Packet> {
+        times_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, l))| Packet::new(i as u64, FlowId(0), l, Nanos(t)))
+            .collect()
+    }
+
+    #[test]
+    fn back_to_back_transmissions_pack_the_link() {
+        // 1000 B at 8 Gb/s = 1000 ns each; both arrive at t=0.
+        let arr = pkts(&[(0, 1_000), (0, 1_000)]);
+        let mut s = FifoSched::new(10);
+        let out = run_port(&arr, &mut s, &PortConfig::new(8_000_000_000));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].start, Nanos(0));
+        assert_eq!(out[0].finish, Nanos(1_000));
+        assert_eq!(out[1].start, Nanos(1_000));
+        assert_eq!(out[1].finish, Nanos(2_000));
+        assert_eq!(out[1].wait, Nanos(1_000));
+    }
+
+    #[test]
+    fn idle_link_waits_for_arrivals() {
+        let arr = pkts(&[(0, 1_000), (10_000, 1_000)]);
+        let mut s = FifoSched::new(10);
+        let out = run_port(&arr, &mut s, &PortConfig::new(8_000_000_000));
+        assert_eq!(out[1].start, Nanos(10_000), "link idles until arrival");
+        assert_eq!(out[1].wait, Nanos::ZERO);
+    }
+
+    #[test]
+    fn horizon_cuts_off() {
+        let arr = pkts(&[(0, 1_000), (0, 1_000), (0, 1_000)]);
+        let mut s = FifoSched::new(10);
+        let cfg = PortConfig::new(8_000_000_000).with_horizon(Nanos(1_500));
+        let out = run_port(&arr, &mut s, &cfg);
+        assert_eq!(out.len(), 2, "third packet would start at 2000 > horizon");
+        assert_eq!(s.backlog(), 1);
+    }
+
+    #[test]
+    fn lstf_charging_updates_slack() {
+        let mut arr = pkts(&[(0, 1_000), (0, 1_000)]);
+        arr[0].slack = 10_000;
+        arr[1].slack = 10_000;
+        let mut s = FifoSched::new(10);
+        let cfg = PortConfig::new(8_000_000_000).with_lstf_charging();
+        let out = run_port(&arr, &mut s, &cfg);
+        assert_eq!(out[0].packet.slack, 10_000, "no wait, no charge");
+        assert_eq!(out[1].packet.slack, 10_000 - 1_000, "charged 1000 ns wait");
+    }
+
+    #[test]
+    fn utilisation_accounts_every_byte() {
+        // 100 packets of 1500 B at 10 Gb/s, all at t=0: the link must
+        // finish at exactly 100 * 1200 ns.
+        let arr: Vec<Packet> = (0..100)
+            .map(|i| Packet::new(i, FlowId(0), 1_500, Nanos(0)))
+            .collect();
+        let mut s = FifoSched::new(1_000);
+        let out = run_port(&arr, &mut s, &PortConfig::new(10_000_000_000));
+        assert_eq!(out.last().unwrap().finish, Nanos(100 * 1_200));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_arrivals_rejected() {
+        let arr = pkts(&[(100, 100), (0, 100)]);
+        let mut s = FifoSched::new(10);
+        let _ = run_port(&arr, &mut s, &PortConfig::new(1_000_000));
+    }
+}

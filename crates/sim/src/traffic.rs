@@ -1,0 +1,519 @@
+//! Deterministic, seeded traffic generation.
+//!
+//! Sources produce finite packet streams (each [`Packet`] carries its
+//! arrival time); [`merge`] interleaves several sources into one
+//! time-sorted arrival list for a port. All randomness comes from a seeded
+//! [`rand::rngs::StdRng`], keeping every experiment reproducible.
+
+use pifo_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A finite stream of packets, already stamped with arrival times.
+pub trait TrafficSource {
+    /// The next packet, or `None` when the source is exhausted.
+    fn next_packet(&mut self) -> Option<Packet>;
+}
+
+/// Merge sources into one arrival-time-sorted vector.
+///
+/// Ties keep source order (stable), so experiments are deterministic.
+pub fn merge(mut sources: Vec<Box<dyn TrafficSource>>) -> Vec<Packet> {
+    let mut all: Vec<Packet> = Vec::new();
+    for s in sources.iter_mut() {
+        while let Some(p) = s.next_packet() {
+            all.push(p);
+        }
+    }
+    all.sort_by_key(|p| p.arrival);
+    all
+}
+
+/// Re-number packet ids to be globally unique after merging (sources
+/// assign ids independently). Call after [`merge`].
+pub fn renumber(packets: &mut [Packet]) {
+    for (i, p) in packets.iter_mut().enumerate() {
+        p.id = PacketId(i as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CBR
+// ---------------------------------------------------------------------------
+
+/// Constant-bit-rate source: fixed-size packets at exact intervals.
+#[derive(Debug)]
+pub struct CbrSource {
+    flow: FlowId,
+    pkt_len: u32,
+    interval: Nanos,
+    next_time: Nanos,
+    end: Nanos,
+    next_id: u64,
+    seq: u64,
+    class: u8,
+}
+
+impl CbrSource {
+    /// A CBR stream for `flow`: `pkt_len`-byte packets at `rate_bps`,
+    /// from `start` (inclusive) to `end` (exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate or length is zero.
+    pub fn new(flow: FlowId, pkt_len: u32, rate_bps: u64, start: Nanos, end: Nanos) -> Self {
+        assert!(rate_bps > 0 && pkt_len > 0, "rate and length must be positive");
+        let interval = tx_time(pkt_len as u64, rate_bps);
+        CbrSource {
+            flow,
+            pkt_len,
+            interval,
+            next_time: start,
+            end,
+            next_id: 0,
+            seq: 0,
+            class: 0,
+        }
+    }
+
+    /// Set the priority class stamped on every packet.
+    pub fn with_class(mut self, class: u8) -> Self {
+        self.class = class;
+        self
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        if self.next_time >= self.end {
+            return None;
+        }
+        let p = Packet::new(self.next_id, self.flow, self.pkt_len, self.next_time)
+            .with_class(self.class)
+            .with_seq_in_flow(self.seq);
+        self.next_id += 1;
+        self.seq += 1;
+        self.next_time = self.next_time + self.interval;
+        Some(p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------------
+
+/// Poisson arrivals: exponentially distributed gaps at a mean packet rate.
+#[derive(Debug)]
+pub struct PoissonSource {
+    flow: FlowId,
+    pkt_len: u32,
+    mean_gap_ns: f64,
+    next_time: Nanos,
+    end: Nanos,
+    rng: StdRng,
+    next_id: u64,
+    seq: u64,
+}
+
+impl PoissonSource {
+    /// Poisson stream for `flow`: `pkt_len`-byte packets at an average of
+    /// `rate_pps` packets/second until `end`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate or length is zero.
+    pub fn new(flow: FlowId, pkt_len: u32, rate_pps: f64, end: Nanos, seed: u64) -> Self {
+        assert!(rate_pps > 0.0 && pkt_len > 0, "rate and length must be positive");
+        PoissonSource {
+            flow,
+            pkt_len,
+            mean_gap_ns: 1e9 / rate_pps,
+            next_time: Nanos::ZERO,
+            end,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            seq: 0,
+        }
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        // Exponential gap via inverse transform.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * self.mean_gap_ns).round() as u64;
+        let t = Nanos(self.next_time.as_nanos() + gap);
+        if t >= self.end {
+            return None;
+        }
+        self.next_time = t;
+        let p = Packet::new(self.next_id, self.flow, self.pkt_len, t).with_seq_in_flow(self.seq);
+        self.next_id += 1;
+        self.seq += 1;
+        Some(p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On/Off bursts
+// ---------------------------------------------------------------------------
+
+/// On/off source: bursts of back-to-back packets separated by idle gaps —
+/// the bursty traffic Stop-and-Go (§3.2) is designed to smooth.
+#[derive(Debug)]
+pub struct OnOffSource {
+    flow: FlowId,
+    pkt_len: u32,
+    burst_pkts: u32,
+    line_gap: Nanos,
+    idle_gap: Nanos,
+    in_burst: u32,
+    next_time: Nanos,
+    end: Nanos,
+    next_id: u64,
+    seq: u64,
+}
+
+impl OnOffSource {
+    /// Bursts of `burst_pkts` packets emitted back-to-back at
+    /// `line_rate_bps`, separated by `idle` time, until `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the sizing parameters is zero.
+    pub fn new(
+        flow: FlowId,
+        pkt_len: u32,
+        burst_pkts: u32,
+        line_rate_bps: u64,
+        idle: Nanos,
+        end: Nanos,
+    ) -> Self {
+        assert!(burst_pkts > 0 && pkt_len > 0, "burst and length must be positive");
+        OnOffSource {
+            flow,
+            pkt_len,
+            burst_pkts,
+            line_gap: tx_time(pkt_len as u64, line_rate_bps),
+            idle_gap: idle,
+            in_burst: 0,
+            next_time: Nanos::ZERO,
+            end,
+            next_id: 0,
+            seq: 0,
+        }
+    }
+}
+
+impl TrafficSource for OnOffSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        if self.next_time >= self.end {
+            return None;
+        }
+        let p = Packet::new(self.next_id, self.flow, self.pkt_len, self.next_time)
+            .with_seq_in_flow(self.seq);
+        self.next_id += 1;
+        self.seq += 1;
+        self.in_burst += 1;
+        if self.in_burst >= self.burst_pkts {
+            self.in_burst = 0;
+            self.next_time = self.next_time + self.idle_gap;
+        } else {
+            self.next_time = self.next_time + self.line_gap;
+        }
+        Some(p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flow workloads (for FCT experiments)
+// ---------------------------------------------------------------------------
+
+/// An empirical flow-size distribution given as a CDF over sizes in bytes.
+#[derive(Debug, Clone)]
+pub struct SizeDistribution {
+    /// `(size_bytes, cumulative_probability)`, increasing in both.
+    points: Vec<(u64, f64)>,
+}
+
+impl SizeDistribution {
+    /// Build from `(size, cdf)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if points are empty, unordered, or the last CDF != 1.0.
+    pub fn new(points: Vec<(u64, f64)>) -> Self {
+        assert!(!points.is_empty(), "distribution needs points");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 <= w[1].0 && w[0].1 <= w[1].1,
+                "CDF points must be non-decreasing"
+            );
+        }
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0"
+        );
+        SizeDistribution { points }
+    }
+
+    /// A web-search-like heavy-tailed distribution (most flows are a few
+    /// KB; a small fraction are multi-MB), in the spirit of the workloads
+    /// that motivate SRPT/pFabric (§1, §3.4).
+    pub fn web_search() -> Self {
+        SizeDistribution::new(vec![
+            (6_000, 0.15),
+            (13_000, 0.30),
+            (19_000, 0.45),
+            (33_000, 0.60),
+            (53_000, 0.70),
+            (133_000, 0.80),
+            (667_000, 0.90),
+            (1_333_000, 0.95),
+            (6_667_000, 0.98),
+            (20_000_000, 1.00),
+        ])
+    }
+
+    /// A data-mining-like distribution: even heavier tail, most flows tiny.
+    pub fn data_mining() -> Self {
+        SizeDistribution::new(vec![
+            (100, 0.50),
+            (1_000, 0.60),
+            (10_000, 0.70),
+            (100_000, 0.80),
+            (1_000_000, 0.90),
+            (10_000_000, 0.95),
+            (100_000_000, 1.00),
+        ])
+    }
+
+    /// Sample a size using inverse-transform over the piecewise CDF.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut prev_size = 0u64;
+        let mut prev_cdf = 0.0;
+        for &(size, cdf) in &self.points {
+            if u <= cdf {
+                // Linear interpolation within the segment.
+                let frac = if cdf > prev_cdf {
+                    (u - prev_cdf) / (cdf - prev_cdf)
+                } else {
+                    1.0
+                };
+                let lo = prev_size as f64;
+                let hi = size as f64;
+                return (lo + frac * (hi - lo)).max(1.0) as u64;
+            }
+            prev_size = size;
+            prev_cdf = cdf;
+        }
+        self.points.last().unwrap().0
+    }
+}
+
+/// A generated flow: id, arrival of its first packet, total size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Flow identifier.
+    pub flow: FlowId,
+    /// Time the flow starts.
+    pub start: Nanos,
+    /// Total bytes.
+    pub size: u64,
+}
+
+/// Generate an open-loop flow workload: flows arrive Poisson at
+/// `flows_per_sec`, sizes from `dist`, each flow's packets injected
+/// back-to-back at `access_rate_bps` in `mtu`-byte packets.
+///
+/// Packets carry `flow_size` and `remaining` so SJF/SRPT/LAS transactions
+/// work out of the box. Returns the packets (time-sorted) and the specs.
+pub fn flow_workload(
+    n_flows: usize,
+    flows_per_sec: f64,
+    dist: &SizeDistribution,
+    access_rate_bps: u64,
+    mtu: u32,
+    seed: u64,
+) -> (Vec<Packet>, Vec<FlowSpec>) {
+    assert!(n_flows > 0 && mtu > 0, "need flows and a positive MTU");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_gap_ns = 1e9 / flows_per_sec;
+    let mut t = 0u64;
+    let mut specs = Vec::with_capacity(n_flows);
+    let mut packets = Vec::new();
+    let gap = tx_time(mtu as u64, access_rate_bps);
+
+    for i in 0..n_flows {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += (-u.ln() * mean_gap_ns).round() as u64;
+        let size = dist.sample(&mut rng);
+        let flow = FlowId(i as u32);
+        specs.push(FlowSpec {
+            flow,
+            start: Nanos(t),
+            size,
+        });
+        let mut remaining = size;
+        let mut pt = Nanos(t);
+        let mut seq = 0u64;
+        let mut attained = 0u64;
+        while remaining > 0 {
+            let len = remaining.min(mtu as u64) as u32;
+            packets.push(
+                Packet::new(0, flow, len, pt)
+                    .with_flow_size(size)
+                    .with_remaining(remaining)
+                    .with_attained(attained)
+                    .with_seq_in_flow(seq),
+            );
+            attained += len as u64;
+            remaining -= len as u64;
+            seq += 1;
+            pt = pt + gap;
+        }
+    }
+    packets.sort_by_key(|p| p.arrival);
+    renumber(&mut packets);
+    (packets, specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_spacing_is_exact() {
+        // 1000 B at 8 Mb/s: 1 ms per packet.
+        let mut s = CbrSource::new(FlowId(1), 1_000, 8_000_000, Nanos::ZERO, Nanos::from_millis(5));
+        let times: Vec<u64> = std::iter::from_fn(|| s.next_packet())
+            .map(|p| p.arrival.as_nanos())
+            .collect();
+        assert_eq!(times, vec![0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]);
+    }
+
+    #[test]
+    fn cbr_respects_start_and_class() {
+        let mut s = CbrSource::new(FlowId(1), 500, 8_000_000, Nanos(100), Nanos(200))
+            .with_class(3);
+        let p = s.next_packet().unwrap();
+        assert_eq!(p.arrival, Nanos(100));
+        assert_eq!(p.class, 3);
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let a: Vec<u64> = {
+            let mut s = PoissonSource::new(FlowId(0), 100, 1e6, Nanos::from_millis(1), 42);
+            std::iter::from_fn(|| s.next_packet()).map(|p| p.arrival.as_nanos()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = PoissonSource::new(FlowId(0), 100, 1e6, Nanos::from_millis(1), 42);
+            std::iter::from_fn(|| s.next_packet()).map(|p| p.arrival.as_nanos()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_right() {
+        // 1e6 pps over 100 ms ≈ 100_000 packets; allow 5%.
+        let mut s = PoissonSource::new(FlowId(0), 100, 1e6, Nanos::from_millis(100), 7);
+        let n = std::iter::from_fn(|| s.next_packet()).count();
+        assert!((90_000..110_000).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn onoff_bursts_then_idles() {
+        let mut s = OnOffSource::new(
+            FlowId(0),
+            1_000,
+            3,
+            8_000_000_000, // 1 B/ns -> 1000 ns per packet
+            Nanos(10_000),
+            Nanos(50_000),
+        );
+        let times: Vec<u64> = std::iter::from_fn(|| s.next_packet())
+            .map(|p| p.arrival.as_nanos())
+            .take(6)
+            .collect();
+        assert_eq!(times, vec![0, 1_000, 2_000, 12_000, 13_000, 14_000]);
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let a = CbrSource::new(FlowId(0), 100, 8_000_000, Nanos(50), Nanos::from_millis(1));
+        let b = CbrSource::new(FlowId(1), 100, 8_000_000, Nanos(0), Nanos::from_millis(1));
+        let mut merged = merge(vec![Box::new(a), Box::new(b)]);
+        renumber(&mut merged);
+        assert!(merged.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Ids unique and dense.
+        for (i, p) in merged.iter().enumerate() {
+            assert_eq!(p.id.0, i as u64);
+        }
+    }
+
+    #[test]
+    fn size_distribution_samples_within_support() {
+        let d = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= 1 && s <= 20_000_000);
+        }
+    }
+
+    #[test]
+    fn size_distribution_median_sane() {
+        // Web-search CDF hits 0.45 at 19KB and 0.60 at 33KB; the median
+        // must land between.
+        let d = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut samples: Vec<u64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!((19_000..=33_000).contains(&median), "median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must end at 1.0")]
+    fn bad_cdf_rejected() {
+        let _ = SizeDistribution::new(vec![(100, 0.5)]);
+    }
+
+    #[test]
+    fn flow_workload_packets_consistent() {
+        let (pkts, specs) = flow_workload(
+            20,
+            10_000.0,
+            &SizeDistribution::web_search(),
+            10_000_000_000,
+            1_500,
+            3,
+        );
+        assert_eq!(specs.len(), 20);
+        // Per-flow totals must match the spec.
+        for spec in &specs {
+            let total: u64 = pkts
+                .iter()
+                .filter(|p| p.flow == spec.flow)
+                .map(|p| p.length as u64)
+                .sum();
+            assert_eq!(total, spec.size, "flow {} bytes", spec.flow);
+        }
+        // remaining must decrease along each flow, ending at last packet len.
+        for spec in &specs {
+            let mut flow_pkts: Vec<&Packet> =
+                pkts.iter().filter(|p| p.flow == spec.flow).collect();
+            flow_pkts.sort_by_key(|p| p.seq_in_flow);
+            let mut expect = spec.size;
+            for p in flow_pkts {
+                assert_eq!(p.remaining, expect);
+                assert_eq!(p.flow_size, spec.size);
+                expect -= p.length as u64;
+            }
+            assert_eq!(expect, 0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # pifo-synth
+//!
+//! The synthesis cost model for §5.3–§5.4: chip area and 1 GHz timing of
+//! the flow scheduler, rank store, PIFO block, and full mesh in a 16 nm
+//! standard-cell library.
+//!
+//! We cannot run a 16 nm synthesis flow, so this crate substitutes a
+//! **parametric model calibrated on the paper's own published numbers**
+//! (see DESIGN.md): SRAM density from \[6\] (0.145 mm²/Mbit), the flow
+//! scheduler's area-vs-flows points of Table 2, the per-parameter
+//! sensitivities quoted in §5.3, and the timing cliff between 2048 and
+//! 4096 flows. The model regenerates Table 1, Table 2 and the §5.4
+//! wiring analysis from first principles plus those calibration anchors;
+//! the scaling *shape* (linear area in flows, comparator cost scaling
+//! with rank width, timing limited by the parallel compare + priority
+//! encode path) is structural, not fitted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod tables;
+
+pub use model::{AreaModel, TimingModel};
+pub use tables::{render_table1, render_table2, render_wiring, Table1, Table2Row};

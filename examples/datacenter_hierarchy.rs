@@ -1,0 +1,91 @@
+//! A datacenter tenant hierarchy with shaping — Figs 3 & 4 of the paper
+//! as a runnable scenario.
+//!
+//! Two tenants share a 10 Gbit/s port 1:9; within each tenant, services
+//! get weighted fair shares; tenant B's traffic is additionally capped at
+//! 1 Gbit/s by a token-bucket shaper (e.g. a purchased rate plan).
+//!
+//! ```sh
+//! cargo run --release --example datacenter_hierarchy
+//! ```
+
+use pifo::prelude::*;
+
+const LINK: u64 = 10_000_000_000;
+
+fn main() {
+    // Flows: tenant A runs services 0 (web, weight 3) and 1 (batch, 7);
+    // tenant B runs services 2 (cache, 4) and 3 (analytics, 6).
+    let mut b = TreeBuilder::new();
+    let root = b.add_root(
+        "port",
+        Box::new(Stfq::new(WeightTable::from_pairs([
+            (FlowId(1), 1), // child node 1 = tenant A
+            (FlowId(2), 9), // child node 2 = tenant B
+        ]))),
+    );
+    let tenant_a = b.add_child(
+        root,
+        "tenantA",
+        Box::new(Stfq::new(WeightTable::from_pairs([
+            (FlowId(0), 3),
+            (FlowId(1), 7),
+        ]))),
+    );
+    let tenant_b = b.add_child(
+        root,
+        "tenantB",
+        Box::new(Stfq::new(WeightTable::from_pairs([
+            (FlowId(2), 4),
+            (FlowId(3), 6),
+        ]))),
+    );
+    // Tenant B bought a 1 Gbit/s plan: shape the whole class (Fig 4).
+    b.set_shaper(tenant_b, Box::new(TokenBucketFilter::new(1_000_000_000, 50_000)));
+    b.buffer_limit(500_000);
+    let tree = b
+        .build(Box::new(move |p: &Packet| {
+            if p.flow.0 < 2 {
+                tenant_a
+            } else {
+                tenant_b
+            }
+        }))
+        .expect("valid tree");
+
+    // Everyone offers 5 Gbit/s of 1500 B packets for 20 ms.
+    let end = Nanos::from_millis(20);
+    let mut sources: Vec<Box<dyn TrafficSource>> = (0..4u32)
+        .map(|f| {
+            Box::new(CbrSource::new(FlowId(f), 1_500, 5_000_000_000, Nanos::ZERO, end))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    let mut arrivals = pifo::sim::merge(sources.drain(..).collect());
+    pifo::sim::renumber(&mut arrivals);
+
+    let mut sched = TreeScheduler::new("tenants", tree);
+    let cfg = PortConfig::new(LINK).with_horizon(end);
+    let deps = run_port(&arrivals, &mut sched, &cfg);
+
+    let window = (Nanos::from_millis(5), end);
+    let report = throughput(&deps, window.0, window.1);
+    println!("tenant hierarchy on a 10 Gbit/s port, tenant B shaped to 1 Gbit/s:");
+    for (flow, label) in [
+        (0u32, "tenant A / web      (w=3)"),
+        (1, "tenant A / batch    (w=7)"),
+        (2, "tenant B / cache    (w=4)"),
+        (3, "tenant B / analytics(w=6)"),
+    ] {
+        println!(
+            "  {label}: {:7.2} Mbit/s",
+            report.rate_bps(FlowId(flow)) / 1e6
+        );
+    }
+    let b_total = (report.rate_bps(FlowId(2)) + report.rate_bps(FlowId(3))) / 1e6;
+    println!("  tenant B total: {b_total:.2} Mbit/s (plan: 1000)");
+    println!(
+        "  tenant A absorbs the rest: {:.2} Mbit/s",
+        (report.rate_bps(FlowId(0)) + report.rate_bps(FlowId(1))) / 1e6
+    );
+}

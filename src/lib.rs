@@ -1,0 +1,51 @@
+//! # pifo — Programmable Packet Scheduling at Line Rate
+//!
+//! Umbrella crate re-exporting the full reproduction of the SIGCOMM 2016
+//! PIFO paper:
+//!
+//! * [`core`] (`pifo-core`) — the push-in first-out queue and the
+//!   scheduling/shaping transaction tree programming model (§2);
+//! * [`algos`] (`pifo-algos`) — every algorithm the paper programs on
+//!   PIFOs: STFQ/WFQ, HPFQ, token buckets, LSTF, Stop-and-Go, min-rate
+//!   guarantees, SJF/SRPT/LAS/EDF, SC-EDF, RCSD, CBQ (§2–§3);
+//! * [`domino`] (`domino-lite`) — the transaction language and atom
+//!   pipeline compiler substrate (§4.1);
+//! * [`hw`] (`pifo-hw`) — the flow-scheduler/rank-store block and PIFO
+//!   mesh hardware model (§4.2, §5.2);
+//! * [`compiler`] (`pifo-compiler`) — scheduling trees → mesh
+//!   configurations (§4.3, Figs 10–11);
+//! * [`sim`] (`pifo-sim`) — deterministic network simulation: traffic,
+//!   ports, baselines, metrics;
+//! * [`synth`] (`pifo-synth`) — the calibrated 16 nm area/timing model
+//!   regenerating Tables 1–2 and the §5.4 wiring analysis.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
+//! figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use domino_lite as domino;
+pub use pifo_algos as algos;
+pub use pifo_compiler as compiler;
+pub use pifo_core as core;
+pub use pifo_hw as hw;
+pub use pifo_sim as sim;
+pub use pifo_synth as synth;
+
+/// Everything most programs need, in one import.
+pub mod prelude {
+    pub use pifo_algos::{
+        build_cbq, build_min_rate_tree, charge_wait, fig3_hpfq, CbqClass, Edf, Fifo, Hierarchy,
+        Las, Lstf, MinRateGuarantee, ScEdf, ServiceCurve, Sjf, Srpt, Stfq, StopAndGo,
+        StrictPriority, TokenBucketFilter, WeightTable,
+    };
+    pub use pifo_core::prelude::*;
+    pub use pifo_sim::{
+        flow_workload, jain_index, latency_stats, run_pipeline, run_port, throughput,
+        CbrSource, Departure, DrrSched, FifoSched, FluidGps, Hop, PFabricQueue, PoissonSource,
+        PortConfig, PortScheduler, SizeDistribution, StrictPrioritySched, TrafficSource,
+        TreeScheduler,
+    };
+}

@@ -1,0 +1,167 @@
+//! Behavioural experiment assertions: run the `repro` experiment drivers
+//! and check the *claims*, not just that they print. These are the
+//! executable counterparts of the EXPERIMENTS.md table.
+//!
+//! Kept at medium scale so `cargo test` stays fast; `repro` runs the
+//! full-scale versions.
+
+use pifo_bench::experiments;
+
+fn grab(report: &str, needle: &str) -> String {
+    report
+        .lines()
+        .find(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("report lacks '{needle}':\n{report}"))
+        .to_string()
+}
+
+#[test]
+fn f1_stfq_is_weight_fair() {
+    let out = experiments::fairness::stfq();
+    let jain_line = grab(&out, "Jain index");
+    let jain: f64 = jain_line
+        .split(':')
+        .nth(1)
+        .and_then(|s| s.trim().split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse jain");
+    assert!(jain > 0.999, "Jain {jain} must be ~1.0");
+}
+
+#[test]
+fn f3_hpfq_shares_match_hierarchy() {
+    let out = experiments::fairness::hpfq();
+    // Phase 2: D must reach ~90% under HPFQ; flat WFQ gives ~84.4%.
+    let d_line = out
+        .lines()
+        .filter(|l| l.trim_start().starts_with("3 "))
+        .nth(1)
+        .expect("phase-2 row for D");
+    let cols: Vec<f64> = d_line
+        .split_whitespace()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let (hpfq, flat) = (cols[1], cols[2]);
+    assert!((hpfq - 90.0).abs() < 2.0, "HPFQ D share {hpfq}");
+    assert!((flat - 84.4).abs() < 2.0, "flat D share {flat}");
+}
+
+#[test]
+fn f4_right_capped_at_10mbps() {
+    let out = experiments::fairness::shaping();
+    for line in out
+        .lines()
+        .filter(|l| l.contains("Mb/s") && l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+    {
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if let Some(i) = cols.iter().position(|c| *c == "Mb/s") {
+            let right: f64 = cols[i + 1].parse().expect("right rate");
+            assert!(
+                (right - 10.0).abs() < 1.0,
+                "Right must be ~10 Mb/s, got {right}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f8_two_level_protects_and_preserves_order() {
+    let out = experiments::fairness::minrate();
+    let two = grab(&out, "2-level PIFO tree");
+    let collapsed = grab(&out, "collapsed 1-level");
+    let fifo = grab(&out, "FIFO");
+
+    let parse_row = |row: &str| -> (f64, u64) {
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        let n = cols.len();
+        (
+            cols[n - 3].parse().expect("flow1 rate"),
+            cols[n - 1].parse().expect("inversions"),
+        )
+    };
+    let (r2, inv2) = parse_row(&two);
+    let (rc, invc) = parse_row(&collapsed);
+    let (rf, _) = parse_row(&fifo);
+    assert!(r2 >= 2.0, "2-level must deliver the 2 Mb/s guarantee, got {r2}");
+    assert!(rc >= 2.0, "collapsed also delivers the rate, got {rc}");
+    assert!(rf < 2.0, "FIFO must fail the guarantee, got {rf}");
+    assert_eq!(inv2, 0, "2-level must never reorder within a flow");
+    assert!(invc > 0, "collapsed must exhibit the Sec 3.3 reordering");
+}
+
+#[test]
+fn f6_lstf_beats_fifo_at_the_tail() {
+    let out = experiments::latency::lstf();
+    let line = grab(&out, "p99 improvement");
+    let factor: f64 = line
+        .split(':')
+        .nth(1)
+        .and_then(|s| s.trim().split('x').next())
+        .and_then(|s| s.parse().ok())
+        .expect("factor");
+    assert!(factor > 1.5, "LSTF must cut p99 by >1.5x, got {factor}x");
+}
+
+#[test]
+fn f7_stop_and_go_framing_holds() {
+    let out = experiments::latency::stopgo();
+    let line = grab(&out, "framing invariant");
+    let frac = line
+        .split(':')
+        .nth(1)
+        .expect("counts")
+        .trim()
+        .split(' ')
+        .next()
+        .expect("x/y");
+    let (num, den) = frac.split_once('/').expect("x/y");
+    assert_eq!(num, den, "every packet departs in the frame after arrival");
+}
+
+#[test]
+fn fct_srpt_beats_fifo_for_small_flows() {
+    let out = experiments::fct::srpt();
+    let line = grab(&out, "better than FIFO");
+    let factor: f64 = line
+        .split("SRPT is ")
+        .nth(1)
+        .and_then(|s| s.split('x').next())
+        .and_then(|s| s.parse().ok())
+        .expect("factor");
+    assert!(factor > 2.0, "SRPT small-flow gain {factor}x");
+}
+
+#[test]
+fn x1_pfabric_counterexample_is_literal() {
+    let out = experiments::limits::pfabric();
+    assert!(out.contains("pFabric reference: p1(9), p1(8), p1(6), p0(7)"));
+    // And the PIFO order must differ (it cannot reproduce it).
+    let pifo_line = grab(&out, "PIFO with SRPT");
+    assert!(!pifo_line.contains("p1(9), p1(8), p1(6), p0(7)"));
+}
+
+#[test]
+fn x2_overclock_reduces_deferrals() {
+    let out = experiments::hwdemo::conflicts();
+    let base = grab(&out, "1.0 GHz");
+    let oc = grab(&out, "1.25 GHz");
+    let deferrals = |l: &str| -> u64 {
+        l.split_whitespace()
+            .last()
+            .and_then(|s| s.parse().ok())
+            .expect("deferral count")
+    };
+    assert!(
+        deferrals(&oc) < deferrals(&base),
+        "overclock must reduce deferrals: {} vs {}",
+        deferrals(&oc),
+        deferrals(&base)
+    );
+}
+
+#[test]
+fn fig2_order_is_the_papers() {
+    let out = experiments::hwdemo::fig2();
+    assert!(out.contains("dequeue order: P3, P1, P2, P4"));
+}

@@ -1,0 +1,293 @@
+//! Cross-crate equivalence: the same scheduling program executed by the
+//! software `ScheduleTree` (pifo-core) and by the compiled hardware mesh
+//! (pifo-compiler + pifo-hw) produces the same schedule.
+//!
+//! Exact element-for-element equality is asserted for transactions with
+//! unique ranks; for STFQ — where cross-flow rank ties are tie-broken
+//! differently by the flow-scheduler decomposition (see
+//! `pifo-hw/tests/equivalence.rs`) — we assert intra-flow FIFO order plus
+//! tightly matching per-flow service counts.
+
+use pifo_algos::{Stfq, WeightTable};
+use pifo_compiler::{compile, instantiate, TreeSpec};
+use pifo_core::prelude::*;
+use pifo_core::transaction::FnTransaction;
+use pifo_hw::BlockConfig;
+use std::collections::HashMap;
+
+fn fifo_tx() -> Box<dyn SchedulingTransaction> {
+    Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx<'_>| {
+        Rank(ctx.now.as_nanos())
+    }))
+}
+
+/// Drive packets through a compiled 2-level mesh, one enqueue per cycle,
+/// then drain with 3-cycle transmit spacing.
+fn mesh_order(
+    spec: &TreeSpec,
+    sched: Vec<Box<dyn SchedulingTransaction>>,
+    classify: impl Fn(&Packet) -> usize + 'static,
+    packets: &[Packet],
+) -> Vec<u64> {
+    let layout = compile(spec).expect("compiles");
+    let shape = (0..layout.placements.len()).map(|_| None).collect();
+    let mut mesh = instantiate(
+        &layout,
+        sched,
+        shape,
+        Box::new(classify),
+        BlockConfig::default(),
+        1,
+    );
+    for p in packets {
+        let mut q = p.clone();
+        q.arrival = mesh.now();
+        mesh.enqueue_packet(q).expect("ports free");
+        mesh.tick();
+    }
+    let mut order = Vec::new();
+    let mut idle = 0;
+    while order.len() < packets.len() {
+        mesh.tick();
+        mesh.tick();
+        mesh.tick();
+        match mesh.transmit() {
+            Ok(Some(p)) => {
+                order.push(p.id.0);
+                idle = 0;
+            }
+            _ => {
+                idle += 1;
+                assert!(idle < 100, "mesh wedged with {} delivered", order.len());
+            }
+        }
+    }
+    order
+}
+
+/// Drive the same packets through a ScheduleTree built with the same
+/// shape and transactions.
+fn tree_order(
+    build: impl FnOnce(&mut TreeBuilder) -> (NodeId, NodeId, NodeId),
+    classify: impl Fn(&Packet) -> NodeId + 'static,
+    packets: &[Packet],
+) -> Vec<u64> {
+    let mut b = TreeBuilder::new();
+    let _ = build(&mut b);
+    let mut tree = b.build(Box::new(classify)).expect("valid");
+    for (i, p) in packets.iter().enumerate() {
+        let mut q = p.clone();
+        q.arrival = Nanos(i as u64);
+        tree.enqueue(q, Nanos(i as u64)).expect("enqueue");
+    }
+    std::iter::from_fn(|| tree.dequeue(Nanos(1 << 40)))
+        .map(|p| p.id.0)
+        .collect()
+}
+
+fn hpfq_packets(n: u64) -> Vec<Packet> {
+    // Deterministic pseudo-random flow choice over 4 flows.
+    let mut state = 0xDEADBEEFu64;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Packet::new(i, FlowId((state % 4) as u32), 1_000, Nanos(i))
+        })
+        .collect()
+}
+
+/// FIFO at every node: ranks are unique (one enqueue per cycle), so the
+/// tree and the mesh must agree element for element.
+#[test]
+fn fifo_hierarchy_tree_equals_mesh() {
+    let packets = hpfq_packets(200);
+
+    let tree = tree_order(
+        |b| {
+            let root = b.add_root("root", fifo_tx());
+            let left = b.add_child(root, "left", fifo_tx());
+            let right = b.add_child(root, "right", fifo_tx());
+            (root, left, right)
+        },
+        |p: &Packet| {
+            if p.flow.0 < 2 {
+                NodeId::from_index(1)
+            } else {
+                NodeId::from_index(2)
+            }
+        },
+        &packets,
+    );
+
+    let mesh = mesh_order(
+        &TreeSpec::hpfq(),
+        vec![fifo_tx(), fifo_tx(), fifo_tx()],
+        |p: &Packet| if p.flow.0 < 2 { 1usize } else { 2 },
+        &packets,
+    );
+
+    assert_eq!(tree, mesh, "FIFO hierarchy must match exactly");
+}
+
+fn stfq_nodes() -> Vec<Box<dyn SchedulingTransaction>> {
+    // Node ids: root=0, left=1, right=2 in both worlds; the root's
+    // child-flows are therefore FlowId(1) and FlowId(2).
+    vec![
+        Box::new(Stfq::new(WeightTable::from_pairs([
+            (FlowId(1), 1),
+            (FlowId(2), 9),
+        ]))),
+        Box::new(Stfq::new(WeightTable::from_pairs([
+            (FlowId(0), 3),
+            (FlowId(1), 7),
+        ]))),
+        Box::new(Stfq::new(WeightTable::from_pairs([
+            (FlowId(2), 4),
+            (FlowId(3), 6),
+        ]))),
+    ]
+}
+
+/// STFQ/HPFQ: intra-flow order identical; per-flow totals identical; and
+/// per-flow counts never drift more than a tie window apart at any prefix.
+#[test]
+fn stfq_hierarchy_tree_close_to_mesh() {
+    let packets = hpfq_packets(400);
+
+    let tree = tree_order(
+        |b| {
+            let mut it = stfq_nodes().into_iter();
+            let root = b.add_root("WFQ_Root", it.next().expect("root"));
+            let left = b.add_child(root, "WFQ_Left", it.next().expect("left"));
+            let right = b.add_child(root, "WFQ_Right", it.next().expect("right"));
+            (root, left, right)
+        },
+        |p: &Packet| {
+            if p.flow.0 < 2 {
+                NodeId::from_index(1)
+            } else {
+                NodeId::from_index(2)
+            }
+        },
+        &packets,
+    );
+    let mesh = mesh_order(
+        &TreeSpec::hpfq(),
+        stfq_nodes(),
+        |p: &Packet| if p.flow.0 < 2 { 1usize } else { 2 },
+        &packets,
+    );
+
+    assert_eq!(tree.len(), mesh.len());
+    let flow_of: HashMap<u64, u32> = packets.iter().map(|p| (p.id.0, p.flow.0)).collect();
+
+    // Intra-flow subsequences identical (FIFO per flow on both sides).
+    for f in 0..4u32 {
+        let a: Vec<u64> = tree.iter().copied().filter(|id| flow_of[id] == f).collect();
+        let b: Vec<u64> = mesh.iter().copied().filter(|id| flow_of[id] == f).collect();
+        assert_eq!(a, b, "flow {f} must drain FIFO in both");
+    }
+
+    // Prefix counts stay within a small tie window.
+    let mut ca = [0i64; 4];
+    let mut cb = [0i64; 4];
+    for (x, y) in tree.iter().zip(mesh.iter()) {
+        ca[flow_of[x] as usize] += 1;
+        cb[flow_of[y] as usize] += 1;
+        for f in 0..4 {
+            assert!(
+                (ca[f] - cb[f]).abs() <= 4,
+                "flow {f} service drifted: tree {} vs mesh {}",
+                ca[f],
+                cb[f]
+            );
+        }
+    }
+}
+
+/// Shaped hierarchy: the tree with a fixed-delay shaper and the mesh
+/// (dedicated shaping block, Fig 11) deliver the same packets with the
+/// same visibility semantics.
+#[test]
+fn shaped_hierarchy_tree_equals_mesh() {
+    struct Delay(u64);
+    impl ShapingTransaction for Delay {
+        fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+            Nanos(ctx.now.as_nanos() + self.0)
+        }
+    }
+
+    let packets = hpfq_packets(60);
+
+    // Tree.
+    let mut b = TreeBuilder::new();
+    let root = b.add_root("root", fifo_tx());
+    let left = b.add_child(root, "left", fifo_tx());
+    let right = b.add_child(root, "right", fifo_tx());
+    b.set_shaper(right, Box::new(Delay(50)));
+    let mut tree = b
+        .build(Box::new(move |p: &Packet| if p.flow.0 < 2 { left } else { right }))
+        .expect("valid");
+    for (i, p) in packets.iter().enumerate() {
+        let mut q = p.clone();
+        q.arrival = Nanos(i as u64);
+        tree.enqueue(q, Nanos(i as u64)).expect("enqueue");
+    }
+    let tree_out: Vec<u64> = std::iter::from_fn(|| tree.dequeue(Nanos(1 << 40)))
+        .map(|p| p.id.0)
+        .collect();
+
+    // Mesh.
+    let layout = compile(&TreeSpec::hierarchies_with_shaping()).expect("compiles");
+    let shape: Vec<Option<Box<dyn ShapingTransaction>>> =
+        vec![None, None, Some(Box::new(Delay(50)))];
+    // Note: in the spec, node 2 (WFQ_Right) is the shaped one; swap the
+    // classifier accordingly (flows 2,3 -> node 2).
+    let mut mesh = instantiate(
+        &layout,
+        vec![fifo_tx(), fifo_tx(), fifo_tx()],
+        shape,
+        Box::new(|p: &Packet| if p.flow.0 < 2 { 1usize } else { 2 }),
+        BlockConfig::default(),
+        1,
+    );
+    for p in &packets {
+        let mut q = p.clone();
+        q.arrival = mesh.now();
+        mesh.enqueue_packet(q).expect("ports free");
+        mesh.tick();
+    }
+    let mut mesh_out = Vec::new();
+    let mut idle = 0;
+    while mesh_out.len() < packets.len() {
+        mesh.tick();
+        mesh.tick();
+        mesh.tick();
+        match mesh.transmit() {
+            Ok(Some(p)) => {
+                mesh_out.push(p.id.0);
+                idle = 0;
+            }
+            _ => {
+                idle += 1;
+                assert!(idle < 200, "mesh wedged at {}", mesh_out.len());
+            }
+        }
+    }
+
+    // Both deliver everything, intra-flow FIFO, and the same packet sets.
+    assert_eq!(tree_out.len(), mesh_out.len());
+    let mut a = tree_out.clone();
+    let mut b2 = mesh_out.clone();
+    a.sort_unstable();
+    b2.sort_unstable();
+    assert_eq!(a, b2, "same packet sets delivered");
+    let flow_of: HashMap<u64, u32> = packets.iter().map(|p| (p.id.0, p.flow.0)).collect();
+    for f in 0..4u32 {
+        let x: Vec<u64> = tree_out.iter().copied().filter(|id| flow_of[id] == f).collect();
+        let y: Vec<u64> = mesh_out.iter().copied().filter(|id| flow_of[id] == f).collect();
+        assert_eq!(x, y, "flow {f} intra-flow order");
+    }
+}
