@@ -27,7 +27,12 @@ impl ClassPriority {
 
 impl SchedulingTransaction for ClassPriority {
     fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
-        Rank(self.prio_of_child.get(&ctx.flow).copied().unwrap_or(u64::MAX))
+        Rank(
+            self.prio_of_child
+                .get(&ctx.flow)
+                .copied()
+                .unwrap_or(u64::MAX),
+        )
     }
 
     fn name(&self) -> &str {

@@ -57,11 +57,7 @@ impl Hierarchy {
         match self {
             Hierarchy::Leaf { .. } => 1,
             Hierarchy::Class { children, .. } => {
-                1 + children
-                    .iter()
-                    .map(|(_, c)| c.depth())
-                    .max()
-                    .unwrap_or(0)
+                1 + children.iter().map(|(_, c)| c.depth()).max().unwrap_or(0)
             }
         }
     }
@@ -317,8 +313,8 @@ mod tests {
         let left = count[0] + count[1];
         let right = count[2] + count[3];
         // Expect ~10 left vs ~90 right.
-        assert!(left >= 5 && left <= 15, "left got {left} of 100");
-        assert!(right >= 85 && right <= 95, "right got {right} of 100");
+        assert!((5..=15).contains(&left), "left got {left} of 100");
+        assert!((85..=95).contains(&right), "right got {right} of 100");
         // Within Right, C:D should be ~4:6 of right's share.
         let c_share = count[2] as f64 / right as f64;
         assert!(

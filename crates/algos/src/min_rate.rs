@@ -189,10 +189,7 @@ mod tests {
     #[test]
     fn two_level_tree_prioritises_under_min_flow() {
         // Flow 1 guaranteed a high rate (always under min); flow 2 hogs.
-        let mut tree = build_min_rate_tree(
-            &[(FlowId(1), 80_000_000_000), (FlowId(2), 8)],
-            1_500,
-        );
+        let mut tree = build_min_rate_tree(&[(FlowId(1), 80_000_000_000), (FlowId(2), 8)], 1_500);
         // Hog floods first; guaranteed flow then sends one packet.
         for i in 0..5 {
             tree.enqueue(Packet::new(i, FlowId(2), 1_000, Nanos(i)), Nanos(i))

@@ -64,7 +64,7 @@ impl ServiceCurve {
                 let deficit = bytes.saturating_sub(s.burst_bytes) as u128;
                 let num = deficit * 8 * 1_000_000_000;
                 let r = s.rate_bps as u128;
-                ((num + r - 1) / r) as u64
+                num.div_ceil(r) as u64
             })
             .max()
             .expect("non-empty")

@@ -184,7 +184,7 @@ mod tests {
         let mut s = Stfq::unweighted();
         let p = Packet::new(0, FlowId(1), 100, Nanos(0));
         s.rank(&ctx(&p, 0)); // finish tag = 100<<8
-        // Virtual time races far ahead while flow 1 is idle.
+                             // Virtual time races far ahead while flow 1 is idle.
         s.on_dequeue(
             Rank(1_000_000),
             &DeqCtx {

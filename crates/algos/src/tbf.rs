@@ -126,8 +126,8 @@ mod tests {
         let mut tbf = TokenBucketFilter::new(8_000_000_000, 1_000); // 1 byte/ns
         let p = Packet::new(0, FlowId(0), 1_000, Nanos(0));
         assert_eq!(tbf.send_time(&ctx(&p, 0)), Nanos(0)); // bucket empty now
-        // After 500 ns, 500 bytes of tokens exist; a 1000 B packet waits
-        // 500 more ns.
+                                                          // After 500 ns, 500 bytes of tokens exist; a 1000 B packet waits
+                                                          // 500 more ns.
         let send = tbf.send_time(&ctx(&p, 500));
         assert_eq!(send, Nanos(1_000));
     }

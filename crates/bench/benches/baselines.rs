@@ -10,8 +10,7 @@ use pifo_sim::{run_port, DrrSched, FifoSched, PortConfig, StrictPrioritySched, T
 fn arrivals(n: u64) -> Vec<Packet> {
     (0..n)
         .map(|i| {
-            Packet::new(i, FlowId((i % 64) as u32), 1_000, Nanos(i * 100))
-                .with_class((i % 4) as u8)
+            Packet::new(i, FlowId((i % 64) as u32), 1_000, Nanos(i * 100)).with_class((i % 4) as u8)
         })
         .collect()
 }

@@ -69,8 +69,8 @@ fn bench_mesh(c: &mut Criterion) {
                 let mut got = 0u64;
                 let mut cycle = 0u64;
                 while got < pkts {
-                    if sent < pkts {
-                        if mesh
+                    if sent < pkts
+                        && mesh
                             .enqueue_packet(Packet::new(
                                 sent,
                                 FlowId((sent % 512) as u32),
@@ -78,9 +78,8 @@ fn bench_mesh(c: &mut Criterion) {
                                 mesh.now(),
                             ))
                             .is_ok()
-                        {
-                            sent += 1;
-                        }
+                    {
+                        sent += 1;
                     }
                     if cycle % 5 == 4 {
                         if let Ok(Some(p)) = mesh.transmit() {

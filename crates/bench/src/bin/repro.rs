@@ -24,10 +24,28 @@ fn main() {
     }
 
     let ids: Vec<String> = if args[0] == "all" {
-        registry().into_iter().map(|(id, _, _)| id.to_string()).collect()
+        registry()
+            .into_iter()
+            .map(|(id, _, _)| id.to_string())
+            .collect()
     } else {
         args
     };
+
+    // Full experiment sweeps belong in release builds; a debug `all`
+    // silently runs orders of magnitude slower as the experiments scale
+    // up. Keep `cargo test -q` (which never runs this binary) and
+    // habit-formed debug invocations fast by refusing, with an escape
+    // hatch for people who really mean it.
+    if ids.len() > 1 && cfg!(debug_assertions) && std::env::var_os("PIFO_REPRO_DEBUG").is_none() {
+        eprintln!(
+            "repro: refusing to run {} experiments in a debug build.\n\
+             Use `cargo run -p pifo-bench --bin repro --release -- all`,\n\
+             run a single experiment id, or set PIFO_REPRO_DEBUG=1 to override.",
+            ids.len()
+        );
+        std::process::exit(2);
+    }
 
     let mut failed = false;
     for id in &ids {

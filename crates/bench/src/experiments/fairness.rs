@@ -81,7 +81,10 @@ pub fn stfq() -> String {
     // Measure the second half (steady state).
     let (lo, hi) = (Nanos::from_millis(5), end);
     let mut s = String::new();
-    let _ = writeln!(s, "F1 (Fig 1) STFQ: 3 backlogged flows, weights 1:2:4, 10 Gbit/s link");
+    let _ = writeln!(
+        s,
+        "F1 (Fig 1) STFQ: 3 backlogged flows, weights 1:2:4, 10 Gbit/s link"
+    );
     let _ = writeln!(
         s,
         "{:>6} {:>7} {:>12} {:>12} {:>12} {:>12}",
@@ -106,7 +109,10 @@ pub fn stfq() -> String {
         );
     }
     let jain = pifo_sim::jain_index(&shares);
-    let _ = writeln!(s, "Jain index of weight-normalised STFQ shares: {jain:.4} (1.0 = ideal)");
+    let _ = writeln!(
+        s,
+        "Jain index of weight-normalised STFQ shares: {jain:.4} (1.0 = ideal)"
+    );
     s
 }
 
@@ -120,13 +126,19 @@ pub fn hpfq() -> String {
     let stop_c = Nanos::from_millis(5);
 
     // Arrivals: A,B,D saturate; C sends 3 Gb/s and stops at 5 ms.
-    let mut sources: Vec<Box<dyn TrafficSource>> = vec![
+    let sources: Vec<Box<dyn TrafficSource>> = vec![
         Box::new(CbrSource::new(FlowId(0), PKT, GBIT10, Nanos::ZERO, end)),
         Box::new(CbrSource::new(FlowId(1), PKT, GBIT10, Nanos::ZERO, end)),
-        Box::new(CbrSource::new(FlowId(2), PKT, 3_000_000_000, Nanos::ZERO, stop_c)),
+        Box::new(CbrSource::new(
+            FlowId(2),
+            PKT,
+            3_000_000_000,
+            Nanos::ZERO,
+            stop_c,
+        )),
         Box::new(CbrSource::new(FlowId(3), PKT, GBIT10, Nanos::ZERO, end)),
     ];
-    let mut arrivals = pifo_sim::merge(sources.drain(..).collect());
+    let mut arrivals = pifo_sim::merge(sources);
     pifo_sim::renumber(&mut arrivals);
 
     let cfg = PortConfig::new(GBIT10).with_horizon(end);
@@ -147,7 +159,10 @@ pub fn hpfq() -> String {
     let deps_f = run_port(&arrivals, &mut wfq, &cfg);
 
     let mut s = String::new();
-    let _ = writeln!(s, "F3 (Fig 3) HPFQ: Left:Right 1:9, A:B 3:7, C:D 4:6, 10 Gbit/s");
+    let _ = writeln!(
+        s,
+        "F3 (Fig 3) HPFQ: Left:Right 1:9, A:B 3:7, C:D 4:6, 10 Gbit/s"
+    );
     let _ = writeln!(
         s,
         "phase 1 (1-4 ms; C sends 3 Gb/s, D absorbs Right's slack) — % of link"
@@ -168,7 +183,10 @@ pub fn hpfq() -> String {
             rate_mbps(&deps_f, f, p1.0, p1.1) / 100.0,
         );
     }
-    let _ = writeln!(s, "phase 2 (C idle, 6-10 ms) — hierarchy keeps C's share inside Right");
+    let _ = writeln!(
+        s,
+        "phase 2 (C idle, 6-10 ms) — hierarchy keeps C's share inside Right"
+    );
     let _ = writeln!(
         s,
         "{:>6} {:>12} {:>12} {:>12}",
@@ -236,17 +254,43 @@ pub fn shaping() -> String {
         b.set_shaper(right, Box::new(TokenBucketFilter::new(10_000_000, 15_000)));
         b.buffer_limit(200_000);
         let tree = b
-            .build(Box::new(move |p: &Packet| if p.flow.0 < 2 { left } else { right }))
+            .build(Box::new(
+                move |p: &Packet| if p.flow.0 < 2 { left } else { right },
+            ))
             .expect("valid tree");
 
         // Left flows offer 5 Gb/s each; Right flows offer `offered`/2 each.
-        let mut sources: Vec<Box<dyn TrafficSource>> = vec![
-            Box::new(CbrSource::new(FlowId(0), PKT, 5_000_000_000, Nanos::ZERO, end)),
-            Box::new(CbrSource::new(FlowId(1), PKT, 5_000_000_000, Nanos::ZERO, end)),
-            Box::new(CbrSource::new(FlowId(2), PKT, offered / 2, Nanos::ZERO, end)),
-            Box::new(CbrSource::new(FlowId(3), PKT, offered / 2, Nanos::ZERO, end)),
+        let sources: Vec<Box<dyn TrafficSource>> = vec![
+            Box::new(CbrSource::new(
+                FlowId(0),
+                PKT,
+                5_000_000_000,
+                Nanos::ZERO,
+                end,
+            )),
+            Box::new(CbrSource::new(
+                FlowId(1),
+                PKT,
+                5_000_000_000,
+                Nanos::ZERO,
+                end,
+            )),
+            Box::new(CbrSource::new(
+                FlowId(2),
+                PKT,
+                offered / 2,
+                Nanos::ZERO,
+                end,
+            )),
+            Box::new(CbrSource::new(
+                FlowId(3),
+                PKT,
+                offered / 2,
+                Nanos::ZERO,
+                end,
+            )),
         ];
-        let mut arrivals = pifo_sim::merge(sources.drain(..).collect());
+        let mut arrivals = pifo_sim::merge(sources);
         pifo_sim::renumber(&mut arrivals);
 
         let mut sched = TreeScheduler::new("HPFQ+TBF", tree);
@@ -263,7 +307,10 @@ pub fn shaping() -> String {
             left_rate
         );
     }
-    let _ = writeln!(s, "(paper: Right held at 10 Mbit/s regardless of offered load)");
+    let _ = writeln!(
+        s,
+        "(paper: Right held at 10 Mbit/s regardless of offered load)"
+    );
     s
 }
 
@@ -276,11 +323,11 @@ pub fn minrate() -> String {
     // Flow 1 is guaranteed 2 Mb/s but offers 4 — it oscillates between
     // under- and over-minimum while queued, which is exactly the §3.3
     // reordering trap for the collapsed transaction.
-    let mut sources: Vec<Box<dyn TrafficSource>> = vec![
+    let sources: Vec<Box<dyn TrafficSource>> = vec![
         Box::new(CbrSource::new(FlowId(1), PKT, 4_000_000, Nanos::ZERO, end)),
         Box::new(CbrSource::new(FlowId(2), PKT, 20_000_000, Nanos::ZERO, end)), // hog
     ];
-    let mut arrivals = pifo_sim::merge(sources.drain(..).collect());
+    let mut arrivals = pifo_sim::merge(sources);
     pifo_sim::renumber(&mut arrivals);
     let cfg = PortConfig::new(link).with_horizon(end);
 

@@ -5,8 +5,10 @@
 
 use pifo_algos::{Sjf, Srpt};
 use pifo_core::prelude::*;
-use pifo_sim::{flow_completions, flow_workload, run_port, FifoSched, PortConfig, SizeDistribution,
-    TreeScheduler};
+use pifo_sim::{
+    flow_completions, flow_workload, run_port, FifoSched, PortConfig, SizeDistribution,
+    TreeScheduler,
+};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -37,8 +39,17 @@ fn run_one(
         .filter(|c| c.bytes >= 100_000)
         .map(|c| c.fct().as_nanos() as f64 / 1e6)
         .collect();
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
-    let all: Vec<f64> = fcts.iter().map(|c| c.fct().as_nanos() as f64 / 1e6).collect();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let all: Vec<f64> = fcts
+        .iter()
+        .map(|c| c.fct().as_nanos() as f64 / 1e6)
+        .collect();
     (mean(&all), mean(&small), mean(&large), fcts.len())
 }
 

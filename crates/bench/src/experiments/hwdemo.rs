@@ -13,7 +13,13 @@ pub fn fig2() -> String {
     let leaf_rank = |ranks: &'static [(u64, u64)]| {
         Box::new(FnTransaction::new("fixed", move |ctx: &EnqCtx<'_>| {
             let id = ctx.packet.id.0;
-            Rank(ranks.iter().find(|(p, _)| *p == id).map(|(_, r)| *r).expect("known"))
+            Rank(
+                ranks
+                    .iter()
+                    .find(|(p, _)| *p == id)
+                    .map(|(_, r)| *r)
+                    .expect("known"),
+            )
         })) as Box<dyn SchedulingTransaction>
     };
     let root_rank = Box::new(FnTransaction::new("fixed", |ctx: &EnqCtx<'_>| {
@@ -30,7 +36,9 @@ pub fn fig2() -> String {
     let left = b.add_child(root, "L", leaf_rank(&[(3, 0), (4, 1)]));
     let right = b.add_child(root, "R", leaf_rank(&[(1, 0), (2, 1)]));
     let mut tree = b
-        .build(Box::new(move |p: &Packet| if p.flow.0 == 0 { left } else { right }))
+        .build(Box::new(
+            move |p: &Packet| if p.flow.0 == 0 { left } else { right },
+        ))
         .expect("valid");
 
     for (id, flow) in [(3u64, 0u32), (1, 1), (2, 1), (4, 0)] {
@@ -38,14 +46,21 @@ pub fn fig2() -> String {
             .expect("enqueue");
     }
     let mut s = String::new();
-    let _ = writeln!(s, "F2 (Fig 2): PIFO trees encode the instantaneous scheduling order");
+    let _ = writeln!(
+        s,
+        "F2 (Fig 2): PIFO trees encode the instantaneous scheduling order"
+    );
     let _ = writeln!(s, "root PIFO: {}", tree.debug_pifo(root));
     let _ = writeln!(s, "L PIFO:    {}", tree.debug_pifo(left));
     let _ = writeln!(s, "R PIFO:    {}", tree.debug_pifo(right));
     let order: Vec<String> = std::iter::from_fn(|| tree.dequeue(Nanos(100)))
         .map(|p| format!("P{}", p.id.0))
         .collect();
-    let _ = writeln!(s, "dequeue order: {} (paper: P3, P1, P2, P4)", order.join(", "));
+    let _ = writeln!(
+        s,
+        "dequeue order: {} (paper: P3, P1, P2, P4)",
+        order.join(", ")
+    );
     s
 }
 
@@ -126,7 +141,10 @@ pub fn block() -> String {
         s,
         "flow-scheduler occupancy peaked at {max_active} entries (sorting {n_flows} heads, not {n_elems} packets)"
     );
-    let _ = writeln!(s, "rank-store occupancy before drain: {stored} (SRAM FIFOs)");
+    let _ = writeln!(
+        s,
+        "rank-store occupancy before drain: {stored} (SRAM FIFOs)"
+    );
     let _ = writeln!(s, "drained: {drained}");
     let _ = writeln!(
         s,
@@ -198,20 +216,26 @@ pub fn conflicts() -> String {
             id += 1;
             mesh.tick();
         }
-        (mesh.stats().shaping_releases, mesh.stats().shaping_deferrals)
+        (
+            mesh.stats().shaping_releases,
+            mesh.stats().shaping_deferrals,
+        )
     };
 
     let (rel_base, def_base) = run(None);
     let (rel_oc, def_oc) = run(Some(4));
     let mut s = String::new();
-    let _ = writeln!(s, "X2 (Sec 4.3): shaping vs scheduling port conflicts on the mesh");
+    let _ = writeln!(
+        s,
+        "X2 (Sec 4.3): shaping vs scheduling port conflicts on the mesh"
+    );
+    let _ = writeln!(s, "{:<18} {:>10} {:>10}", "clock", "releases", "deferrals");
+    let _ = writeln!(s, "{:<18} {:>10} {:>10}", "1.0 GHz", rel_base, def_base);
     let _ = writeln!(
         s,
         "{:<18} {:>10} {:>10}",
-        "clock", "releases", "deferrals"
+        "1.25 GHz (bonus)", rel_oc, def_oc
     );
-    let _ = writeln!(s, "{:<18} {:>10} {:>10}", "1.0 GHz", rel_base, def_base);
-    let _ = writeln!(s, "{:<18} {:>10} {:>10}", "1.25 GHz (bonus)", rel_oc, def_oc);
     let _ = writeln!(
         s,
         "(scheduling always wins the port; over-clocking gives shaping spare slots, Sec 4.3)"
@@ -280,17 +304,16 @@ pub fn fivelevel() -> String {
     }
 
     let mut s = String::new();
-    let _ = writeln!(s, "X3 (Sec 1): 5-level programmable hierarchy on a 5-block mesh");
+    let _ = writeln!(
+        s,
+        "X3 (Sec 1): 5-level programmable hierarchy on a 5-block mesh"
+    );
     s.push_str(&layout.render());
     let _ = writeln!(
         s,
         "packets: {sent} in / {got} out across {n_flows} flows, {cycle} cycles, {enq_retries} enqueue retries"
     );
-    let _ = writeln!(
-        s,
-        "stats: {:?}",
-        mesh.stats()
-    );
+    let _ = writeln!(s, "stats: {:?}", mesh.stats());
     let _ = writeln!(
         s,
         "(1 enqueue/cycle + 1 transmit per 5 cycles — the 64x10G / 100G envelope of Sec 5.1-5.2)"

@@ -8,7 +8,10 @@ use std::fmt::Write as _;
 /// Analyze all figure programs and sweep the atom ladder for STFQ.
 pub fn domino() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "X4 (Sec 4.1): transactions -> atom pipelines (domino-lite)");
+    let _ = writeln!(
+        s,
+        "X4 (Sec 4.1): transactions -> atom pipelines (domino-lite)"
+    );
     let _ = writeln!(
         s,
         "{:<32} {:>12} {:>8} {:>7}  clusters",
@@ -17,7 +20,11 @@ pub fn domino() -> String {
     for (name, src) in figures::all_figures() {
         let prog = parse(src).expect("figure parses");
         let r = analyze(&prog).expect("figure analyzes");
-        let clusters: Vec<String> = r.clusters.iter().map(|c| format!("{{{}}}", c.join(","))).collect();
+        let clusters: Vec<String> = r
+            .clusters
+            .iter()
+            .map(|c| format!("{{{}}}", c.join(",")))
+            .collect();
         let _ = writeln!(
             s,
             "{:<32} {:>12} {:>8} {:>7}  {}",

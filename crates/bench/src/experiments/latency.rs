@@ -66,8 +66,24 @@ pub fn lstf() -> String {
         res.e2e_delay.values().copied().collect()
     };
 
-    let lstf_delays = run(&|| Box::new(TreeScheduler::new("LSTF", single_node_tree(Box::new(Lstf), 100_000))), true);
-    let fifo_delays = run(&|| Box::new(TreeScheduler::new("FIFO", single_node_tree(Box::new(Fifo), 100_000))), false);
+    let lstf_delays = run(
+        &|| {
+            Box::new(TreeScheduler::new(
+                "LSTF",
+                single_node_tree(Box::new(Lstf), 100_000),
+            ))
+        },
+        true,
+    );
+    let fifo_delays = run(
+        &|| {
+            Box::new(TreeScheduler::new(
+                "FIFO",
+                single_node_tree(Box::new(Fifo), 100_000),
+            ))
+        },
+        false,
+    );
 
     let ls = latency_stats(&lstf_delays).expect("packets delivered");
     let fs = latency_stats(&fifo_delays).expect("packets delivered");
@@ -170,7 +186,12 @@ pub fn stopgo() -> String {
         "F7 (Fig 7) Stop-and-Go: bursts of 10 pkts, T = {} us frames, 1 Gb/s",
         frame.as_nanos() / 1000
     );
-    let _ = writeln!(s, "packets delivered: {} (FIFO: {})", deps_sg.len(), deps_fifo.len());
+    let _ = writeln!(
+        s,
+        "packets delivered: {} (FIFO: {})",
+        deps_sg.len(),
+        deps_fifo.len()
+    );
     let _ = writeln!(
         s,
         "framing invariant (arrive frame k -> depart frame k+1): {}/{} packets",

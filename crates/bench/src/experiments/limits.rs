@@ -26,7 +26,9 @@ pub fn pfabric() -> String {
     for p in &seq {
         pf.enqueue(p.clone());
     }
-    let pf_order: Vec<String> = std::iter::from_fn(|| pf.dequeue()).map(|p| label(&p)).collect();
+    let pf_order: Vec<String> = std::iter::from_fn(|| pf.dequeue())
+        .map(|p| label(&p))
+        .collect();
 
     // PIFO + SRPT transaction.
     let mut b = TreeBuilder::new();
@@ -35,11 +37,15 @@ pub fn pfabric() -> String {
     for p in &seq {
         tree.enqueue(p.clone(), p.arrival).expect("enqueue");
     }
-    let pifo_order: Vec<String> =
-        std::iter::from_fn(|| tree.dequeue(Nanos(100))).map(|p| label(&p)).collect();
+    let pifo_order: Vec<String> = std::iter::from_fn(|| tree.dequeue(Nanos(100)))
+        .map(|p| label(&p))
+        .collect();
 
     let mut s = String::new();
-    let _ = writeln!(s, "X1 (Sec 3.5): pFabric's wholesale reordering is beyond a PIFO");
+    let _ = writeln!(
+        s,
+        "X1 (Sec 3.5): pFabric's wholesale reordering is beyond a PIFO"
+    );
     let _ = writeln!(s, "arrivals: p0(7), p1(9), p1(8), then p1(6)");
     let _ = writeln!(s, "pFabric reference: {}", pf_order.join(", "));
     let _ = writeln!(s, "   (paper's order:  p1(9), p1(8), p1(6), p0(7))");

@@ -8,27 +8,102 @@ pub mod latency;
 pub mod limits;
 pub mod synth_tables;
 
+/// One experiment: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
 /// All experiments: `(id, description, runner)`.
-pub fn registry() -> Vec<(&'static str, &'static str, fn() -> String)> {
+pub fn registry() -> Vec<Experiment> {
     vec![
-        ("table1", "Table 1: mesh area breakdown", synth_tables::table1 as fn() -> String),
-        ("table2", "Table 2: flow-scheduler area & timing vs #flows", synth_tables::table2),
-        ("wiring", "Sec 5.4: full-mesh wiring bits", synth_tables::wiring),
-        ("compile", "Figs 10-11: tree -> mesh compilation", synth_tables::compile_figs),
-        ("fig2", "Fig 2: PIFO tree encodes scheduling order", hwdemo::fig2),
-        ("stfq", "Fig 1: STFQ weighted fairness vs GPS & DRR", fairness::stfq),
-        ("hpfq", "Fig 3: HPFQ hierarchical shares (vs flat WFQ)", fairness::hpfq),
-        ("shaping", "Fig 4: Hierarchies with Shaping (10 Mbit/s cap)", fairness::shaping),
-        ("minrate", "Fig 8: min-rate guarantees (2-level vs collapsed)", fairness::minrate),
-        ("buffers", "Sec 6.1: buffer thresholds fix tail-drop lockout", fairness::buffers),
-        ("lstf", "Fig 6: LSTF tail latency across 3 hops", latency::lstf),
-        ("stopgo", "Fig 7: Stop-and-Go framing & delay bound", latency::stopgo),
-        ("srpt", "Sec 1/3.4: SRPT/SJF vs FIFO flow completion times", fct::srpt),
-        ("block", "Fig 12-13: PIFO block at Trident scale", hwdemo::block),
-        ("conflicts", "Sec 4.3: shaping conflicts & 1.25x overclock", hwdemo::conflicts),
-        ("fivelevel", "Sec 1: 5-level programmable hierarchy on the mesh", hwdemo::fivelevel),
-        ("pfabric", "Sec 3.5: the pFabric inexpressibility counterexample", limits::pfabric),
-        ("domino", "Sec 4.1: transactions -> atom pipelines", language::domino),
+        (
+            "table1",
+            "Table 1: mesh area breakdown",
+            synth_tables::table1 as fn() -> String,
+        ),
+        (
+            "table2",
+            "Table 2: flow-scheduler area & timing vs #flows",
+            synth_tables::table2,
+        ),
+        (
+            "wiring",
+            "Sec 5.4: full-mesh wiring bits",
+            synth_tables::wiring,
+        ),
+        (
+            "compile",
+            "Figs 10-11: tree -> mesh compilation",
+            synth_tables::compile_figs,
+        ),
+        (
+            "fig2",
+            "Fig 2: PIFO tree encodes scheduling order",
+            hwdemo::fig2,
+        ),
+        (
+            "stfq",
+            "Fig 1: STFQ weighted fairness vs GPS & DRR",
+            fairness::stfq,
+        ),
+        (
+            "hpfq",
+            "Fig 3: HPFQ hierarchical shares (vs flat WFQ)",
+            fairness::hpfq,
+        ),
+        (
+            "shaping",
+            "Fig 4: Hierarchies with Shaping (10 Mbit/s cap)",
+            fairness::shaping,
+        ),
+        (
+            "minrate",
+            "Fig 8: min-rate guarantees (2-level vs collapsed)",
+            fairness::minrate,
+        ),
+        (
+            "buffers",
+            "Sec 6.1: buffer thresholds fix tail-drop lockout",
+            fairness::buffers,
+        ),
+        (
+            "lstf",
+            "Fig 6: LSTF tail latency across 3 hops",
+            latency::lstf,
+        ),
+        (
+            "stopgo",
+            "Fig 7: Stop-and-Go framing & delay bound",
+            latency::stopgo,
+        ),
+        (
+            "srpt",
+            "Sec 1/3.4: SRPT/SJF vs FIFO flow completion times",
+            fct::srpt,
+        ),
+        (
+            "block",
+            "Fig 12-13: PIFO block at Trident scale",
+            hwdemo::block,
+        ),
+        (
+            "conflicts",
+            "Sec 4.3: shaping conflicts & 1.25x overclock",
+            hwdemo::conflicts,
+        ),
+        (
+            "fivelevel",
+            "Sec 1: 5-level programmable hierarchy on the mesh",
+            hwdemo::fivelevel,
+        ),
+        (
+            "pfabric",
+            "Sec 3.5: the pFabric inexpressibility counterexample",
+            limits::pfabric,
+        ),
+        (
+            "domino",
+            "Sec 4.1: transactions -> atom pipelines",
+            language::domino,
+        ),
     ]
 }
 

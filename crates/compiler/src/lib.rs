@@ -154,6 +154,7 @@ pub fn compile(spec: &TreeSpec) -> Result<MeshLayout, CompileError> {
 
     // Levels (with cycle detection).
     let mut level = vec![usize::MAX; n];
+    #[allow(clippy::needless_range_loop)] // `i` doubles as the walk start and the `level` index
     for i in 0..n {
         let mut cur = i;
         let mut depth = 0usize;
@@ -304,8 +305,16 @@ pub fn instantiate(
     block_cfg: BlockConfig,
     cycle_ns: u64,
 ) -> Mesh {
-    assert_eq!(layout.placements.len(), sched.len(), "one sched tx per node");
-    assert_eq!(layout.placements.len(), shape.len(), "one shape slot per node");
+    assert_eq!(
+        layout.placements.len(),
+        sched.len(),
+        "one sched tx per node"
+    );
+    assert_eq!(
+        layout.placements.len(),
+        shape.len(),
+        "one shape slot per node"
+    );
     for (i, p) in layout.placements.iter().enumerate() {
         assert_eq!(
             p.shaping.is_some(),
@@ -390,7 +399,11 @@ mod tests {
         // Two roots.
         assert!(compile(&TreeSpec::new(vec![("a", None, false), ("b", None, false)])).is_err());
         // Parent out of range.
-        assert!(compile(&TreeSpec::new(vec![("a", None, false), ("b", Some(9), false)])).is_err());
+        assert!(compile(&TreeSpec::new(vec![
+            ("a", None, false),
+            ("b", Some(9), false)
+        ]))
+        .is_err());
         // Shaper on root.
         assert!(matches!(
             compile(&TreeSpec::new(vec![("a", None, true)])),
@@ -406,7 +419,10 @@ mod tests {
             ("a", Some(2), false),
             ("b", Some(1), false),
         ]);
-        assert!(matches!(compile(&spec), Err(CompileError::MalformedTree(_))));
+        assert!(matches!(
+            compile(&spec),
+            Err(CompileError::MalformedTree(_))
+        ));
     }
 
     #[test]

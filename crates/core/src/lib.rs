@@ -61,5 +61,7 @@ pub mod prelude {
     pub use crate::transaction::{
         DeqCtx, EnqCtx, FnTransaction, SchedulingTransaction, ShapingTransaction,
     };
-    pub use crate::tree::{Classifier, Element, FlowFn, NodeId, ScheduleTree, TreeBuilder, TreeError};
+    pub use crate::tree::{
+        Classifier, Element, FlowFn, NodeId, ScheduleTree, TreeBuilder, TreeError,
+    };
 }

@@ -118,7 +118,7 @@ pub fn tx_time(bytes: u64, rate_bps: u64) -> Nanos {
     assert!(rate_bps > 0, "link rate must be positive");
     let bits = (bytes as u128) * 8 * 1_000_000_000;
     let rate = rate_bps as u128;
-    Nanos(((bits + rate - 1) / rate) as u64)
+    Nanos(bits.div_ceil(rate) as u64)
 }
 
 /// Number of whole bytes a link of `rate_bps` bits/second can serve in the

@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn fn_transaction_reads_fields() {
-        let mut t = FnTransaction::new("len-prio", |ctx: &EnqCtx<'_>| Rank(ctx.packet.length as u64));
+        let mut t = FnTransaction::new("len-prio", |ctx: &EnqCtx<'_>| {
+            Rank(ctx.packet.length as u64)
+        });
         let p = Packet::new(0, FlowId(1), 700, Nanos(5));
         let ctx = EnqCtx {
             packet: &p,

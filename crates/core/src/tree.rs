@@ -603,13 +603,15 @@ mod tests {
         let left = b.add_child(root, "L", leaf_rank(&[(3, 0), (4, 1)]));
         let right = b.add_child(root, "R", leaf_rank(&[(1, 0), (2, 1)]));
         let mut tree = b
-            .build(Box::new(move |p: &Packet| {
-                if p.flow.0 == 0 {
-                    left
-                } else {
-                    right
-                }
-            }))
+            .build(Box::new(
+                move |p: &Packet| {
+                    if p.flow.0 == 0 {
+                        left
+                    } else {
+                        right
+                    }
+                },
+            ))
             .unwrap();
 
         // Enqueue in the order P3, P1, P2, P4 (flow 0 = L, flow 1 = R).
@@ -711,7 +713,11 @@ mod tests {
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.shaped_len(), 1);
         assert_eq!(tree.sched_pifo_len(leaf), 1);
-        assert_eq!(tree.sched_pifo_len(root), 0, "root must not see the ref yet");
+        assert_eq!(
+            tree.sched_pifo_len(root),
+            0,
+            "root must not see the ref yet"
+        );
 
         // Before the release time: nothing to dequeue.
         assert!(tree.dequeue(Nanos(50)).is_none());
@@ -790,7 +796,9 @@ mod tests {
         let l = b.add_child(root, "L", fifo_tx());
         let r = b.add_child(root, "R", fifo_tx());
         let mut tree = b
-            .build(Box::new(move |p: &Packet| if p.flow.0 == 0 { l } else { r }))
+            .build(Box::new(
+                move |p: &Packet| if p.flow.0 == 0 { l } else { r },
+            ))
             .unwrap();
         for i in 0..10 {
             tree.enqueue(pkt(i, (i % 2) as u32, i), Nanos(i)).unwrap();

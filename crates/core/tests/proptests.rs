@@ -70,6 +70,46 @@ proptest! {
         }
     }
 
+    /// Heap and sorted-array PIFOs also agree when *bounded*: under any
+    /// interleaving of `try_push`/`pop` against the same capacity, both
+    /// admit and reject identically and dequeue in the same order.
+    #[test]
+    fn heap_equals_sorted_array_bounded(
+        cap in 1usize..16,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let mut a: SortedArrayPifo<u32> = SortedArrayPifo::with_capacity(cap);
+        let mut b: HeapPifo<u32> = HeapPifo::with_capacity(cap);
+        prop_assert_eq!(a.capacity(), Some(cap));
+        prop_assert_eq!(b.capacity(), Some(cap));
+        for op in ops {
+            match op {
+                Op::Push(r, v) => {
+                    let ra = a.try_push(Rank(r), v);
+                    let rb = b.try_push(Rank(r), v);
+                    prop_assert_eq!(ra.is_ok(), rb.is_ok(), "admission must agree");
+                    if let Err(e) = ra {
+                        // The rejected element comes back intact.
+                        prop_assert_eq!(e.item, v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(a.pop(), b.pop());
+                }
+            }
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert!(a.len() <= cap);
+        }
+        // Drain the tail in lockstep.
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            prop_assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
     /// len() is pushes minus successful pops; capacity is never exceeded.
     #[test]
     fn capacity_is_respected(cap in 1usize..20, ops in proptest::collection::vec(op_strategy(), 0..100)) {

@@ -122,9 +122,7 @@ impl ShapingTransaction for DominoShaping {
         let t = view
             .get("send_time")
             .or_else(|| view.get("rank"))
-            .unwrap_or_else(|| {
-                panic!("domino program '{}' never set p.send_time", self.label)
-            });
+            .unwrap_or_else(|| panic!("domino program '{}' never set p.send_time", self.label));
         Nanos(t.max(0) as u64)
     }
 
@@ -148,8 +146,7 @@ mod tests {
 
     #[test]
     fn stfq_adapter_matches_figure_semantics() {
-        let mut tx = DominoScheduling::new("stfq", figures::stfq())
-            .with_weight(FlowId(1), 2);
+        let mut tx = DominoScheduling::new("stfq", figures::stfq()).with_weight(FlowId(1), 2);
         let p = Packet::new(0, FlowId(1), 1000, Nanos(0));
         assert_eq!(tx.rank(&ctx(&p, 0)), Rank(0));
         // weight 2: finish advances by (1000*256)/2.

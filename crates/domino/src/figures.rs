@@ -173,8 +173,7 @@ mod tests {
         // the Domino atom vocabulary (Pairs being the largest).
         for (name, src) in all_figures() {
             let prog = parse(src).unwrap();
-            compile(&prog, AtomKind::Pairs)
-                .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+            compile(&prog, AtomKind::Pairs).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
         }
     }
 

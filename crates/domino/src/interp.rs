@@ -347,7 +347,8 @@ mod tests {
 
     #[test]
     fn state_persists_across_packets() {
-        let mut i = Interp::new(parse("state count = 0;\ncount = count + 1;\np.rank = count;").unwrap());
+        let mut i =
+            Interp::new(parse("state count = 0;\ncount = count + 1;\np.rank = count;").unwrap());
         let mut pkt = PacketView::synthetic(0, 0);
         i.run(&mut pkt).unwrap();
         assert_eq!(pkt.get("rank"), Some(1));
@@ -419,9 +420,7 @@ mod tests {
 
     #[test]
     fn overflow_is_error() {
-        let mut i = Interp::new(
-            parse("p.rank = 9_223_372_036_854_775_807 + 1;").unwrap(),
-        );
+        let mut i = Interp::new(parse("p.rank = 9_223_372_036_854_775_807 + 1;").unwrap());
         let mut pkt = PacketView::synthetic(0, 0);
         assert!(matches!(i.run(&mut pkt), Err(RuntimeError::Overflow(_))));
     }
@@ -462,7 +461,10 @@ mod tests {
     fn short_circuit_avoids_division() {
         // `0 && (1/0)` must not evaluate the division.
         let mut pkt = PacketView::synthetic(0, 0);
-        run_once("if (0 && (1 / 0) > 0) { p.rank = 1; } else { p.rank = 2; }", &mut pkt);
+        run_once(
+            "if (0 && (1 / 0) > 0) { p.rank = 1; } else { p.rank = 2; }",
+            &mut pkt,
+        );
         assert_eq!(pkt.get("rank"), Some(2));
     }
 

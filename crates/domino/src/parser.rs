@@ -34,7 +34,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -151,13 +155,14 @@ impl<'a> Lexer<'a> {
             while let Some(c) = self.peek() {
                 if c.is_ascii_digit() {
                     let d = (self.bump().unwrap() - b'0') as i64;
-                    v = v.checked_mul(10).and_then(|x| x.checked_add(d)).ok_or(
-                        ParseError {
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|x| x.checked_add(d))
+                        .ok_or(ParseError {
                             message: "integer literal overflows i64".into(),
                             line,
                             col,
-                        },
-                    )?;
+                        })?;
                 } else if c == b'_' {
                     self.bump();
                 } else {
@@ -491,11 +496,7 @@ impl Parser {
             Tok::Punct("-") => {
                 self.bump();
                 let e = self.unary_expr(ctx)?;
-                Ok(Expr::Bin(
-                    BinOp::Sub,
-                    Box::new(Expr::Num(0)),
-                    Box::new(e),
-                ))
+                Ok(Expr::Bin(BinOp::Sub, Box::new(Expr::Num(0)), Box::new(e)))
             }
             Tok::Punct("(") => {
                 self.bump();
@@ -574,8 +575,7 @@ mod tests {
 
     #[test]
     fn parses_declarations() {
-        let p = parse("state vt = 0;\nstatemap last_finish;\nparam r = 125;\np.rank = 1;")
-            .unwrap();
+        let p = parse("state vt = 0;\nstatemap last_finish;\nparam r = 125;\np.rank = 1;").unwrap();
         assert_eq!(p.states.len(), 1);
         assert_eq!(p.maps, vec!["last_finish"]);
         assert_eq!(p.params.len(), 1);
@@ -590,12 +590,14 @@ mod tests {
 
     #[test]
     fn parses_if_else_and_membership() {
-        let p = parse(
-            "statemap m;\nif (flow in m) { p.rank = m[flow]; } else { p.rank = 0; }",
-        )
-        .unwrap();
+        let p = parse("statemap m;\nif (flow in m) { p.rank = m[flow]; } else { p.rank = 0; }")
+            .unwrap();
         match &p.body[0] {
-            Stmt::If { cond, then, otherwise } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 assert_eq!(*cond, Expr::MapContains("m".into()));
                 assert_eq!(then.len(), 1);
                 assert_eq!(otherwise.len(), 1);

@@ -111,11 +111,7 @@ pub fn flatten(stmts: &[Stmt]) -> Vec<GuardedAssign> {
 fn conjoin(guard: Option<&Expr>, cond: Expr) -> Expr {
     match guard {
         None => cond,
-        Some(g) => Expr::Bin(
-            crate::ast::BinOp::And,
-            Box::new(g.clone()),
-            Box::new(cond),
-        ),
+        Some(g) => Expr::Bin(crate::ast::BinOp::And, Box::new(g.clone()), Box::new(cond)),
     }
 }
 
@@ -337,9 +333,7 @@ fn classify_single(
             (Some(_), Some(true)) => AtomKind::Sub,
             // Unguarded blind overwrite of a value no one reads back in
             // this transaction: a plain state write (RAW-class port).
-            (None, None) if !read_elsewhere && stateless_rhs(&only.rhs) => {
-                AtomKind::ReadAddWrite
-            }
+            (None, None) if !read_elsewhere && stateless_rhs(&only.rhs) => AtomKind::ReadAddWrite,
             _ => AtomKind::NestedIf,
         },
         [a, b] if a.guard.is_some() && b.guard.is_some() => {
@@ -355,14 +349,8 @@ fn classify_single(
 
 /// Longest dependency chain over the flattened body, with each state
 /// cluster fused to one node.
-fn stage_depth(
-    flat: &[GuardedAssign],
-    prog: &Program,
-    clusters: &[BTreeSet<String>],
-) -> usize {
-    let cluster_of = |v: &str| -> Option<usize> {
-        clusters.iter().position(|c| c.contains(v))
-    };
+fn stage_depth(flat: &[GuardedAssign], prog: &Program, clusters: &[BTreeSet<String>]) -> usize {
+    let cluster_of = |v: &str| -> Option<usize> { clusters.iter().position(|c| c.contains(v)) };
     // Node id per assignment (fused by cluster).
     let mut node_of: Vec<usize> = Vec::new();
     let mut cluster_node: BTreeMap<usize, usize> = BTreeMap::new();
@@ -466,7 +454,10 @@ mod tests {
 
     #[test]
     fn counter_is_raw() {
-        assert_eq!(req("state c = 0;\nc = c + 1;\np.rank = c;"), AtomKind::ReadAddWrite);
+        assert_eq!(
+            req("state c = 0;\nc = c + 1;\np.rank = c;"),
+            AtomKind::ReadAddWrite
+        );
     }
 
     #[test]
@@ -480,14 +471,19 @@ mod tests {
     #[test]
     fn two_arm_additive_is_ifelseraw() {
         assert_eq!(
-            req("state c = 0;\nif (p.length > 100) { c = c + 1; } else { c = c + 2; }\np.rank = c;"),
+            req(
+                "state c = 0;\nif (p.length > 100) { c = c + 1; } else { c = c + 2; }\np.rank = c;"
+            ),
             AtomKind::IfElseRaw
         );
     }
 
     #[test]
     fn subtraction_is_sub() {
-        assert_eq!(req("state c = 0;\nc = c - p.length;\np.rank = c;"), AtomKind::Sub);
+        assert_eq!(
+            req("state c = 0;\nc = c - p.length;\np.rank = c;"),
+            AtomKind::Sub
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@ use domino_lite::{analyze, compile, parse, DominoScheduling, Interp};
 use pifo_core::prelude::*;
 
 fn required(src: &str) -> AtomKind {
-    analyze(&parse(src).expect("parses")).expect("analyzes").required_atom
+    analyze(&parse(src).expect("parses"))
+        .expect("analyzes")
+        .required_atom
 }
 
 /// Strict priority / SJF / EDF style one-liners: pure field reads.
@@ -131,7 +133,8 @@ fn division_semantics() {
 /// points without re-parsing (the compiler-once, configure-many flow).
 #[test]
 fn params_configure_instances() {
-    let src = "param threshold = 1000;\nif (p.length > threshold) { p.rank = 1; } else { p.rank = 0; }";
+    let src =
+        "param threshold = 1000;\nif (p.length > threshold) { p.rank = 1; } else { p.rank = 0; }";
     let prog = parse(src).unwrap();
     let mut small = Interp::new(prog.clone());
     small.set_param("threshold", 100);
@@ -158,7 +161,6 @@ fn corpus_compiles_with_pairs() {
         "state ewma = 0;\nstate last_time = 0;\newma = (ewma * 7 + (now - last_time)) / 8;\nlast_time = now;\np.rank = ewma;",
     ];
     for src in corpus {
-        compile(&parse(src).unwrap(), AtomKind::Pairs)
-            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        compile(&parse(src).unwrap(), AtomKind::Pairs).unwrap_or_else(|e| panic!("{src}: {e}"));
     }
 }

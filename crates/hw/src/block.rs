@@ -150,9 +150,7 @@ impl PifoBlock {
 
     /// Peek `lpifo`'s head without removing it.
     pub fn peek(&self, lpifo: LogicalPifoId) -> Option<(Rank, FlowId, u64)> {
-        self.scheduler
-            .peek(lpifo)
-            .map(|e| (e.rank, e.flow, e.meta))
+        self.scheduler.peek(lpifo).map(|e| (e.rank, e.flow, e.meta))
     }
 
     /// PFC pause (§6.2).
@@ -215,8 +213,8 @@ mod tests {
         b.enqueue(l(0), f(1), Rank(30), 1).unwrap();
         b.enqueue(l(0), f(2), Rank(20), 2).unwrap();
         b.enqueue(l(0), f(2), Rank(40), 3).unwrap();
-        let order: Vec<u64> = std::iter::from_fn(|| b.dequeue(l(0)).map(|(r, _, _)| r.value()))
-            .collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| b.dequeue(l(0)).map(|(r, _, _)| r.value())).collect();
         assert_eq!(order, vec![10, 20, 30, 40]);
     }
 
@@ -319,9 +317,9 @@ mod tests {
         b.enqueue(l(0), f(2), Rank(44), 1).unwrap(); // flow 2 head (tie @44)
         b.enqueue(l(0), f(2), Rank(71), 2).unwrap(); // flow 2, behind head
         b.enqueue(l(0), f(1), Rank(71), 3).unwrap(); // flow 1, behind head
-        // Heads tie at 44 and pop FIFO (m0 then m1) — so flow 1's 71 is
-        // reinserted *before* flow 2's 71. An ideal PIFO would pop the
-        // 71s in enqueue order (m2 then m3); the block pops m3 then m2.
+                                                     // Heads tie at 44 and pop FIFO (m0 then m1) — so flow 1's 71 is
+                                                     // reinserted *before* flow 2's 71. An ideal PIFO would pop the
+                                                     // 71s in enqueue order (m2 then m3); the block pops m3 then m2.
         assert_eq!(b.dequeue(l(0)).unwrap().2, 0);
         assert_eq!(b.dequeue(l(0)).unwrap().2, 1);
         let third = b.dequeue(l(0)).unwrap();

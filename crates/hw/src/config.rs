@@ -113,6 +113,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the point is the constant relation itself
     fn lpifo_deq_interval_supports_100g() {
         // The 3-cycle restriction is looser than the 5-cycle requirement.
         assert!(DEQ_SAME_LPIFO_INTERVAL <= DEQ_INTERVAL_100G);

@@ -75,9 +75,7 @@ impl FlowScheduler {
         if self.entries.len() >= self.capacity {
             return Err(HwError::FlowSchedulerFull);
         }
-        let idx = self
-            .entries
-            .partition_point(|(x, _)| x.rank <= e.rank);
+        let idx = self.entries.partition_point(|(x, _)| x.rank <= e.rank);
         self.entries.insert(idx, (e, self.seq));
         self.seq += 1;
         Ok(())

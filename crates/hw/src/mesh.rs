@@ -145,7 +145,10 @@ impl Mesh {
                 n.block
             );
             if let Some(dup) = seen.insert((n.block, n.lpifo), &n.name) {
-                panic!("{}/{} assigned twice ({} and {})", n.block, n.lpifo, dup, n.name);
+                panic!(
+                    "{}/{} assigned twice ({} and {})",
+                    n.block, n.lpifo, dup, n.name
+                );
             }
             if let Some((sb, sl)) = n.shaping {
                 if let Some(dup) = seen.insert((sb, sl), &n.name) {
@@ -168,7 +171,11 @@ impl Mesh {
                 }
             }
             if shape_tx[i].is_some() {
-                assert!(n.shaping.is_some(), "node {} shaper lacks placement", n.name);
+                assert!(
+                    n.shaping.is_some(),
+                    "node {} shaper lacks placement",
+                    n.name
+                );
             }
         }
         let gates = block_cfgs.iter().map(|_| PortGates::new()).collect();
@@ -355,7 +362,10 @@ impl Mesh {
                 now: self.now(),
                 flow: FlowId(node as u32),
             };
-            let t = self.shape_tx[node].as_mut().expect("checked").send_time(&ctx);
+            let t = self.shape_tx[node]
+                .as_mut()
+                .expect("checked")
+                .send_time(&ctx);
             let id = self.next_susp;
             self.next_susp = self.next_susp.wrapping_add(1);
             self.suspensions.insert(id, (node, pkt));
@@ -550,10 +560,7 @@ mod tests {
         }
         assert!(m.transmit().unwrap().is_some());
         m.tick();
-        assert!(matches!(
-            m.transmit(),
-            Err(HwError::LpifoDequeueTooSoon(_))
-        ));
+        assert!(matches!(m.transmit(), Err(HwError::LpifoDequeueTooSoon(_))));
         m.tick();
         m.tick();
         assert!(m.transmit().unwrap().is_some());

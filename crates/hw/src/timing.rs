@@ -130,7 +130,11 @@ impl PortGates {
 
     /// Claim the enqueue port. `best_effort` ops may use bonus credits
     /// but never displace a guaranteed op.
-    pub fn claim_enqueue(&mut self, block: crate::config::BlockId, best_effort: bool) -> Result<(), HwError> {
+    pub fn claim_enqueue(
+        &mut self,
+        block: crate::config::BlockId,
+        best_effort: bool,
+    ) -> Result<(), HwError> {
         if self.enq_used < 1 {
             self.enq_used += 1;
             return Ok(());
@@ -252,7 +256,8 @@ mod tests {
     fn gates_same_lpifo_needs_3_cycles() {
         let mut g = PortGates::new();
         g.new_cycle(0);
-        g.claim_dequeue(BlockId(0), LogicalPifoId(5), 0, false).unwrap();
+        g.claim_dequeue(BlockId(0), LogicalPifoId(5), 0, false)
+            .unwrap();
         g.new_cycle(0);
         assert!(matches!(
             g.claim_dequeue(BlockId(0), LogicalPifoId(5), 1, false),

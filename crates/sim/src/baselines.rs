@@ -288,9 +288,7 @@ impl ShapedFifo {
     }
 
     fn head_cost(&self) -> Option<i128> {
-        self.q
-            .front()
-            .map(|p| p.length as i128 * 8 * 1_000_000_000)
+        self.q.front().map(|p| p.length as i128 * 8 * 1_000_000_000)
     }
 
     /// Packets dropped so far.
@@ -420,8 +418,7 @@ mod tests {
         s.enqueue(pkt(0, 0, 100).with_class(3), Nanos(0));
         s.enqueue(pkt(1, 0, 100).with_class(1), Nanos(0));
         s.enqueue(pkt(2, 0, 100).with_class(2), Nanos(0));
-        let order: Vec<u64> =
-            std::iter::from_fn(|| s.dequeue(Nanos(1)).map(|p| p.id.0)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos(1)).map(|p| p.id.0)).collect();
         assert_eq!(order, vec![1, 2, 0]);
     }
 
@@ -582,8 +579,7 @@ mod sfq_tests {
         s.enqueue(pkt(0, 1), Nanos(0));
         s.enqueue(pkt(1, 2), Nanos(0));
         s.enqueue(pkt(2, 1), Nanos(0));
-        let order: Vec<u64> =
-            std::iter::from_fn(|| s.dequeue(Nanos(1)).map(|p| p.id.0)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Nanos(1)).map(|p| p.id.0)).collect();
         assert_eq!(order, vec![0, 1, 2]);
     }
 

@@ -182,7 +182,6 @@ impl<S: PortScheduler> PortScheduler for ManagedScheduler<S> {
     }
 }
 
-
 // ---------------------------------------------------------------------------
 // RED (Random Early Detection)
 // ---------------------------------------------------------------------------
@@ -392,7 +391,6 @@ mod tests {
         assert_eq!(b.occupancy(), 3);
     }
 
-
     #[test]
     fn red_admits_below_min_threshold() {
         let mut red = Red::new(10, 30, 0.1, 42);
@@ -449,10 +447,7 @@ mod tests {
     fn red_scheduler_keeps_average_queue_near_threshold() {
         // Persistent 2x overload into a 1000-slot FIFO: tail drop pins
         // the queue at the limit; RED holds the EWMA near max_th.
-        let mut red_sched = RedScheduler::new(
-            FifoSched::new(1_000),
-            Red::new(50, 150, 0.2, 3),
-        );
+        let mut red_sched = RedScheduler::new(FifoSched::new(1_000), Red::new(50, 150, 0.2, 3));
         let mut plain = FifoSched::new(1_000);
         let mut id = 0u64;
         for round in 0..5_000u64 {
@@ -470,7 +465,11 @@ mod tests {
             "RED keeps the queue short: {}",
             red_sched.backlog()
         );
-        assert!(plain.backlog() >= 999, "tail drop pins at the limit: {}", plain.backlog());
+        assert!(
+            plain.backlog() >= 999,
+            "tail drop pins at the limit: {}",
+            plain.backlog()
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl FluidGps {
                     continue;
                 }
                 let b = self.backlog[f];
-                let need_ns = (b + share - 1) / share;
+                let need_ns = b.div_ceil(share);
                 dt = dt.min(need_ns as u64);
             }
             let dt = dt.max(1);
@@ -107,7 +107,7 @@ impl FluidGps {
 
     /// Remaining backlog of `f`, in bytes (rounded up).
     pub fn backlog_bytes(&self, f: FlowId) -> u64 {
-        ((self.backlog.get(&f).copied().unwrap_or(0) + FLUID - 1) / FLUID) as u64
+        self.backlog.get(&f).copied().unwrap_or(0).div_ceil(FLUID) as u64
     }
 
     /// Current simulation time.

@@ -57,7 +57,7 @@ pub fn throughput_series(
     horizon: Nanos,
 ) -> Vec<ThroughputReport> {
     assert!(bucket > Nanos::ZERO, "bucket must be positive");
-    let n = (horizon.as_nanos() + bucket.as_nanos() - 1) / bucket.as_nanos();
+    let n = horizon.as_nanos().div_ceil(bucket.as_nanos());
     let mut out = Vec::with_capacity(n as usize);
     for k in 0..n {
         let from = Nanos(k * bucket.as_nanos());

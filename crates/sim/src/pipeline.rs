@@ -41,12 +41,14 @@ pub struct PipelineResult {
 /// Panics if packet ids are not unique across main and cross traffic.
 pub fn run_pipeline(main: Vec<Packet>, mut hops: Vec<Hop>, cfg: &PortConfig) -> PipelineResult {
     let mut seen: HashSet<PacketId> = HashSet::new();
-    for p in main.iter().chain(hops.iter().flat_map(|h| h.cross_traffic.iter())) {
+    for p in main
+        .iter()
+        .chain(hops.iter().flat_map(|h| h.cross_traffic.iter()))
+    {
         assert!(seen.insert(p.id), "duplicate packet id {}", p.id);
     }
     let main_ids: HashSet<PacketId> = main.iter().map(|p| p.id).collect();
-    let first_arrival: HashMap<PacketId, Nanos> =
-        main.iter().map(|p| (p.id, p.arrival)).collect();
+    let first_arrival: HashMap<PacketId, Nanos> = main.iter().map(|p| (p.id, p.arrival)).collect();
 
     let mut current = main;
     let mut per_hop = Vec::with_capacity(hops.len());
@@ -70,10 +72,7 @@ pub fn run_pipeline(main: Vec<Packet>, mut hops: Vec<Hop>, cfg: &PortConfig) -> 
                 let mut p = d.packet.clone();
                 let t_next = d.finish + hop.prop_delay;
                 if k == last {
-                    e2e.insert(
-                        p.id,
-                        d.finish.as_nanos() - first_arrival[&p.id].as_nanos(),
-                    );
+                    e2e.insert(p.id, d.finish.as_nanos() - first_arrival[&p.id].as_nanos());
                     delivered.push(p.clone());
                 }
                 p.arrival = t_next;

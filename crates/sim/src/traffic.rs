@@ -62,7 +62,10 @@ impl CbrSource {
     ///
     /// Panics if the rate or length is zero.
     pub fn new(flow: FlowId, pkt_len: u32, rate_bps: u64, start: Nanos, end: Nanos) -> Self {
-        assert!(rate_bps > 0 && pkt_len > 0, "rate and length must be positive");
+        assert!(
+            rate_bps > 0 && pkt_len > 0,
+            "rate and length must be positive"
+        );
         let interval = tx_time(pkt_len as u64, rate_bps);
         CbrSource {
             flow,
@@ -93,7 +96,7 @@ impl TrafficSource for CbrSource {
             .with_seq_in_flow(self.seq);
         self.next_id += 1;
         self.seq += 1;
-        self.next_time = self.next_time + self.interval;
+        self.next_time += self.interval;
         Some(p)
     }
 }
@@ -123,7 +126,10 @@ impl PoissonSource {
     ///
     /// Panics if the rate or length is zero.
     pub fn new(flow: FlowId, pkt_len: u32, rate_pps: f64, end: Nanos, seed: u64) -> Self {
-        assert!(rate_pps > 0.0 && pkt_len > 0, "rate and length must be positive");
+        assert!(
+            rate_pps > 0.0 && pkt_len > 0,
+            "rate and length must be positive"
+        );
         PoissonSource {
             flow,
             pkt_len,
@@ -189,7 +195,10 @@ impl OnOffSource {
         idle: Nanos,
         end: Nanos,
     ) -> Self {
-        assert!(burst_pkts > 0 && pkt_len > 0, "burst and length must be positive");
+        assert!(
+            burst_pkts > 0 && pkt_len > 0,
+            "burst and length must be positive"
+        );
         OnOffSource {
             flow,
             pkt_len,
@@ -217,9 +226,9 @@ impl TrafficSource for OnOffSource {
         self.in_burst += 1;
         if self.in_burst >= self.burst_pkts {
             self.in_burst = 0;
-            self.next_time = self.next_time + self.idle_gap;
+            self.next_time += self.idle_gap;
         } else {
-            self.next_time = self.next_time + self.line_gap;
+            self.next_time += self.line_gap;
         }
         Some(p)
     }
@@ -371,7 +380,7 @@ pub fn flow_workload(
             attained += len as u64;
             remaining -= len as u64;
             seq += 1;
-            pt = pt + gap;
+            pt += gap;
         }
     }
     packets.sort_by_key(|p| p.arrival);
@@ -386,7 +395,13 @@ mod tests {
     #[test]
     fn cbr_spacing_is_exact() {
         // 1000 B at 8 Mb/s: 1 ms per packet.
-        let mut s = CbrSource::new(FlowId(1), 1_000, 8_000_000, Nanos::ZERO, Nanos::from_millis(5));
+        let mut s = CbrSource::new(
+            FlowId(1),
+            1_000,
+            8_000_000,
+            Nanos::ZERO,
+            Nanos::from_millis(5),
+        );
         let times: Vec<u64> = std::iter::from_fn(|| s.next_packet())
             .map(|p| p.arrival.as_nanos())
             .collect();
@@ -395,8 +410,7 @@ mod tests {
 
     #[test]
     fn cbr_respects_start_and_class() {
-        let mut s = CbrSource::new(FlowId(1), 500, 8_000_000, Nanos(100), Nanos(200))
-            .with_class(3);
+        let mut s = CbrSource::new(FlowId(1), 500, 8_000_000, Nanos(100), Nanos(200)).with_class(3);
         let p = s.next_packet().unwrap();
         assert_eq!(p.arrival, Nanos(100));
         assert_eq!(p.class, 3);
@@ -406,11 +420,15 @@ mod tests {
     fn poisson_is_seed_deterministic() {
         let a: Vec<u64> = {
             let mut s = PoissonSource::new(FlowId(0), 100, 1e6, Nanos::from_millis(1), 42);
-            std::iter::from_fn(|| s.next_packet()).map(|p| p.arrival.as_nanos()).collect()
+            std::iter::from_fn(|| s.next_packet())
+                .map(|p| p.arrival.as_nanos())
+                .collect()
         };
         let b: Vec<u64> = {
             let mut s = PoissonSource::new(FlowId(0), 100, 1e6, Nanos::from_millis(1), 42);
-            std::iter::from_fn(|| s.next_packet()).map(|p| p.arrival.as_nanos()).collect()
+            std::iter::from_fn(|| s.next_packet())
+                .map(|p| p.arrival.as_nanos())
+                .collect()
         };
         assert_eq!(a, b);
         assert!(!a.is_empty());
@@ -460,7 +478,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
             let s = d.sample(&mut rng);
-            assert!(s >= 1 && s <= 20_000_000);
+            assert!((1..=20_000_000).contains(&s));
         }
     }
 
@@ -504,8 +522,7 @@ mod tests {
         }
         // remaining must decrease along each flow, ending at last packet len.
         for spec in &specs {
-            let mut flow_pkts: Vec<&Packet> =
-                pkts.iter().filter(|p| p.flow == spec.flow).collect();
+            let mut flow_pkts: Vec<&Packet> = pkts.iter().filter(|p| p.flow == spec.flow).collect();
             flow_pkts.sort_by_key(|p| p.seq_in_flow);
             let mut expect = spec.size;
             for p in flow_pkts {

@@ -137,8 +137,9 @@ impl AreaModel {
     /// scaled linearly in flows and pointer width.
     pub fn head_tail_count_mm2(&self, cfg: &BlockConfig) -> f64 {
         const BASELINE: f64 = 0.1476; // 1024 flows, 16-bit pointers
-        let ptr_bits = ((cfg.rank_store_capacity as u64).next_power_of_two().trailing_zeros()
-            as f64)
+        let ptr_bits = ((cfg.rank_store_capacity as u64)
+            .next_power_of_two()
+            .trailing_zeros() as f64)
             .max(1.0);
         BASELINE * (cfg.n_flows as f64 / 1024.0) * (ptr_bits / 16.0)
     }
@@ -217,13 +218,19 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
     for col in 0..3 {
         // Pivot.
         let piv = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("rows");
         a.swap(col, piv);
         b.swap(col, piv);
         assert!(a[col][col].abs() > 1e-18, "singular calibration system");
         for row in (col + 1)..3 {
             let f = a[row][col] / a[col][col];
+            #[allow(clippy::needless_range_loop)] // rows `row` and `col` alias the same matrix
             for k in col..3 {
                 a[row][k] -= f * a[col][k];
             }
@@ -338,7 +345,10 @@ mod tests {
         let a1 = m.flow_scheduler_mm2(&cfg_flows(512));
         let a2 = m.flow_scheduler_mm2(&cfg_flows(1024));
         let ratio = a2 / a1;
-        assert!((ratio - 2.0).abs() < 0.15, "doubling flows ~doubles area: {ratio:.2}");
+        assert!(
+            (ratio - 2.0).abs() < 0.15,
+            "doubling flows ~doubles area: {ratio:.2}"
+        );
     }
 
     #[test]
@@ -363,7 +373,10 @@ mod tests {
 
     #[test]
     fn solve3_inverts_identity() {
-        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [3.0, 4.0, 5.0]);
+        let x = solve3(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            [3.0, 4.0, 5.0],
+        );
         assert_eq!(x, [3.0, 4.0, 5.0]);
     }
 

@@ -51,7 +51,11 @@ pub fn render_table1(cfg: &BlockConfig) -> String {
     let t = table1(cfg);
     let mut s = String::new();
     let _ = writeln!(s, "Table 1: chip area of a 5-block PIFO mesh (16 nm model)");
-    let _ = writeln!(s, "{:<46} {:>9} {:>9}", "component", "model mm2", "paper mm2");
+    let _ = writeln!(
+        s,
+        "{:<46} {:>9} {:>9}",
+        "component", "model mm2", "paper mm2"
+    );
     let mut row = |name: &str, got: f64, paper: &str| {
         let _ = writeln!(s, "{name:<46} {got:>9.3} {paper:>9}");
     };
@@ -158,7 +162,11 @@ pub fn render_wiring(cfg: &BlockConfig, n_blocks: usize) -> String {
         cfg.meta_bits
     );
     let _ = writeln!(s, "  per set: {per_set} bits (paper: 106)");
-    let _ = writeln!(s, "  sets: {n_blocks}*{} = {sets} (paper: 20)", n_blocks - 1);
+    let _ = writeln!(
+        s,
+        "  sets: {n_blocks}*{} = {sets} (paper: 20)",
+        n_blocks - 1
+    );
     let _ = writeln!(s, "  total: {total} bits (paper: 2120)");
     s
 }
@@ -170,7 +178,11 @@ mod tests {
     #[test]
     fn table1_overhead_under_4_percent() {
         let t = table1(&BlockConfig::default());
-        assert!(t.overhead < 0.04, "headline claim: <4% ({:.2}%)", t.overhead * 100.0);
+        assert!(
+            t.overhead < 0.04,
+            "headline claim: <4% ({:.2}%)",
+            t.overhead * 100.0
+        );
         assert!(t.overhead > 0.03, "and not trivially small");
     }
 

@@ -52,7 +52,10 @@ fn main() {
         report.stages,
         report.atoms
     );
-    assert!(report.required_atom <= AtomKind::Pairs, "fits the vocabulary");
+    assert!(
+        report.required_atom <= AtomKind::Pairs,
+        "fits the vocabulary"
+    );
 
     // 2. Deploy it on a PIFO.
     let tx = DominoScheduling::new("deadline-fq", Interp::new(prog));

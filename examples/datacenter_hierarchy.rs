@@ -41,27 +41,37 @@ fn main() {
         ]))),
     );
     // Tenant B bought a 1 Gbit/s plan: shape the whole class (Fig 4).
-    b.set_shaper(tenant_b, Box::new(TokenBucketFilter::new(1_000_000_000, 50_000)));
+    b.set_shaper(
+        tenant_b,
+        Box::new(TokenBucketFilter::new(1_000_000_000, 50_000)),
+    );
     b.buffer_limit(500_000);
     let tree = b
-        .build(Box::new(move |p: &Packet| {
-            if p.flow.0 < 2 {
-                tenant_a
-            } else {
-                tenant_b
-            }
-        }))
+        .build(Box::new(
+            move |p: &Packet| {
+                if p.flow.0 < 2 {
+                    tenant_a
+                } else {
+                    tenant_b
+                }
+            },
+        ))
         .expect("valid tree");
 
     // Everyone offers 5 Gbit/s of 1500 B packets for 20 ms.
     let end = Nanos::from_millis(20);
-    let mut sources: Vec<Box<dyn TrafficSource>> = (0..4u32)
+    let sources: Vec<Box<dyn TrafficSource>> = (0..4u32)
         .map(|f| {
-            Box::new(CbrSource::new(FlowId(f), 1_500, 5_000_000_000, Nanos::ZERO, end))
-                as Box<dyn TrafficSource>
+            Box::new(CbrSource::new(
+                FlowId(f),
+                1_500,
+                5_000_000_000,
+                Nanos::ZERO,
+                end,
+            )) as Box<dyn TrafficSource>
         })
         .collect();
-    let mut arrivals = pifo::sim::merge(sources.drain(..).collect());
+    let mut arrivals = pifo::sim::merge(sources);
     pifo::sim::renumber(&mut arrivals);
 
     let mut sched = TreeScheduler::new("tenants", tree);

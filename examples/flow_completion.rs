@@ -41,8 +41,7 @@ fn main() {
     for (name, mut sched) in [
         (
             "SRPT",
-            Box::new(TreeScheduler::new("srpt", single(Box::new(Srpt))))
-                as Box<dyn PortScheduler>,
+            Box::new(TreeScheduler::new("srpt", single(Box::new(Srpt)))) as Box<dyn PortScheduler>,
         ),
         ("FIFO", Box::new(FifoSched::new(2_000_000))),
     ] {

@@ -23,7 +23,8 @@ fn main() {
         (2, 15, 3),
         (2, 30, 4),
     ] {
-        blk.enqueue(q, FlowId(flow), Rank(rank), meta).expect("enqueue");
+        blk.enqueue(q, FlowId(flow), Rank(rank), meta)
+            .expect("enqueue");
         println!(
             "  enqueue f{flow} rank {rank}: scheduler holds {} heads, rank store {} elements",
             blk.active_flows(),
@@ -41,9 +42,15 @@ fn main() {
     blk.enqueue(q, FlowId(1), Rank(5), 0).expect("enqueue");
     blk.enqueue(q, FlowId(2), Rank(9), 1).expect("enqueue");
     blk.pause_flow(FlowId(1));
-    println!("  paused f1; head is now {:?}", blk.peek(q).map(|(r, f, _)| (f, r)));
+    println!(
+        "  paused f1; head is now {:?}",
+        blk.peek(q).map(|(r, f, _)| (f, r))
+    );
     blk.resume_flow(FlowId(1));
-    println!("  resumed;  head is back {:?}\n", blk.peek(q).map(|(r, f, _)| (f, r)));
+    println!(
+        "  resumed;  head is back {:?}\n",
+        blk.peek(q).map(|(r, f, _)| (f, r))
+    );
     while blk.dequeue(q).is_some() {}
 
     // --- A compiled mesh (Figs 9-11) ---------------------------------

@@ -32,13 +32,8 @@ fn main() {
 
     // Heavy cross traffic joins at every hop (80% load), generous slack.
     let cross = |hop: u64| -> Vec<Packet> {
-        let mut src = PoissonSource::new(
-            FlowId(50 + hop as u32),
-            1_500,
-            660_000.0,
-            end,
-            1234 + hop,
-        );
+        let mut src =
+            PoissonSource::new(FlowId(50 + hop as u32), 1_500, 660_000.0, end, 1234 + hop);
         let mut v: Vec<Packet> = std::iter::from_fn(move || src.next_packet()).collect();
         for (i, p) in v.iter_mut().enumerate() {
             p.slack = 50_000_000;

@@ -43,9 +43,8 @@ pub mod prelude {
     };
     pub use pifo_core::prelude::*;
     pub use pifo_sim::{
-        flow_workload, jain_index, latency_stats, run_pipeline, run_port, throughput,
-        CbrSource, Departure, DrrSched, FifoSched, FluidGps, Hop, PFabricQueue, PoissonSource,
-        PortConfig, PortScheduler, SizeDistribution, StrictPrioritySched, TrafficSource,
-        TreeScheduler,
+        flow_workload, jain_index, latency_stats, run_pipeline, run_port, throughput, CbrSource,
+        Departure, DrrSched, FifoSched, FluidGps, Hop, PFabricQueue, PoissonSource, PortConfig,
+        PortScheduler, SizeDistribution, StrictPrioritySched, TrafficSource, TreeScheduler,
     };
 }

@@ -19,13 +19,13 @@ use pifo_sim::{
 const LINK: u64 = 10_000_000_000;
 
 fn arrivals(end: Nanos) -> Vec<Packet> {
-    let mut sources: Vec<Box<dyn TrafficSource>> = (1..=3u32)
+    let sources: Vec<Box<dyn TrafficSource>> = (1..=3u32)
         .map(|f| {
             Box::new(CbrSource::new(FlowId(f), 1_500, LINK, Nanos::ZERO, end))
                 as Box<dyn TrafficSource>
         })
         .collect();
-    let mut pkts = pifo_sim::merge(sources.drain(..).collect());
+    let mut pkts = pifo_sim::merge(sources);
     pifo_sim::renumber(&mut pkts);
     pkts
 }
@@ -87,11 +87,11 @@ fn run(threshold: Option<Threshold>) -> [f64; 3] {
 #[test]
 fn tail_drop_lockout_reproduces() {
     let rates = run(None);
+    assert!(rates[0] > 9_000.0, "flow 1 monopolises the link: {rates:?}");
     assert!(
-        rates[0] > 9_000.0,
-        "flow 1 monopolises the link: {rates:?}"
+        rates[1] < 500.0 && rates[2] < 500.0,
+        "others starved: {rates:?}"
     );
-    assert!(rates[1] < 500.0 && rates[2] < 500.0, "others starved: {rates:?}");
 }
 
 /// Dynamic per-flow thresholds (alpha = 1) in front of the same

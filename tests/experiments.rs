@@ -83,7 +83,10 @@ fn f8_two_level_protects_and_preserves_order() {
     let (r2, inv2) = parse_row(&two);
     let (rc, invc) = parse_row(&collapsed);
     let (rf, _) = parse_row(&fifo);
-    assert!(r2 >= 2.0, "2-level must deliver the 2 Mb/s guarantee, got {r2}");
+    assert!(
+        r2 >= 2.0,
+        "2-level must deliver the 2 Mb/s guarantee, got {r2}"
+    );
     assert!(rc >= 2.0, "collapsed also delivers the rate, got {rc}");
     assert!(rf < 2.0, "FIFO must fail the guarantee, got {rf}");
     assert_eq!(inv2, 0, "2-level must never reorder within a flow");

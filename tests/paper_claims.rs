@@ -87,8 +87,7 @@ fn figure_transactions_compile_at_line_rate() {
     use domino_lite::ast::AtomKind;
     for (name, src) in domino_lite::figures::all_figures() {
         let prog = domino_lite::parse(src).expect("parses");
-        domino_lite::compile(&prog, AtomKind::Pairs)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        domino_lite::compile(&prog, AtomKind::Pairs).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
     let stfq = domino_lite::parse(domino_lite::figures::STFQ_SRC).expect("parses");
     assert_eq!(

@@ -228,7 +228,9 @@ fn shaped_hierarchy_tree_equals_mesh() {
     let right = b.add_child(root, "right", fifo_tx());
     b.set_shaper(right, Box::new(Delay(50)));
     let mut tree = b
-        .build(Box::new(move |p: &Packet| if p.flow.0 < 2 { left } else { right }))
+        .build(Box::new(
+            move |p: &Packet| if p.flow.0 < 2 { left } else { right },
+        ))
         .expect("valid");
     for (i, p) in packets.iter().enumerate() {
         let mut q = p.clone();
@@ -286,8 +288,16 @@ fn shaped_hierarchy_tree_equals_mesh() {
     assert_eq!(a, b2, "same packet sets delivered");
     let flow_of: HashMap<u64, u32> = packets.iter().map(|p| (p.id.0, p.flow.0)).collect();
     for f in 0..4u32 {
-        let x: Vec<u64> = tree_out.iter().copied().filter(|id| flow_of[id] == f).collect();
-        let y: Vec<u64> = mesh_out.iter().copied().filter(|id| flow_of[id] == f).collect();
+        let x: Vec<u64> = tree_out
+            .iter()
+            .copied()
+            .filter(|id| flow_of[id] == f)
+            .collect();
+        let y: Vec<u64> = mesh_out
+            .iter()
+            .copied()
+            .filter(|id| flow_of[id] == f)
+            .collect();
         assert_eq!(x, y, "flow {f} intra-flow order");
     }
 }
