@@ -52,13 +52,21 @@ pub struct CbqClass {
     pub flows: Vec<(FlowId, u64)>,
 }
 
-/// Build a CBQ tree from class descriptions. Returns the tree and the
-/// flow→leaf map.
+/// Build a CBQ tree from class descriptions with the default PIFO
+/// backend. Returns the tree and the flow→leaf map.
 ///
 /// # Panics
 ///
 /// Panics if `classes` is empty or a flow appears in two classes.
 pub fn build_cbq(classes: &[CbqClass]) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+    build_cbq_with_backend(classes, PifoBackend::default())
+}
+
+/// [`build_cbq`] with every node's PIFOs backed by the given engine.
+pub fn build_cbq_with_backend(
+    classes: &[CbqClass],
+    backend: PifoBackend,
+) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
     assert!(!classes.is_empty(), "CBQ needs at least one class");
     let mut prio_of_child = HashMap::new();
     let mut leaf_of: HashMap<FlowId, NodeId> = HashMap::new();
@@ -73,6 +81,7 @@ pub fn build_cbq(classes: &[CbqClass]) -> (ScheduleTree, HashMap<FlowId, NodeId>
     }
 
     let mut b = TreeBuilder::new();
+    b.with_backend(backend);
     let root = b.add_root("CBQ_Root", Box::new(ClassPriority::new(prio_of_child)));
     for class in classes {
         let table = WeightTable::from_pairs(class.flows.iter().copied());
@@ -82,10 +91,7 @@ pub fn build_cbq(classes: &[CbqClass]) -> (ScheduleTree, HashMap<FlowId, NodeId>
     let map = leaf_of.clone();
     let tree = b
         .build(Box::new(move |p: &Packet| {
-            leaf_of
-                .get(&p.flow)
-                .copied()
-                .unwrap_or(NodeId::from_index(usize::MAX >> 8))
+            leaf_of.get(&p.flow).copied().unwrap_or(NodeId::INVALID)
         }))
         .expect("valid CBQ tree");
     (tree, map)

@@ -62,13 +62,24 @@ impl Hierarchy {
         }
     }
 
-    /// Build the runnable tree. Every flow must appear in exactly one
-    /// leaf; packets from unknown flows are rejected at `enqueue`.
+    /// Build the runnable tree with the default PIFO backend. Every flow
+    /// must appear in exactly one leaf; packets from unknown flows are
+    /// rejected at `enqueue`.
     ///
     /// Returns the tree and the flow→leaf map (useful for tests and for
     /// wiring shapers onto specific classes by name afterwards).
     pub fn build(&self) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+        self.build_with_backend(PifoBackend::default())
+    }
+
+    /// [`build`](Self::build), with every node's PIFOs backed by the given
+    /// queue engine.
+    pub fn build_with_backend(
+        &self,
+        backend: PifoBackend,
+    ) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
         let mut b = TreeBuilder::new();
+        b.with_backend(backend);
         let mut leaf_of: HashMap<FlowId, NodeId> = HashMap::new();
 
         // Recursive construction. The parent's STFQ weight table is keyed
@@ -159,10 +170,7 @@ impl Hierarchy {
         let map = leaf_of.clone();
         let tree = b
             .build(Box::new(move |p: &Packet| {
-                leaf_of
-                    .get(&p.flow)
-                    .copied()
-                    .unwrap_or(NodeId::from_index(usize::MAX >> 8))
+                leaf_of.get(&p.flow).copied().unwrap_or(NodeId::INVALID)
             }))
             .expect("hierarchy produces a valid tree");
         (tree, map)
@@ -173,6 +181,11 @@ impl Hierarchy {
 /// Right; Left splits 3:7 between flows A and B; Right splits 4:6 between
 /// C and D. Flow ids: A=0, B=1, C=2, D=3.
 pub fn fig3_hpfq() -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+    fig3_hpfq_with_backend(PifoBackend::default())
+}
+
+/// [`fig3_hpfq`] with every node's PIFOs backed by the given engine.
+pub fn fig3_hpfq_with_backend(backend: PifoBackend) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
     Hierarchy::class(
         "WFQ_Root",
         vec![
@@ -186,7 +199,7 @@ pub fn fig3_hpfq() -> (ScheduleTree, HashMap<FlowId, NodeId>) {
             ),
         ],
     )
-    .build()
+    .build_with_backend(backend)
 }
 
 #[cfg(test)]

@@ -118,8 +118,23 @@ pub fn build_min_rate_tree(
     flows: &[(FlowId, u64)], // (flow, guaranteed rate in bits/s)
     burst_bytes: u64,
 ) -> ScheduleTree {
+    build_min_rate_tree_with_backend(flows, burst_bytes, PifoBackend::default())
+}
+
+/// [`build_min_rate_tree`] with every node's PIFOs backed by the given
+/// engine.
+///
+/// # Panics
+///
+/// Panics if `flows` is empty.
+pub fn build_min_rate_tree_with_backend(
+    flows: &[(FlowId, u64)], // (flow, guaranteed rate in bits/s)
+    burst_bytes: u64,
+    backend: PifoBackend,
+) -> ScheduleTree {
     assert!(!flows.is_empty(), "need at least one flow");
     let mut b = TreeBuilder::new();
+    b.with_backend(backend);
     let mut root_tx = MinRateGuarantee::new(0, burst_bytes);
 
     // The root sees child nodes as flows. Node ids are assigned densely
@@ -142,9 +157,9 @@ pub fn build_min_rate_tree(
         leaf_of
             .get(&p.flow)
             .copied()
-            // Route unknown flows to an out-of-range node: enqueue reports
+            // Route unknown flows to the sentinel node: enqueue reports
             // UnknownNode instead of silently misclassifying.
-            .unwrap_or(NodeId::from_index(usize::MAX >> 8))
+            .unwrap_or(NodeId::INVALID)
     }))
     .expect("valid tree")
 }

@@ -1,6 +1,9 @@
-//! PIFO data-structure benchmarks: the sorted-array reference vs the
-//! software heap vs the hardware-style block, across occupancies up to
-//! the Trident-scale 60 K elements of §5.1.
+//! PIFO data-structure benchmarks: every registered software backend
+//! (sorted-array reference, binary heap, FFS bucket calendar) vs the
+//! hardware-style block, across occupancies up to the Trident-scale
+//! 60 K elements of §5.1. The sweep runs each backend through the
+//! backend-erased [`PifoBackend::make`] path — the same engine the
+//! scheduling tree uses — so the numbers reflect what trees actually pay.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pifo_core::prelude::*;
@@ -23,24 +26,10 @@ fn bench_push_pop(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for &n in &[1_000usize, 10_000, 60_000] {
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q: HeapPifo<u64> = HeapPifo::new();
-                let mut rng = Rng(42);
-                for i in 0..n as u64 {
-                    q.push(Rank(rng.next() % 1_000_000), i);
-                }
-                while let Some(e) = q.pop() {
-                    black_box(e);
-                }
-            })
-        });
-        // The flat sorted array is O(n) per op — honest but slow; keep
-        // its sizes small enough for a sane bench run.
-        if n <= 10_000 {
-            group.bench_with_input(BenchmarkId::new("sorted_array", n), &n, |b, &n| {
+        for backend in PifoBackend::ALL {
+            group.bench_with_input(BenchmarkId::new(backend.label(), n), &n, |b, &n| {
                 b.iter(|| {
-                    let mut q: SortedArrayPifo<u64> = SortedArrayPifo::new();
+                    let mut q: BoxedPifo<u64> = backend.make();
                     let mut rng = Rng(42);
                     for i in 0..n as u64 {
                         q.push(Rank(rng.next() % 1_000_000), i);

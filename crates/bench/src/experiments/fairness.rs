@@ -4,7 +4,8 @@
 //! simulated 10 Gbit/s output port with deterministic CBR workloads.
 
 use pifo_algos::{
-    build_min_rate_tree, fig3_hpfq, MinRateGuarantee, Stfq, TokenBucketFilter, WeightTable,
+    build_min_rate_tree_with_backend, fig3_hpfq_with_backend, MinRateGuarantee, Stfq,
+    TokenBucketFilter, WeightTable,
 };
 use pifo_core::prelude::*;
 use pifo_sim::{
@@ -35,7 +36,7 @@ fn cbr_arrivals(flows: &[u32], offered_bps: u64, end: Nanos) -> Vec<Packet> {
 }
 
 fn single_stfq_tree(weights: WeightTable, limit: usize) -> ScheduleTree {
-    let mut b = TreeBuilder::new();
+    let mut b = super::tree_builder();
     let root = b.add_root("WFQ", Box::new(Stfq::new(weights)));
     b.buffer_limit(limit);
     b.build(Box::new(move |_| root)).expect("valid tree")
@@ -144,7 +145,7 @@ pub fn hpfq() -> String {
     let cfg = PortConfig::new(GBIT10).with_horizon(end);
 
     // HPFQ per Fig 3.
-    let (tree, _) = fig3_hpfq();
+    let (tree, _) = fig3_hpfq_with_backend(super::backend());
     let mut hpfq = TreeScheduler::new("HPFQ", tree);
     let deps_h = run_port(&arrivals, &mut hpfq, &cfg);
 
@@ -227,7 +228,7 @@ pub fn shaping() -> String {
     for offered in [20_000_000u64, 100_000_000, 1_000_000_000] {
         // Build the Fig 4 tree fresh per load level: Fig 3's hierarchy
         // with a TBF shaper attached to the Right class.
-        let mut b = TreeBuilder::new();
+        let mut b = super::tree_builder();
         let root = b.add_root(
             "WFQ_Root",
             Box::new(Stfq::new(WeightTable::from_pairs([
@@ -332,14 +333,18 @@ pub fn minrate() -> String {
     let cfg = PortConfig::new(link).with_horizon(end);
 
     // Correct 2-level tree (guarantee 2 Mb/s to flow 1, none to the hog).
-    let tree = build_min_rate_tree(&[(FlowId(1), 2_000_000), (FlowId(2), 1)], 3_000);
+    let tree = build_min_rate_tree_with_backend(
+        &[(FlowId(1), 2_000_000), (FlowId(2), 1)],
+        3_000,
+        super::backend(),
+    );
     let mut twolevel = TreeScheduler::new("min-rate-2level", tree);
     let deps_2 = run_port(&arrivals, &mut twolevel, &cfg);
 
     // Collapsed single PIFO running the Fig 8 transaction directly.
     let mut collapsed_tx = MinRateGuarantee::new(1, 3_000);
     collapsed_tx.set_rate(FlowId(1), 2_000_000);
-    let mut b = TreeBuilder::new();
+    let mut b = super::tree_builder();
     let root = b.add_root("collapsed", Box::new(collapsed_tx));
     let collapsed_tree = b.build(Box::new(move |_| root)).expect("valid");
     let mut collapsed = TreeScheduler::new("min-rate-collapsed", collapsed_tree);
@@ -417,7 +422,7 @@ pub fn buffers() -> String {
 
     // Plain tail drop inside the tree.
     {
-        let mut b = TreeBuilder::new();
+        let mut b = super::tree_builder();
         let root = b.add_root("wfq", Box::new(Stfq::new(weights.clone())));
         b.buffer_limit(256);
         let tree = b.build(Box::new(move |_| root)).expect("valid");

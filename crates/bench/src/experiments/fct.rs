@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 fn single_node_tree(tx: Box<dyn SchedulingTransaction>, limit: usize) -> ScheduleTree {
-    let mut b = TreeBuilder::new();
+    let mut b = super::tree_builder();
     let root = b.add_root("q", tx);
     b.buffer_limit(limit);
     b.build(Box::new(move |_| root)).expect("valid")

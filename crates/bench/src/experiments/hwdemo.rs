@@ -31,7 +31,7 @@ pub fn fig2() -> String {
             _ => unreachable!(),
         })
     }));
-    let mut b = TreeBuilder::new();
+    let mut b = super::tree_builder();
     let root = b.add_root("Root", root_rank);
     let left = b.add_child(root, "L", leaf_rank(&[(3, 0), (4, 1)]));
     let right = b.add_child(root, "R", leaf_rank(&[(1, 0), (2, 1)]));

@@ -10,7 +10,7 @@ use pifo_sim::{
 use std::fmt::Write as _;
 
 fn single_node_tree(tx: Box<dyn SchedulingTransaction>, limit: usize) -> ScheduleTree {
-    let mut b = TreeBuilder::new();
+    let mut b = super::tree_builder();
     let root = b.add_root("q", tx);
     b.buffer_limit(limit);
     b.build(Box::new(move |_| root)).expect("valid")
@@ -135,7 +135,7 @@ pub fn stopgo() -> String {
     // Stop-and-Go = a FIFO leaf whose shaper stamps frame-end release
     // times; root FIFO.
     let make_sg_tree = || -> ScheduleTree {
-        let mut b = TreeBuilder::new();
+        let mut b = super::tree_builder();
         let root = b.add_root("root", Box::new(Fifo));
         let leaf = b.add_child(root, "framed", Box::new(Fifo));
         b.set_shaper(leaf, Box::new(StopAndGo::new(frame)));

@@ -31,7 +31,7 @@ pub fn pfabric() -> String {
         .collect();
 
     // PIFO + SRPT transaction.
-    let mut b = TreeBuilder::new();
+    let mut b = super::tree_builder();
     let root = b.add_root("SRPT", Box::new(Srpt));
     let mut tree = b.build(Box::new(move |_| root)).expect("valid");
     for p in &seq {

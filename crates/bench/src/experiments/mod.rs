@@ -1,4 +1,16 @@
 //! Experiment registry: one function per paper table/figure.
+//!
+//! Experiments that build scheduling trees do so through
+//! [`tree_builder`] (or the `*_with_backend` constructors of
+//! `pifo-algos`), so the whole suite can be re-run on any PIFO queue
+//! engine: the `repro` binary's `--backend sorted|heap|bucket` flag calls
+//! [`set_backend`] before dispatching. Backend choice never changes the
+//! *results* (the engines are observationally equivalent — enforced by
+//! the differential property suites); running the suite per backend in CI
+//! catches engine regressions at experiment scale.
+
+use pifo_core::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod fairness;
 pub mod fct;
@@ -7,6 +19,34 @@ pub mod language;
 pub mod latency;
 pub mod limits;
 pub mod synth_tables;
+
+/// Which PIFO backend experiment trees are built with (index into
+/// [`PifoBackend::ALL`]).
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Select the PIFO queue engine used by every subsequently-run
+/// experiment that builds a scheduling tree.
+pub fn set_backend(backend: PifoBackend) {
+    let idx = PifoBackend::ALL
+        .iter()
+        .position(|&b| b == backend)
+        .expect("backend registered in ALL") as u8;
+    BACKEND.store(idx, Ordering::Relaxed);
+}
+
+/// The currently selected experiment backend (default: the reference
+/// sorted array).
+pub fn backend() -> PifoBackend {
+    PifoBackend::ALL[BACKEND.load(Ordering::Relaxed) as usize]
+}
+
+/// A `TreeBuilder` pre-configured with the selected backend — every
+/// experiment that assembles a tree by hand starts from this.
+pub fn tree_builder() -> TreeBuilder {
+    let mut b = TreeBuilder::new();
+    b.with_backend(backend());
+    b
+}
 
 /// One experiment: `(id, description, runner)`.
 pub type Experiment = (&'static str, &'static str, fn() -> String);

@@ -13,8 +13,12 @@
 //!
 //! ## Layout
 //!
-//! * [`pifo`] — the PIFO data structure ([`pifo::SortedArrayPifo`] is the
-//!   reference semantics; [`pifo::HeapPifo`] the fast software variant).
+//! * [`pifo`] — the PIFO contract ([`pifo::PifoQueue`] +
+//!   [`pifo::PifoInspect`]) and its interchangeable backends:
+//!   [`pifo::SortedArrayPifo`] (reference semantics), [`pifo::HeapPifo`]
+//!   (binary heap) and [`pifo::BucketPifo`] (Eiffel-style FFS bucket
+//!   calendar). [`pifo::PifoBackend`] selects one at runtime; see the
+//!   module docs for the "choosing a backend" table.
 //! * [`packet`], [`rank`], [`time`] — the vocabulary types.
 //! * [`transaction`] — scheduling & shaping transaction traits (§2.1, §2.3).
 //! * [`tree`] — trees of transactions with suspend/resume shaping (§2.2–2.3).
@@ -55,7 +59,10 @@ pub mod tree;
 /// Convenient glob-import of the types nearly every user needs.
 pub mod prelude {
     pub use crate::packet::{FlowId, Packet, PacketId};
-    pub use crate::pifo::{HeapPifo, PifoFull, PifoQueue, SortedArrayPifo};
+    pub use crate::pifo::{
+        BoxedPifo, BucketPifo, HeapPifo, PifoBackend, PifoEngine, PifoFull, PifoInspect, PifoQueue,
+        SortedArrayPifo,
+    };
     pub use crate::rank::{Rank, VT_SHIFT};
     pub use crate::time::{bytes_in, tx_time, Nanos};
     pub use crate::transaction::{

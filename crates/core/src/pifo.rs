@@ -6,19 +6,46 @@
 //! broken in enqueue order — a property the paper relies on, e.g. for
 //! Stop-and-Go Queueing where all packets of a frame share one rank (§3.2).
 //!
-//! Two software implementations are provided behind one trait:
+//! # The backend contract
 //!
-//! * [`SortedArrayPifo`] — a flat sorted array, the direct analogue of the
-//!   "naive" hardware design of §5.2 and the reference semantics for every
-//!   other implementation in this workspace (including the hardware model
-//!   in `pifo-hw`, which is checked against it property-wise).
-//! * [`HeapPifo`] — a binary heap with explicit enqueue sequence numbers to
-//!   preserve FIFO tie-breaking; the fast choice for software simulation.
+//! The PIFO abstraction is deliberately separated from its implementation:
+//! the paper's whole point is that *one* queueing discipline supports many
+//! scheduling algorithms, and symmetrically this crate lets *many* queue
+//! engines implement one discipline. Two traits capture the contract:
+//!
+//! * [`PifoQueue`] — the core operations every scheduler needs in the hot
+//!   path (`try_push`/`pop`/`peek`/`len`/`capacity`).
+//! * [`PifoInspect`] — ordered inspection and targeted removal
+//!   (`iter_in_order`, `peek_first_matching`, `pop_first_matching`), used
+//!   by the scheduling tree's introspection, the hardware model's
+//!   logical-PIFO sharing (§5.2) and PFC masking (§6.2). These may be
+//!   slower than the core ops; they are not on the per-packet path.
+//!
+//! [`PifoEngine`] is the combination of both, and what
+//! [`PifoBackend::make`] hands out as a trait object so that consumers —
+//! the scheduling tree, the simulator, the benches — never name a concrete
+//! queue type.
+//!
+//! # Choosing a backend
+//!
+//! | Backend | `push` | `pop` | Notes |
+//! |---|---|---|---|
+//! | [`SortedArrayPifo`] | O(n) | O(1) | Reference semantics; direct analogue of the naive hardware of §5.2. Best below ~1 K elements and for debugging. |
+//! | [`HeapPifo`] | O(log n) | O(log n) | Binary heap with explicit sequence numbers for FIFO ties. Solid general-purpose software choice. |
+//! | [`BucketPifo`] | O(1)* | O(1)* | Eiffel-style FFS bucket calendar (integer-rank buckets, two-level find-first-set bitmap, overflow heap). Fastest at Trident-scale occupancies when ranks spread across the bucket window; *amortised, degrades gracefully toward the heap when they do not. |
+//!
+//! All three are **exactly** equivalent observationally — same dequeue
+//! order, same FIFO tie-breaks, same admission decisions — which the
+//! cross-backend differential property suite in `tests/proptests.rs`
+//! enforces. `BucketPifo` is exact (not approximate like Eiffel's
+//! gradient buckets) because ranks are integers and each bucket keeps its
+//! few residents sorted.
 
 use crate::rank::Rank;
 use core::fmt;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
+use std::str::FromStr;
 
 /// Error returned by [`PifoQueue::try_push`] when the queue is at capacity.
 /// Carries the rejected element back to the caller (so a switch model can
@@ -29,18 +56,25 @@ pub struct PifoFull<T> {
     pub rank: Rank,
     /// The rejected element.
     pub item: T,
+    /// The capacity of the queue that rejected it.
+    pub capacity: usize,
 }
 
 impl<T> fmt::Display for PifoFull<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PIFO full: rejected element with rank {}", self.rank)
+        write!(
+            f,
+            "PIFO full (capacity {}): rejected element with rank {}",
+            self.capacity, self.rank
+        )
     }
 }
 
-/// The PIFO contract shared by every implementation.
+/// The core PIFO contract shared by every implementation.
 ///
 /// Invariants every implementation must uphold (checked by the shared
-/// property tests in this module and by `tests/` integration suites):
+/// property tests in this module and by the cross-backend differential
+/// suite in `tests/proptests.rs`):
 ///
 /// 1. `pop` returns elements in non-decreasing rank order **among the
 ///    elements present at the time of each pop** (push-in, first-out).
@@ -73,6 +107,116 @@ pub trait PifoQueue<T> {
     fn push(&mut self, rank: Rank, item: T) {
         if self.try_push(rank, item).is_err() {
             panic!("push into full PIFO (capacity {:?})", self.capacity());
+        }
+    }
+}
+
+/// Ordered inspection and targeted removal, on top of [`PifoQueue`].
+///
+/// These operations exist for the scheduling tree's introspection
+/// (`debug_pifo`), the hardware model's logical-PIFO sharing — a pop
+/// targets "the first element with a given logical PIFO ID" (§5.2) — and
+/// PFC masking (§6.2). They are **not** on the per-packet hot path, so
+/// backends may implement them in O(n log n); the trait is object-safe so
+/// the whole contract fits behind one `dyn` pointer (see [`PifoEngine`]).
+pub trait PifoInspect<T>: PifoQueue<T> {
+    /// Iterate over `(rank, item)` in dequeue order without removing.
+    fn iter_in_order(&self) -> Box<dyn Iterator<Item = (Rank, &T)> + '_>;
+
+    /// Peek the first element matching `pred` (head-most in dequeue order).
+    fn peek_first_matching(&self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, &T)>;
+
+    /// Remove and return the first element matching `pred` (head-most in
+    /// dequeue order). All other elements keep their relative order.
+    fn pop_first_matching(&mut self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, T)>;
+}
+
+/// The complete backend contract: core queue operations plus inspection.
+///
+/// Everything `ScheduleTree` and the hardware model need fits behind
+/// `Box<dyn PifoEngine<T>>`; blanket-implemented for any type providing
+/// both sub-traits.
+pub trait PifoEngine<T>: PifoInspect<T> {}
+
+impl<T, Q: PifoInspect<T> + ?Sized> PifoEngine<T> for Q {}
+
+/// A heap-allocated, backend-erased PIFO — what [`PifoBackend::make`]
+/// returns and what every `ScheduleTree` node stores.
+pub type BoxedPifo<T> = Box<dyn PifoEngine<T>>;
+
+// ---------------------------------------------------------------------------
+// Backend selector
+// ---------------------------------------------------------------------------
+
+/// Selects which queue engine backs a PIFO (see the module docs for the
+/// comparison table). Parsed from `sorted` / `heap` / `bucket` on CLIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PifoBackend {
+    /// [`SortedArrayPifo`] — the O(n)-insert reference.
+    #[default]
+    SortedArray,
+    /// [`HeapPifo`] — O(log n) binary heap.
+    Heap,
+    /// [`BucketPifo`] — FFS bucket calendar, O(1) amortised.
+    Bucket,
+}
+
+impl PifoBackend {
+    /// Every backend, in reference-first order (useful for differential
+    /// tests and bench sweeps).
+    pub const ALL: [PifoBackend; 3] = [
+        PifoBackend::SortedArray,
+        PifoBackend::Heap,
+        PifoBackend::Bucket,
+    ];
+
+    /// Short stable name (`sorted` / `heap` / `bucket`), the inverse of
+    /// [`FromStr`].
+    pub fn label(self) -> &'static str {
+        match self {
+            PifoBackend::SortedArray => "sorted",
+            PifoBackend::Heap => "heap",
+            PifoBackend::Bucket => "bucket",
+        }
+    }
+
+    /// Construct an unbounded queue of this backend.
+    pub fn make<T: 'static>(self) -> BoxedPifo<T> {
+        match self {
+            PifoBackend::SortedArray => Box::new(SortedArrayPifo::new()),
+            PifoBackend::Heap => Box::new(HeapPifo::new()),
+            PifoBackend::Bucket => Box::new(BucketPifo::new()),
+        }
+    }
+
+    /// Construct a queue of this backend that rejects pushes beyond
+    /// `capacity` elements.
+    pub fn make_bounded<T: 'static>(self, capacity: usize) -> BoxedPifo<T> {
+        match self {
+            PifoBackend::SortedArray => Box::new(SortedArrayPifo::with_capacity(capacity)),
+            PifoBackend::Heap => Box::new(HeapPifo::with_capacity(capacity)),
+            PifoBackend::Bucket => Box::new(BucketPifo::with_capacity(capacity)),
+        }
+    }
+}
+
+impl fmt::Display for PifoBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PifoBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sorted" | "sorted-array" | "sorted_array" | "array" => Ok(PifoBackend::SortedArray),
+            "heap" => Ok(PifoBackend::Heap),
+            "bucket" | "calendar" | "ffs" => Ok(PifoBackend::Bucket),
+            other => Err(format!(
+                "unknown PIFO backend '{other}' (expected sorted | heap | bucket)"
+            )),
         }
     }
 }
@@ -121,26 +265,10 @@ impl<T> SortedArrayPifo<T> {
     }
 
     /// Iterate over `(rank, item)` in dequeue order without removing.
+    /// (Also available backend-agnostically as
+    /// [`PifoInspect::iter_in_order`].)
     pub fn iter(&self) -> impl Iterator<Item = (Rank, &T)> {
         self.items.iter().map(|(r, _, t)| (*r, t))
-    }
-
-    /// Remove and return the first element matching `pred` (head-most).
-    ///
-    /// This is not a PIFO primitive — it exists for the hardware model's
-    /// logical-PIFO sharing, where a pop targets "the first element with a
-    /// given logical PIFO ID" (§5.2), and for PFC masking (§6.2).
-    pub fn pop_first_matching(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<(Rank, T)> {
-        let idx = self.items.iter().position(|(_, _, t)| pred(t))?;
-        self.items.remove(idx).map(|(r, _, t)| (r, t))
-    }
-
-    /// Peek the first element matching `pred` (head-most).
-    pub fn peek_first_matching(&self, mut pred: impl FnMut(&T) -> bool) -> Option<(Rank, &T)> {
-        self.items
-            .iter()
-            .find(|(_, _, t)| pred(t))
-            .map(|(r, _, t)| (*r, t))
     }
 }
 
@@ -148,7 +276,11 @@ impl<T> PifoQueue<T> for SortedArrayPifo<T> {
     fn try_push(&mut self, rank: Rank, item: T) -> Result<(), PifoFull<T>> {
         if let Some(cap) = self.capacity {
             if self.items.len() >= cap {
-                return Err(PifoFull { rank, item });
+                return Err(PifoFull {
+                    rank,
+                    item,
+                    capacity: cap,
+                });
             }
         }
         // First index whose rank exceeds the new rank: equal ranks stay
@@ -173,6 +305,24 @@ impl<T> PifoQueue<T> for SortedArrayPifo<T> {
 
     fn capacity(&self) -> Option<usize> {
         self.capacity
+    }
+}
+
+impl<T> PifoInspect<T> for SortedArrayPifo<T> {
+    fn iter_in_order(&self) -> Box<dyn Iterator<Item = (Rank, &T)> + '_> {
+        Box::new(self.iter())
+    }
+
+    fn peek_first_matching(&self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, &T)> {
+        self.items
+            .iter()
+            .find(|(_, _, t)| pred(t))
+            .map(|(r, _, t)| (*r, t))
+    }
+
+    fn pop_first_matching(&mut self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, T)> {
+        let idx = self.items.iter().position(|(_, _, t)| pred(t))?;
+        self.items.remove(idx).map(|(r, _, t)| (r, t))
     }
 }
 
@@ -209,8 +359,9 @@ impl<T> PartialOrd for HeapEntry<T> {
 
 /// Binary-heap PIFO with stable FIFO tie-breaking: `O(log n)` push/pop.
 ///
-/// Functionally identical to [`SortedArrayPifo`]; preferred for software
-/// simulation at Trident scale (60 K elements).
+/// Functionally identical to [`SortedArrayPifo`]. Inspection operations
+/// materialise a sorted view, so they cost O(n log n) — fine for their
+/// debug/model use, not for the hot path.
 #[derive(Debug, Clone)]
 pub struct HeapPifo<T> {
     heap: BinaryHeap<HeapEntry<T>>,
@@ -242,13 +393,24 @@ impl<T> HeapPifo<T> {
             capacity: Some(capacity),
         }
     }
+
+    /// Entries as a freshly sorted vector of references (dequeue order).
+    fn sorted_refs(&self) -> Vec<&HeapEntry<T>> {
+        let mut v: Vec<&HeapEntry<T>> = self.heap.iter().collect();
+        v.sort_by_key(|e| (e.rank, e.seq));
+        v
+    }
 }
 
 impl<T> PifoQueue<T> for HeapPifo<T> {
     fn try_push(&mut self, rank: Rank, item: T) -> Result<(), PifoFull<T>> {
         if let Some(cap) = self.capacity {
             if self.heap.len() >= cap {
-                return Err(PifoFull { rank, item });
+                return Err(PifoFull {
+                    rank,
+                    item,
+                    capacity: cap,
+                });
             }
         }
         self.heap.push(HeapEntry {
@@ -277,11 +439,336 @@ impl<T> PifoQueue<T> for HeapPifo<T> {
     }
 }
 
+impl<T> PifoInspect<T> for HeapPifo<T> {
+    fn iter_in_order(&self) -> Box<dyn Iterator<Item = (Rank, &T)> + '_> {
+        Box::new(self.sorted_refs().into_iter().map(|e| (e.rank, &e.item)))
+    }
+
+    fn peek_first_matching(&self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, &T)> {
+        self.sorted_refs()
+            .into_iter()
+            .find(|e| pred(&e.item))
+            .map(|e| (e.rank, &e.item))
+    }
+
+    fn pop_first_matching(&mut self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, T)> {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.sort_by_key(|e| (e.rank, e.seq));
+        let pos = entries.iter().position(|e| pred(&e.item));
+        let removed = pos.map(|p| entries.remove(p));
+        self.heap = BinaryHeap::from(entries);
+        removed.map(|e| (e.rank, e.item))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BucketPifo
+// ---------------------------------------------------------------------------
+
+/// Number of 64-bit words in the occupancy bitmap.
+const BUCKET_WORDS: usize = 64;
+/// Number of calendar buckets (one bit each in the two-level bitmap).
+const NUM_BUCKETS: usize = BUCKET_WORDS * 64; // 4096
+
+/// Eiffel-inspired bucketed calendar PIFO with a two-level find-first-set
+/// bitmap: `O(1)` amortised push/pop for integer ranks.
+///
+/// Ranks are mapped to one of [`NUM_BUCKETS`] buckets of `2^shift`
+/// consecutive rank values, starting at a moving `base`. A 64×64-bit
+/// hierarchical bitmap finds the lowest non-empty bucket with two
+/// `trailing_zeros` instructions (the software analogue of Eiffel's FFS
+/// circular queues, NSDI'19). Ranks beyond the calendar horizon go to an
+/// overflow heap and migrate into the calendar as it drains; ranks below
+/// the current base trigger a (rare, amortised) downward rebase.
+///
+/// Unlike Eiffel's approximate gradient buckets this structure is
+/// **exact**: residents of one bucket are kept sorted by
+/// `(rank, sequence)`, so the dequeue trace — including FIFO tie-breaks —
+/// is byte-identical to [`SortedArrayPifo`]'s (enforced by the
+/// cross-backend differential property suite).
+#[derive(Debug, Clone)]
+pub struct BucketPifo<T> {
+    buckets: Vec<VecDeque<(Rank, u64, T)>>,
+    /// Bit `w` set ⇔ `words[w] != 0`.
+    summary: u64,
+    /// Bit `b` of `words[w]` set ⇔ bucket `w*64 + b` is non-empty.
+    words: Vec<u64>,
+    /// `rank >> shift` of bucket 0.
+    base_bucket: u64,
+    /// log2 of the rank span each bucket covers.
+    shift: u32,
+    /// Entries with `rank >> shift` beyond the calendar horizon.
+    overflow: BinaryHeap<HeapEntry<T>>,
+    len: usize,
+    seq: u64,
+    capacity: Option<usize>,
+}
+
+/// Default bucket granularity: 2^8 rank values per bucket, giving a
+/// calendar window of 4096 × 256 ≈ 1 M rank values — wide enough that
+/// virtual-time and timestamp ranks of a busy port mostly land in the
+/// calendar rather than the overflow heap.
+const DEFAULT_BUCKET_SHIFT: u32 = 8;
+
+impl<T> Default for BucketPifo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BucketPifo<T> {
+    /// An unbounded PIFO with the default bucket granularity.
+    pub fn new() -> Self {
+        Self::with_shift(DEFAULT_BUCKET_SHIFT)
+    }
+
+    /// A PIFO that rejects pushes beyond `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = Self::new();
+        q.capacity = Some(capacity);
+        q
+    }
+
+    /// An unbounded PIFO whose buckets each cover `2^shift` rank values.
+    /// Smaller shifts mean finer buckets (fewer residents each) but a
+    /// narrower calendar window before ranks spill to the overflow heap.
+    pub fn with_shift(shift: u32) -> Self {
+        assert!(shift < 56, "bucket shift {shift} leaves no rank bits");
+        BucketPifo {
+            buckets: (0..NUM_BUCKETS).map(|_| VecDeque::new()).collect(),
+            summary: 0,
+            words: vec![0; BUCKET_WORDS],
+            base_bucket: 0,
+            shift,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            seq: 0,
+            capacity: None,
+        }
+    }
+
+    fn mark(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1 << (idx % 64);
+        self.summary |= 1 << (idx / 64);
+    }
+
+    fn unmark_if_empty(&mut self, idx: usize) {
+        if self.buckets[idx].is_empty() {
+            self.words[idx / 64] &= !(1 << (idx % 64));
+            if self.words[idx / 64] == 0 {
+                self.summary &= !(1 << (idx / 64));
+            }
+        }
+    }
+
+    /// Lowest non-empty bucket index, via two FFS steps.
+    fn first_occupied(&self) -> Option<usize> {
+        if self.summary == 0 {
+            return None;
+        }
+        let w = self.summary.trailing_zeros() as usize;
+        let b = self.words[w].trailing_zeros() as usize;
+        Some(w * 64 + b)
+    }
+
+    fn rebuild_bitmap(&mut self) {
+        self.summary = 0;
+        self.words.iter_mut().for_each(|w| *w = 0);
+        for idx in 0..NUM_BUCKETS {
+            if !self.buckets[idx].is_empty() {
+                self.mark(idx);
+            }
+        }
+    }
+
+    /// Shift the calendar down so that bucket 0 covers `new_base`
+    /// (a virtual bucket index below the current base). Occupied buckets
+    /// move up by the same delta; those pushed past the horizon spill to
+    /// the overflow heap. O(NUM_BUCKETS + moved) — rare, amortised.
+    fn rebase_down(&mut self, new_base: u64) {
+        let delta = self.base_bucket - new_base;
+        if self.summary != 0 {
+            for i in (0..NUM_BUCKETS).rev() {
+                if self.buckets[i].is_empty() {
+                    continue;
+                }
+                // Saturating: a huge delta (rebasing down from a near-max
+                // base) must spill to overflow, not wrap around.
+                let target = (i as u64).saturating_add(delta);
+                if target < NUM_BUCKETS as u64 {
+                    // Descending iteration guarantees the target slot was
+                    // already vacated (it moved by the same delta).
+                    self.buckets.swap(i, target as usize);
+                } else {
+                    for (r, s, t) in self.buckets[i].drain(..) {
+                        self.overflow.push(HeapEntry {
+                            rank: r,
+                            seq: s,
+                            item: t,
+                        });
+                    }
+                }
+            }
+        }
+        self.base_bucket = new_base;
+        self.rebuild_bitmap();
+    }
+
+    /// All buckets are empty but the overflow heap is not: re-anchor the
+    /// calendar at the overflow minimum and migrate everything within the
+    /// new window. Heap pops come out in `(rank, seq)` order, so plain
+    /// `push_back` keeps each bucket sorted.
+    fn refill_from_overflow(&mut self) {
+        debug_assert_eq!(self.summary, 0);
+        let min = self
+            .overflow
+            .peek()
+            .expect("refill called with empty overflow");
+        self.base_bucket = min.rank.value() >> self.shift;
+        while let Some(e) = self.overflow.peek() {
+            // Offset from the new base; overflow-free because the base is
+            // the overflow minimum (near-u64::MAX ranks at tiny shifts
+            // would overflow an absolute `base + NUM_BUCKETS` horizon).
+            let off = (e.rank.value() >> self.shift) - self.base_bucket;
+            if off >= NUM_BUCKETS as u64 {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry vanished");
+            self.buckets[off as usize].push_back((e.rank, e.seq, e.item));
+            self.mark(off as usize);
+        }
+    }
+
+    /// Place `(rank, seq, item)` on the correct side of the horizon.
+    ///
+    /// Invariant maintained throughout: every calendar rank `<` every
+    /// overflow rank (bucket ranks are below the horizon, overflow ranks
+    /// at or above it, and the horizon only moves when it preserves this).
+    fn place(&mut self, rank: Rank, seq: u64, item: T) {
+        let vb = rank.value() >> self.shift;
+        if self.summary == 0 && self.overflow.is_empty() {
+            self.base_bucket = vb;
+        } else if vb < self.base_bucket {
+            self.rebase_down(vb);
+        }
+        // Offset comparison, not an absolute horizon: `base + NUM_BUCKETS`
+        // would overflow u64 for near-max ranks at tiny shifts.
+        let off = vb - self.base_bucket;
+        if off >= NUM_BUCKETS as u64 {
+            self.overflow.push(HeapEntry { rank, seq, item });
+        } else {
+            let bucket = &mut self.buckets[off as usize];
+            let pos = bucket.partition_point(|(r, s, _)| (*r, *s) <= (rank, seq));
+            bucket.insert(pos, (rank, seq, item));
+            self.mark(off as usize);
+        }
+    }
+
+    /// Overflow entries as a freshly sorted vector of references.
+    fn overflow_sorted_refs(&self) -> Vec<&HeapEntry<T>> {
+        let mut v: Vec<&HeapEntry<T>> = self.overflow.iter().collect();
+        v.sort_by_key(|e| (e.rank, e.seq));
+        v
+    }
+}
+
+impl<T> PifoQueue<T> for BucketPifo<T> {
+    fn try_push(&mut self, rank: Rank, item: T) -> Result<(), PifoFull<T>> {
+        if let Some(cap) = self.capacity {
+            if self.len >= cap {
+                return Err(PifoFull {
+                    rank,
+                    item,
+                    capacity: cap,
+                });
+            }
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.place(rank, seq, item);
+        self.len += 1;
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Option<(Rank, T)> {
+        if self.summary == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.refill_from_overflow();
+        }
+        let idx = self.first_occupied().expect("non-empty after refill");
+        let (r, _, t) = self.buckets[idx].pop_front().expect("bitmap said occupied");
+        self.unmark_if_empty(idx);
+        self.len -= 1;
+        Some((r, t))
+    }
+
+    fn peek(&self) -> Option<(Rank, &T)> {
+        match self.first_occupied() {
+            Some(idx) => self.buckets[idx].front().map(|(r, _, t)| (*r, t)),
+            // Calendar empty: the overflow minimum is the global minimum.
+            None => self.overflow.peek().map(|e| (e.rank, &e.item)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+}
+
+impl<T> PifoInspect<T> for BucketPifo<T> {
+    fn iter_in_order(&self) -> Box<dyn Iterator<Item = (Rank, &T)> + '_> {
+        // Calendar ranks all precede overflow ranks (horizon invariant),
+        // so dequeue order is: buckets by index, then overflow sorted.
+        let over = self.overflow_sorted_refs();
+        Box::new(
+            self.buckets
+                .iter()
+                .flat_map(|b| b.iter().map(|(r, _, t)| (*r, t)))
+                .chain(over.into_iter().map(|e| (e.rank, &e.item))),
+        )
+    }
+
+    fn peek_first_matching(&self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, &T)> {
+        self.iter_in_order().find(|(_, t)| pred(t))
+    }
+
+    fn pop_first_matching(&mut self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, T)> {
+        // Scan the calendar in dequeue order first.
+        for idx in 0..NUM_BUCKETS {
+            if self.buckets[idx].is_empty() {
+                continue;
+            }
+            if let Some(pos) = self.buckets[idx].iter().position(|(_, _, t)| pred(t)) {
+                let (r, _, t) = self.buckets[idx].remove(pos).expect("position exists");
+                self.unmark_if_empty(idx);
+                self.len -= 1;
+                return Some((r, t));
+            }
+        }
+        // Then the overflow heap, in dequeue order.
+        let mut entries = std::mem::take(&mut self.overflow).into_vec();
+        entries.sort_by_key(|e| (e.rank, e.seq));
+        let pos = entries.iter().position(|e| pred(&e.item));
+        let removed = pos.map(|p| entries.remove(p));
+        self.overflow = BinaryHeap::from(entries);
+        removed.map(|e| {
+            self.len -= 1;
+            (e.rank, e.item)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn drain<T, Q: PifoQueue<T>>(q: &mut Q) -> Vec<(Rank, T)> {
+    fn drain<T, Q: PifoQueue<T> + ?Sized>(q: &mut Q) -> Vec<(Rank, T)> {
         let mut out = Vec::new();
         while let Some(e) = q.pop() {
             out.push(e);
@@ -307,6 +794,11 @@ mod tests {
         basic_order(HeapPifo::new());
     }
 
+    #[test]
+    fn bucket_orders_by_rank() {
+        basic_order(BucketPifo::new());
+    }
+
     fn fifo_tie_break<Q: PifoQueue<u32>>(mut q: Q) {
         q.push(Rank(5), 1);
         q.push(Rank(5), 2);
@@ -324,6 +816,11 @@ mod tests {
     #[test]
     fn heap_fifo_ties() {
         fifo_tie_break(HeapPifo::new());
+    }
+
+    #[test]
+    fn bucket_fifo_ties() {
+        fifo_tie_break(BucketPifo::new());
     }
 
     #[test]
@@ -345,6 +842,7 @@ mod tests {
         let err = q.try_push(Rank(0), 'c').unwrap_err();
         assert_eq!(err.item, 'c');
         assert_eq!(err.rank, Rank(0));
+        assert_eq!(err.capacity, 2);
         assert_eq!(q.len(), 2);
         // After a pop there is room again.
         q.pop();
@@ -357,6 +855,17 @@ mod tests {
         assert!(q.try_push(Rank(1), 1).is_ok());
         assert!(q.try_push(Rank(1), 2).is_err());
         assert_eq!(q.capacity(), Some(1));
+    }
+
+    #[test]
+    fn pifo_full_display_names_capacity_and_rank() {
+        let mut q = BucketPifo::with_capacity(3);
+        for i in 0..3 {
+            q.push(Rank(i), i);
+        }
+        let err = q.try_push(Rank(42), 99).unwrap_err();
+        let msg = err.to_string();
+        assert_eq!(msg, "PIFO full (capacity 3): rejected element with rank 42");
     }
 
     #[test]
@@ -379,27 +888,49 @@ mod tests {
 
     #[test]
     fn pop_first_matching_respects_head_order() {
-        let mut q = SortedArrayPifo::new();
-        q.push(Rank(1), ("a", 1));
-        q.push(Rank(2), ("b", 2));
-        q.push(Rank(3), ("a", 3));
-        // First "a" by dequeue order is the rank-1 one.
-        let (r, (tag, v)) = q.pop_first_matching(|(t, _)| *t == "a").unwrap();
-        assert_eq!((r, tag, v), (Rank(1), "a", 1));
-        // Remaining order intact.
-        assert_eq!(q.pop().unwrap().1, ("b", 2));
-        assert_eq!(q.pop().unwrap().1, ("a", 3));
+        // Exercised through the backend-erased engine, as the hw model
+        // uses it.
+        for backend in PifoBackend::ALL {
+            let mut q: BoxedPifo<(&str, u32)> = backend.make();
+            q.push(Rank(1), ("a", 1));
+            q.push(Rank(2), ("b", 2));
+            q.push(Rank(3), ("a", 3));
+            // First "a" by dequeue order is the rank-1 one.
+            let (r, (tag, v)) = q.pop_first_matching(&mut |(t, _)| *t == "a").unwrap();
+            assert_eq!((r, tag, v), (Rank(1), "a", 1), "{backend}");
+            // Remaining order intact.
+            assert_eq!(q.pop().unwrap().1, ("b", 2), "{backend}");
+            assert_eq!(q.pop().unwrap().1, ("a", 3), "{backend}");
+            assert!(q.is_empty(), "{backend}");
+        }
     }
 
     #[test]
     fn peek_first_matching_finds_headmost() {
-        let mut q = SortedArrayPifo::new();
-        q.push(Rank(4), 40u32);
-        q.push(Rank(2), 21u32);
-        q.push(Rank(3), 31u32);
-        let (r, v) = q.peek_first_matching(|v| *v % 2 == 1).unwrap();
-        assert_eq!((r, *v), (Rank(2), 21));
-        assert_eq!(q.len(), 3);
+        for backend in PifoBackend::ALL {
+            let mut q: BoxedPifo<u32> = backend.make();
+            q.push(Rank(4), 40u32);
+            q.push(Rank(2), 21u32);
+            q.push(Rank(3), 31u32);
+            let (r, v) = q.peek_first_matching(&mut |v| *v % 2 == 1).unwrap();
+            assert_eq!((r, *v), (Rank(2), 21), "{backend}");
+            assert_eq!(q.len(), 3, "{backend}");
+        }
+    }
+
+    #[test]
+    fn iter_in_order_matches_drain_order() {
+        for backend in PifoBackend::ALL {
+            let mut q: BoxedPifo<u64> = backend.make();
+            // Spread ranks across buckets, within one bucket, and into the
+            // bucket backend's overflow region.
+            for (i, r) in [5u64, 5, 1 << 30, 3, 700, 5, 1 << 40, 0].iter().enumerate() {
+                q.push(Rank(*r), i as u64);
+            }
+            let via_iter: Vec<(Rank, u64)> = q.iter_in_order().map(|(r, v)| (r, *v)).collect();
+            let via_drain: Vec<(Rank, u64)> = drain(&mut *q);
+            assert_eq!(via_iter, via_drain, "{backend}");
+        }
     }
 
     #[test]
@@ -414,5 +945,111 @@ mod tests {
         assert_eq!(q.pop().unwrap().0, Rank(7));
         assert_eq!(q.pop().unwrap().0, Rank(10));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for backend in PifoBackend::ALL {
+            assert_eq!(backend.label().parse::<PifoBackend>().unwrap(), backend);
+            assert_eq!(backend.to_string(), backend.label());
+        }
+        assert_eq!(
+            "sorted-array".parse::<PifoBackend>(),
+            Ok(PifoBackend::SortedArray)
+        );
+        assert!("mystery".parse::<PifoBackend>().is_err());
+    }
+
+    // ---- BucketPifo-specific structure tests -----------------------------
+
+    #[test]
+    fn bucket_far_future_ranks_go_through_overflow() {
+        let mut q: BucketPifo<u32> = BucketPifo::with_shift(0);
+        // Window is NUM_BUCKETS ranks wide at shift 0.
+        q.push(Rank(0), 0);
+        q.push(Rank((NUM_BUCKETS as u64) * 10), 1); // far beyond horizon
+        q.push(Rank(5), 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Rank(0), 0)));
+        assert_eq!(q.pop(), Some((Rank(5), 2)));
+        // Calendar drained: refill pulls the far element in.
+        assert_eq!(q.pop(), Some((Rank((NUM_BUCKETS as u64) * 10), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bucket_rebase_down_accepts_lower_ranks() {
+        let mut q: BucketPifo<u32> = BucketPifo::with_shift(0);
+        q.push(Rank(1_000_000), 0); // anchors the calendar high
+        q.push(Rank(3), 1); // forces a rebase far downward
+        q.push(Rank(1_000_001), 2); // now beyond the horizon → overflow
+        assert_eq!(q.pop(), Some((Rank(3), 1)));
+        assert_eq!(q.pop(), Some((Rank(1_000_000), 0)));
+        assert_eq!(q.pop(), Some((Rank(1_000_001), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bucket_ties_survive_overflow_migration() {
+        let mut q: BucketPifo<u32> = BucketPifo::with_shift(0);
+        let far = (NUM_BUCKETS as u64) * 3;
+        q.push(Rank(0), 0);
+        q.push(Rank(far), 10); // overflow
+        q.push(Rank(far), 11); // overflow, same rank: FIFO later
+        assert_eq!(q.pop(), Some((Rank(0), 0)));
+        // Refill migrates both; FIFO order must hold.
+        assert_eq!(q.pop(), Some((Rank(far), 10)));
+        // A fresh equal-rank push lands in the calendar *behind* the
+        // migrated one (larger seq).
+        q.push(Rank(far), 12);
+        assert_eq!(q.pop(), Some((Rank(far), 11)));
+        assert_eq!(q.pop(), Some((Rank(far), 12)));
+    }
+
+    #[test]
+    fn bucket_peek_sees_overflow_only_minimum() {
+        let mut q: BucketPifo<u32> = BucketPifo::with_shift(0);
+        let far = (NUM_BUCKETS as u64) * 5;
+        q.push(Rank(far + 7), 1);
+        q.push(Rank(far), 0);
+        // Everything may sit in overflow (calendar anchored at first push).
+        assert_eq!(q.peek().map(|(r, v)| (r, *v)), Some((Rank(far), 0)));
+        assert_eq!(q.pop(), Some((Rank(far), 0)));
+        assert_eq!(q.pop(), Some((Rank(far + 7), 1)));
+    }
+
+    #[test]
+    fn bucket_handles_max_rank() {
+        let mut q: BucketPifo<u64> = BucketPifo::new();
+        q.push(Rank(u64::MAX), 1);
+        q.push(Rank(0), 0);
+        q.push(Rank(u64::MAX - 1), 2);
+        assert_eq!(q.pop(), Some((Rank(0), 0)));
+        assert_eq!(q.pop(), Some((Rank(u64::MAX - 1), 2)));
+        assert_eq!(q.pop(), Some((Rank(u64::MAX), 1)));
+    }
+
+    /// Regression: at shift 0 a near-max rank anchors the calendar where
+    /// an absolute `base + NUM_BUCKETS` horizon would overflow u64. The
+    /// offset-based window checks must keep push/refill/pop exact.
+    #[test]
+    fn bucket_near_max_rank_at_shift_zero() {
+        let mut q: BucketPifo<u64> = BucketPifo::with_shift(0);
+        q.push(Rank(u64::MAX), 1);
+        q.push(Rank(0), 2);
+        assert_eq!(q.pop(), Some((Rank(0), 2)));
+        assert_eq!(q.pop(), Some((Rank(u64::MAX), 1)));
+        assert_eq!(q.pop(), None);
+
+        // Anchor directly at the top: pushes within and below the
+        // truncated window, plus a huge rebase back down.
+        let mut q: BucketPifo<u64> = BucketPifo::with_shift(0);
+        q.push(Rank(u64::MAX - 10), 0);
+        q.push(Rank(u64::MAX), 1); // offset 10, inside the window
+        q.push(Rank(5), 2); // rebase down by ~u64::MAX
+        assert_eq!(q.pop(), Some((Rank(5), 2)));
+        assert_eq!(q.pop(), Some((Rank(u64::MAX - 10), 0)));
+        assert_eq!(q.pop(), Some((Rank(u64::MAX), 1)));
+        assert!(q.is_empty());
     }
 }

@@ -24,7 +24,7 @@
 //!   any enqueue/dequeue at a later wall-clock time is processed.
 
 use crate::packet::{FlowId, Packet};
-use crate::pifo::{PifoQueue, SortedArrayPifo};
+use crate::pifo::{BoxedPifo, PifoBackend};
 use crate::rank::Rank;
 use crate::time::Nanos;
 use crate::transaction::{DeqCtx, EnqCtx, SchedulingTransaction, ShapingTransaction};
@@ -49,16 +49,46 @@ impl NodeId {
         self.0 as usize
     }
 
+    /// A sentinel id that never names a real node.
+    ///
+    /// Classifiers return this for packets that belong to no leaf (e.g. an
+    /// unknown flow); `enqueue` reports it as [`TreeError::UnknownNode`]
+    /// instead of silently misrouting the packet.
+    pub const INVALID: NodeId = NodeId(u32::MAX);
+
     /// Construct a `NodeId` from a raw index.
     ///
     /// Node ids are assigned densely in the order of
     /// [`TreeBuilder::add_root`]/[`TreeBuilder::add_child`] calls (root
     /// first). Builder helpers (e.g. `pifo-algos`' tree constructors) use
     /// this to wire classifiers before the tree exists; an id that does not
-    /// name a real node is caught at `enqueue` as
+    /// name a real node of the final tree is caught at `enqueue` as
     /// [`TreeError::UnknownNode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` cannot name a real node (it exceeds
+    /// `u32::MAX - 1`), so a construction mistake surfaces at the call
+    /// site rather than as a confusing `UnknownNode` much later. Use
+    /// [`NodeId::try_from_index`] for a non-panicking variant and
+    /// [`NodeId::INVALID`] for an explicit "no such node" sentinel.
     pub fn from_index(index: usize) -> NodeId {
-        NodeId(u32::try_from(index).unwrap_or(u32::MAX))
+        NodeId::try_from_index(index).unwrap_or_else(|| {
+            panic!(
+                "NodeId::from_index({index}): index out of range (node ids are dense u32s \
+                 below {}; use NodeId::INVALID for a deliberate sentinel)",
+                u32::MAX
+            )
+        })
+    }
+
+    /// Construct a `NodeId` from a raw index, returning `None` when the
+    /// index is out of the representable node-id range.
+    pub fn try_from_index(index: usize) -> Option<NodeId> {
+        u32::try_from(index)
+            .ok()
+            .filter(|&v| v != u32::MAX)
+            .map(NodeId)
     }
 }
 
@@ -130,6 +160,19 @@ pub type FlowFn = Box<dyn Fn(&Packet) -> FlowId>;
 /// (Fig 3b's `p.class == Left` etc.).
 pub type Classifier = Box<dyn Fn(&Packet) -> NodeId>;
 
+/// A node as accumulated by the builder: no queues yet — the backend
+/// choice is resolved when [`TreeBuilder::build`] instantiates them.
+struct BuilderNode {
+    name: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    sched: Box<dyn SchedulingTransaction>,
+    shaper: Option<Box<dyn ShapingTransaction>>,
+    flow_fn: Option<FlowFn>,
+    /// Per-node backend override; `None` inherits the tree-wide choice.
+    backend: Option<PifoBackend>,
+}
+
 struct Node {
     name: String,
     parent: Option<NodeId>,
@@ -137,9 +180,10 @@ struct Node {
     sched: Box<dyn SchedulingTransaction>,
     shaper: Option<Box<dyn ShapingTransaction>>,
     flow_fn: Option<FlowFn>,
-    sched_pifo: SortedArrayPifo<Element>,
+    backend: PifoBackend,
+    sched_pifo: BoxedPifo<Element>,
     /// Rank = wall-clock release time in nanoseconds.
-    shaping_pifo: SortedArrayPifo<Suspended>,
+    shaping_pifo: BoxedPifo<Suspended>,
 }
 
 /// Builder for [`ScheduleTree`].
@@ -149,17 +193,20 @@ struct Node {
 ///
 /// // Single-node tree = one PIFO with one scheduling transaction (§2.1).
 /// let mut b = TreeBuilder::new();
+/// b.with_backend(PifoBackend::Bucket); // any engine; semantics identical
 /// let root = b.add_root("fifo", Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
 ///     Rank(ctx.now.as_nanos())
 /// })));
 /// let mut tree = b.build(Box::new(move |_p| root)).unwrap();
 /// tree.enqueue(Packet::new(0, FlowId(1), 100, Nanos(5)), Nanos(5)).unwrap();
 /// assert_eq!(tree.len(), 1);
+/// assert_eq!(tree.node_backend(root), PifoBackend::Bucket);
 /// ```
 pub struct TreeBuilder {
-    nodes: Vec<Node>,
+    nodes: Vec<BuilderNode>,
     root: Option<NodeId>,
     buffer_limit: Option<usize>,
+    backend: PifoBackend,
 }
 
 impl Default for TreeBuilder {
@@ -169,13 +216,35 @@ impl Default for TreeBuilder {
 }
 
 impl TreeBuilder {
-    /// An empty builder.
+    /// An empty builder using the default (reference) PIFO backend.
     pub fn new() -> Self {
         TreeBuilder {
             nodes: Vec::new(),
             root: None,
             buffer_limit: None,
+            backend: PifoBackend::default(),
         }
+    }
+
+    /// Select the queue engine backing every node's scheduling and shaping
+    /// PIFO. May be called before or after nodes are added — the choice is
+    /// applied when [`build`](Self::build) instantiates the queues. Nodes
+    /// with a [`set_node_backend`](Self::set_node_backend) override keep
+    /// their own engine.
+    pub fn with_backend(&mut self, backend: PifoBackend) -> &mut Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Override the queue engine for one node (e.g. a bucket calendar at a
+    /// 60 K-deep leaf while small interior nodes keep the reference array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this builder.
+    pub fn set_node_backend(&mut self, node: NodeId, backend: PifoBackend) -> &mut Self {
+        self.nodes[node.index()].backend = Some(backend);
+        self
     }
 
     /// Limit the total number of buffered packets across the tree; beyond
@@ -193,16 +262,15 @@ impl TreeBuilder {
     /// Panics if a root already exists (programming error in tree setup).
     pub fn add_root(&mut self, name: &str, sched: Box<dyn SchedulingTransaction>) -> NodeId {
         assert!(self.root.is_none(), "tree already has a root");
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(BuilderNode {
             name: name.to_string(),
             parent: None,
             children: Vec::new(),
             sched,
             shaper: None,
             flow_fn: None,
-            sched_pifo: SortedArrayPifo::new(),
-            shaping_pifo: SortedArrayPifo::new(),
+            backend: None,
         });
         self.root = Some(id);
         id
@@ -223,16 +291,15 @@ impl TreeBuilder {
             (parent.index()) < self.nodes.len(),
             "unknown parent {parent}"
         );
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(BuilderNode {
             name: name.to_string(),
             parent: Some(parent),
             children: Vec::new(),
             sched,
             shaper: None,
             flow_fn: None,
-            sched_pifo: SortedArrayPifo::new(),
-            shaping_pifo: SortedArrayPifo::new(),
+            backend: None,
         });
         self.nodes[parent.index()].children.push(id);
         id
@@ -251,13 +318,34 @@ impl TreeBuilder {
     }
 
     /// Finish construction. `classifier` maps each packet to its leaf.
+    /// The selected PIFO backend(s) are instantiated here, so the
+    /// resulting tree never names a concrete queue type.
     pub fn build(self, classifier: Classifier) -> Result<ScheduleTree, TreeError> {
         let root = self.root.ok_or(TreeError::Empty)?;
         if self.nodes[root.index()].shaper.is_some() {
             return Err(TreeError::ShaperOnRoot);
         }
+        let default_backend = self.backend;
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| {
+                let backend = n.backend.unwrap_or(default_backend);
+                Node {
+                    name: n.name,
+                    parent: n.parent,
+                    children: n.children,
+                    sched: n.sched,
+                    shaper: n.shaper,
+                    flow_fn: n.flow_fn,
+                    backend,
+                    sched_pifo: backend.make(),
+                    shaping_pifo: backend.make(),
+                }
+            })
+            .collect();
         Ok(ScheduleTree {
-            nodes: self.nodes,
+            nodes,
             root,
             classifier,
             buffered: 0,
@@ -333,6 +421,11 @@ impl ScheduleTree {
     /// All node ids, root first (construction order).
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The queue engine backing `node`'s PIFOs.
+    pub fn node_backend(&self, node: NodeId) -> PifoBackend {
+        self.nodes[node.index()].backend
     }
 
     /// Scheduling-PIFO occupancy of `node` (for tests and introspection).
@@ -526,7 +619,7 @@ impl ScheduleTree {
     pub fn debug_pifo(&self, node: NodeId) -> String {
         let items: Vec<String> = self.nodes[node.index()]
             .sched_pifo
-            .iter()
+            .iter_in_order()
             .map(|(r, e)| match e {
                 Element::Packet(p) => format!("{}@{}", p.id, r),
                 Element::Ref(c) => format!("{}@{}", self.node_name(*c), r),
@@ -815,6 +908,78 @@ mod tests {
             6,
             "leaf occupancy tracks root refs"
         );
+    }
+
+    /// The same scheduling program produces the same packet trace on every
+    /// backend — the tree is engine-agnostic by construction.
+    #[test]
+    fn backends_are_observationally_equivalent_in_trees() {
+        let run = |backend: PifoBackend| -> Vec<u64> {
+            let by_class = Box::new(FnTransaction::new("class", |ctx: &EnqCtx<'_>| {
+                Rank(ctx.packet.class as u64)
+            }));
+            let mut b = TreeBuilder::new();
+            b.with_backend(backend);
+            let root = b.add_root("prio", by_class);
+            let l = b.add_child(root, "L", fifo_tx());
+            let r = b.add_child(root, "R", fifo_tx());
+            let mut tree = b
+                .build(Box::new(
+                    move |p: &Packet| if p.flow.0 % 2 == 0 { l } else { r },
+                ))
+                .unwrap();
+            for i in 0..40u64 {
+                let p = pkt(i, (i % 3) as u32, i).with_class((i % 5) as u8);
+                tree.enqueue(p, Nanos(i)).unwrap();
+            }
+            assert_eq!(tree.node_backend(root), backend);
+            std::iter::from_fn(|| tree.dequeue(Nanos(1_000)))
+                .map(|p| p.id.0)
+                .collect()
+        };
+        let reference = run(PifoBackend::SortedArray);
+        for backend in [PifoBackend::Heap, PifoBackend::Bucket] {
+            assert_eq!(run(backend), reference, "{backend} diverges from reference");
+        }
+    }
+
+    /// Per-node overrides beat the tree-wide default.
+    #[test]
+    fn per_node_backend_override() {
+        let mut b = TreeBuilder::new();
+        b.with_backend(PifoBackend::Heap);
+        let root = b.add_root("root", fifo_tx());
+        let leaf = b.add_child(root, "leaf", fifo_tx());
+        b.set_node_backend(leaf, PifoBackend::Bucket);
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+        assert_eq!(tree.node_backend(root), PifoBackend::Heap);
+        assert_eq!(tree.node_backend(leaf), PifoBackend::Bucket);
+        tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap();
+        assert_eq!(tree.dequeue(Nanos(1)).unwrap().id.0, 0);
+    }
+
+    #[test]
+    fn from_index_round_trips_and_try_variant_filters() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(NodeId::try_from_index(7), Some(NodeId(7)));
+        assert_eq!(NodeId::try_from_index(u32::MAX as usize), None);
+        assert_eq!(NodeId::try_from_index(usize::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_panics_on_out_of_range() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+
+    /// The INVALID sentinel is reported as UnknownNode at enqueue.
+    #[test]
+    fn invalid_sentinel_is_unknown_node() {
+        let mut b = TreeBuilder::new();
+        let _root = b.add_root("fifo", fifo_tx());
+        let mut tree = b.build(Box::new(move |_| NodeId::INVALID)).unwrap();
+        let err = tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap_err();
+        assert_eq!(err, TreeError::UnknownNode(NodeId::INVALID));
     }
 
     #[test]

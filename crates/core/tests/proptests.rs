@@ -1,8 +1,12 @@
 //! Property tests for the PIFO contract and the scheduling tree.
 //!
-//! The central property: [`HeapPifo`] and [`SortedArrayPifo`] are
-//! observationally equivalent under any interleaving of pushes and pops —
-//! the heap is "just" a faster implementation of the same abstract PIFO.
+//! The central property: every registered backend ([`SortedArrayPifo`]
+//! reference, [`HeapPifo`], [`BucketPifo`]) is observationally equivalent
+//! under any interleaving of pushes and pops — the faster engines are
+//! "just" faster implementations of the same abstract PIFO. The
+//! differential tests below drive all backends with identical op streams
+//! and demand byte-identical traces, including FIFO tie-breaks and
+//! capacity rejections.
 
 use pifo_core::prelude::*;
 use proptest::prelude::*;
@@ -21,91 +25,123 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Ranks confined to a narrow band: stresses FIFO tie-breaking and, for
+/// the bucket backend, keeps everything inside one calendar window.
+fn narrow_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..64, any::<u32>()).prop_map(|(r, v)| Op::Push(r, v)),
+        2 => Just(Op::Pop),
+    ]
+}
+
+/// Drive every backend with the same op stream and assert identical
+/// observable behaviour at each step: admission, pops, peeks, lengths,
+/// the `PifoFull` round-trip, and the ordered inspection view.
+fn assert_backends_agree(cap: Option<usize>, ops: Vec<Op>) {
+    let mut queues: Vec<(PifoBackend, BoxedPifo<u32>)> = PifoBackend::ALL
+        .iter()
+        .map(|&be| {
+            let q = match cap {
+                Some(c) => be.make_bounded::<u32>(c),
+                None => be.make::<u32>(),
+            };
+            (be, q)
+        })
+        .collect();
+    let (reference, rest) = queues.split_first_mut().expect("at least one backend");
+    for op in ops {
+        match op {
+            Op::Push(r, v) => {
+                let want = reference.1.try_push(Rank(r), v);
+                for (be, q) in rest.iter_mut() {
+                    let got = q.try_push(Rank(r), v);
+                    // PifoFull is PartialEq over (rank, item, capacity):
+                    // rejections must round-trip identically.
+                    prop_assert_eq!(&got, &want, "admission diverges on {}", be);
+                }
+            }
+            Op::Pop => {
+                let want = reference.1.pop();
+                for (be, q) in rest.iter_mut() {
+                    prop_assert_eq!(q.pop(), want, "pop diverges on {}", be);
+                }
+            }
+        }
+        let want_len = reference.1.len();
+        let want_peek = reference.1.peek().map(|(r, v)| (r, *v));
+        for (be, q) in rest.iter_mut() {
+            prop_assert_eq!(q.len(), want_len, "len diverges on {}", be);
+            prop_assert_eq!(
+                q.peek().map(|(r, v)| (r, *v)),
+                want_peek,
+                "peek diverges on {}",
+                be
+            );
+        }
+    }
+    // The full inspection view agrees element-for-element…
+    let want_view: Vec<(Rank, u32)> = reference.1.iter_in_order().map(|(r, v)| (r, *v)).collect();
+    for (be, q) in rest.iter_mut() {
+        let view: Vec<(Rank, u32)> = q.iter_in_order().map(|(r, v)| (r, *v)).collect();
+        prop_assert_eq!(&view, &want_view, "iter_in_order diverges on {}", be);
+    }
+    // …and so does the drained tail (byte-identical dequeue trace).
+    loop {
+        let want = reference.1.pop();
+        for (be, q) in rest.iter_mut() {
+            prop_assert_eq!(q.pop(), want, "drain diverges on {}", be);
+        }
+        if want.is_none() {
+            break;
+        }
+    }
+}
+
 proptest! {
-    /// Heap and sorted-array PIFOs agree on every observable step.
+    /// All backends agree on every observable step, unbounded, with ranks
+    /// drawn from the full u64 range (stresses the bucket backend's
+    /// rebase/overflow machinery).
     #[test]
-    fn heap_equals_sorted_array(ops in proptest::collection::vec(op_strategy(), 0..200)) {
-        let mut a: SortedArrayPifo<u32> = SortedArrayPifo::new();
-        let mut b: HeapPifo<u32> = HeapPifo::new();
-        for op in ops {
-            match op {
-                Op::Push(r, v) => {
-                    a.push(Rank(r), v);
-                    b.push(Rank(r), v);
-                }
-                Op::Pop => {
-                    prop_assert_eq!(a.pop(), b.pop());
-                }
-            }
-            prop_assert_eq!(a.len(), b.len());
-            // peek() agreement (compare owned copies to avoid borrow overlap).
-            let pa = a.peek().map(|(r, v)| (r, *v));
-            let pb = b.peek().map(|(r, v)| (r, *v));
-            prop_assert_eq!(pa, pb);
-        }
-        // Drain both and compare the tail.
-        loop {
-            let (x, y) = (a.pop(), b.pop());
-            prop_assert_eq!(x, y);
-            if x.is_none() { break; }
-        }
+    fn backends_agree_unbounded(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        assert_backends_agree(None, ops);
     }
 
-    /// Popping everything yields non-decreasing ranks, with FIFO ties.
+    /// All backends agree with ranks in a narrow band (stresses FIFO
+    /// tie-breaking within one calendar bucket).
     #[test]
-    fn drain_is_sorted_and_stable(entries in proptest::collection::vec((0u64..50, any::<u32>()), 0..300)) {
-        let mut q: HeapPifo<(usize, u32)> = HeapPifo::new();
-        for (i, (r, v)) in entries.iter().enumerate() {
-            q.push(Rank(*r), (i, *v));
-        }
-        let mut last: Option<(Rank, usize)> = None;
-        while let Some((r, (i, _))) = q.pop() {
-            if let Some((lr, li)) = last {
-                prop_assert!(r >= lr, "ranks must be non-decreasing");
-                if r == lr {
-                    prop_assert!(i > li, "equal ranks must pop FIFO");
-                }
-            }
-            last = Some((r, i));
-        }
+    fn backends_agree_narrow_ranks(ops in proptest::collection::vec(narrow_op_strategy(), 0..300)) {
+        assert_backends_agree(None, ops);
     }
 
-    /// Heap and sorted-array PIFOs also agree when *bounded*: under any
-    /// interleaving of `try_push`/`pop` against the same capacity, both
-    /// admit and reject identically and dequeue in the same order.
+    /// All backends admit and reject identically against the same
+    /// capacity, and the rejected `PifoFull` carries the same rank, item
+    /// and capacity on every backend.
     #[test]
-    fn heap_equals_sorted_array_bounded(
+    fn backends_agree_bounded(
         cap in 1usize..16,
         ops in proptest::collection::vec(op_strategy(), 0..200),
     ) {
-        let mut a: SortedArrayPifo<u32> = SortedArrayPifo::with_capacity(cap);
-        let mut b: HeapPifo<u32> = HeapPifo::with_capacity(cap);
-        prop_assert_eq!(a.capacity(), Some(cap));
-        prop_assert_eq!(b.capacity(), Some(cap));
-        for op in ops {
-            match op {
-                Op::Push(r, v) => {
-                    let ra = a.try_push(Rank(r), v);
-                    let rb = b.try_push(Rank(r), v);
-                    prop_assert_eq!(ra.is_ok(), rb.is_ok(), "admission must agree");
-                    if let Err(e) = ra {
-                        // The rejected element comes back intact.
-                        prop_assert_eq!(e.item, v);
+        assert_backends_agree(Some(cap), ops);
+    }
+
+    /// Popping everything yields non-decreasing ranks, with FIFO ties —
+    /// on every backend.
+    #[test]
+    fn drain_is_sorted_and_stable(entries in proptest::collection::vec((0u64..50, any::<u32>()), 0..300)) {
+        for backend in PifoBackend::ALL {
+            let mut q: BoxedPifo<(usize, u32)> = backend.make();
+            for (i, (r, v)) in entries.iter().enumerate() {
+                q.push(Rank(*r), (i, *v));
+            }
+            let mut last: Option<(Rank, usize)> = None;
+            while let Some((r, (i, _))) = q.pop() {
+                if let Some((lr, li)) = last {
+                    prop_assert!(r >= lr, "[{}] ranks must be non-decreasing", backend);
+                    if r == lr {
+                        prop_assert!(i > li, "[{}] equal ranks must pop FIFO", backend);
                     }
                 }
-                Op::Pop => {
-                    prop_assert_eq!(a.pop(), b.pop());
-                }
-            }
-            prop_assert_eq!(a.len(), b.len());
-            prop_assert!(a.len() <= cap);
-        }
-        // Drain the tail in lockstep.
-        loop {
-            let (x, y) = (a.pop(), b.pop());
-            prop_assert_eq!(x, y);
-            if x.is_none() {
-                break;
+                last = Some((r, i));
             }
         }
     }
@@ -151,33 +187,36 @@ proptest! {
         let fifo = || -> Box<dyn SchedulingTransaction> {
             Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| Rank(ctx.packet.arrival.as_nanos())))
         };
-        let mut b = TreeBuilder::new();
-        let root = b.add_root("root", fifo());
-        let l = b.add_child(root, "L", fifo());
-        let r = b.add_child(root, "R", fifo());
-        let mut tree = b.build(Box::new(move |p: &Packet| {
-            if p.flow.0 < 2 { l } else { r }
-        })).unwrap();
+        for backend in PifoBackend::ALL {
+            let mut b = TreeBuilder::new();
+            b.with_backend(backend);
+            let root = b.add_root("root", fifo());
+            let l = b.add_child(root, "L", fifo());
+            let r = b.add_child(root, "R", fifo());
+            let mut tree = b.build(Box::new(move |p: &Packet| {
+                if p.flow.0 < 2 { l } else { r }
+            })).unwrap();
 
-        let n = flows.len();
-        for (i, f) in flows.iter().enumerate() {
-            let pkt = Packet::new(i as u64, FlowId(*f), 100, Nanos(i as u64));
-            tree.enqueue(pkt, Nanos(i as u64)).unwrap();
-            prop_assert_eq!(tree.sched_pifo_len(root), i + 1);
-            prop_assert_eq!(
-                tree.sched_pifo_len(l) + tree.sched_pifo_len(r),
-                i + 1
-            );
+            let n = flows.len();
+            for (i, f) in flows.iter().enumerate() {
+                let pkt = Packet::new(i as u64, FlowId(*f), 100, Nanos(i as u64));
+                tree.enqueue(pkt, Nanos(i as u64)).unwrap();
+                prop_assert_eq!(tree.sched_pifo_len(root), i + 1);
+                prop_assert_eq!(
+                    tree.sched_pifo_len(l) + tree.sched_pifo_len(r),
+                    i + 1
+                );
+            }
+            let mut got = 0;
+            while tree.dequeue(Nanos(1_000_000)).is_some() {
+                got += 1;
+                prop_assert_eq!(tree.len(), n - got);
+            }
+            prop_assert_eq!(got, n, "tree must drain fully on {}", backend);
+            prop_assert_eq!(tree.sched_pifo_len(root), 0);
+            prop_assert_eq!(tree.sched_pifo_len(l), 0);
+            prop_assert_eq!(tree.sched_pifo_len(r), 0);
         }
-        let mut got = 0;
-        while tree.dequeue(Nanos(1_000_000)).is_some() {
-            got += 1;
-            prop_assert_eq!(tree.len(), n - got);
-        }
-        prop_assert_eq!(got, n);
-        prop_assert_eq!(tree.sched_pifo_len(root), 0);
-        prop_assert_eq!(tree.sched_pifo_len(l), 0);
-        prop_assert_eq!(tree.sched_pifo_len(r), 0);
     }
 
     /// With a shaper that delays every element by a bounded amount, no
@@ -201,31 +240,34 @@ proptest! {
         let fifo = || -> Box<dyn SchedulingTransaction> {
             Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| Rank(ctx.packet.arrival.as_nanos())))
         };
-        let mut b = TreeBuilder::new();
-        let root = b.add_root("root", fifo());
-        let leaf = b.add_child(root, "leaf", fifo());
-        let max_delay = *delays.iter().max().unwrap();
-        let n = delays.len();
-        b.set_shaper(leaf, Box::new(PerPacketDelay { delays, i: 0 }));
-        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+        for backend in PifoBackend::ALL {
+            let mut b = TreeBuilder::new();
+            b.with_backend(backend);
+            let root = b.add_root("root", fifo());
+            let leaf = b.add_child(root, "leaf", fifo());
+            let max_delay = *delays.iter().max().unwrap();
+            let n = delays.len();
+            b.set_shaper(leaf, Box::new(PerPacketDelay { delays: delays.clone(), i: 0 }));
+            let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
 
-        // All packets arrive at t=0; every release is at t >= 1.
-        for i in 0..n {
-            tree.enqueue(
-                Packet::new(i as u64, FlowId(0), 100, Nanos(0)),
-                Nanos(0),
-            ).unwrap();
-        }
-        // Nothing can drain before the earliest possible release (t >= 1).
-        prop_assert!(tree.dequeue(Nanos(0)).is_none());
+            // All packets arrive at t=0; every release is at t >= 1.
+            for i in 0..n {
+                tree.enqueue(
+                    Packet::new(i as u64, FlowId(0), 100, Nanos(0)),
+                    Nanos(0),
+                ).unwrap();
+            }
+            // Nothing can drain before the earliest possible release (t >= 1).
+            prop_assert!(tree.dequeue(Nanos(0)).is_none());
 
-        // After the horizon, everything drains.
-        let horizon = Nanos(max_delay + 1);
-        let mut got = 0;
-        while tree.dequeue(horizon).is_some() {
-            got += 1;
+            // After the horizon, everything drains.
+            let horizon = Nanos(max_delay + 1);
+            let mut got = 0;
+            while tree.dequeue(horizon).is_some() {
+                got += 1;
+            }
+            prop_assert_eq!(got, n, "shaped tree must drain fully on {}", backend);
+            prop_assert_eq!(tree.shaped_len(), 0);
         }
-        prop_assert_eq!(got, n);
-        prop_assert_eq!(tree.shaped_len(), 0);
     }
 }

@@ -37,57 +37,61 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 
 proptest! {
     /// Block dequeue order == reference PIFO dequeue order, element by
-    /// element, under monotone per-flow ranks.
+    /// element, under monotone per-flow ranks — against *every* software
+    /// backend, so the hw model is checked to be equivalent to the whole
+    /// backend family, not just the sorted array.
     #[test]
     fn block_equals_reference_pifo(ops in ops()) {
-        let cfg = BlockConfig {
-            n_flows: 8,
-            n_logical_pifos: 2,
-            rank_store_capacity: 1024,
-            ..BlockConfig::default()
-        };
-        let mut block = PifoBlock::new(cfg).strict_monotonic(true);
-        let mut reference: SortedArrayPifo<(u32, u64)> = SortedArrayPifo::new();
-        let l = LogicalPifoId(0);
-        let mut next_rank = [0u64; 6];
-        let mut meta = 0u64;
+        for backend in PifoBackend::ALL {
+            let cfg = BlockConfig {
+                n_flows: 8,
+                n_logical_pifos: 2,
+                rank_store_capacity: 1024,
+                ..BlockConfig::default()
+            };
+            let mut block = PifoBlock::new(cfg).strict_monotonic(true);
+            let mut reference: BoxedPifo<(u32, u64)> = backend.make();
+            let l = LogicalPifoId(0);
+            let mut next_rank = [0u64; 6];
+            let mut meta = 0u64;
 
-        for op in ops {
-            match op {
-                Op::Push(f, d) => {
-                    next_rank[f as usize] += d + 1;
-                    // Globally unique, per-flow monotone (see module doc).
-                    let r = Rank(next_rank[f as usize] * 8 + f as u64);
-                    block.enqueue(l, FlowId(f), r, meta).unwrap();
-                    reference.push(r, (f, meta));
-                    meta += 1;
-                }
-                Op::Pop => {
-                    let got = block.dequeue(l);
-                    let want = reference.pop();
-                    match (got, want) {
-                        (None, None) => {}
-                        (Some((gr, gf, gm)), Some((wr, (wf, wm)))) => {
-                            prop_assert_eq!(gr, wr, "rank order must match");
-                            prop_assert_eq!(gf.0, wf, "flow must match");
-                            prop_assert_eq!(gm, wm, "FIFO tie-break must match");
+            for op in &ops {
+                match op {
+                    Op::Push(f, d) => {
+                        next_rank[*f as usize] += d + 1;
+                        // Globally unique, per-flow monotone (see module doc).
+                        let r = Rank(next_rank[*f as usize] * 8 + *f as u64);
+                        block.enqueue(l, FlowId(*f), r, meta).unwrap();
+                        reference.push(r, (*f, meta));
+                        meta += 1;
+                    }
+                    Op::Pop => {
+                        let got = block.dequeue(l);
+                        let want = reference.pop();
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some((gr, gf, gm)), Some((wr, (wf, wm)))) => {
+                                prop_assert_eq!(gr, wr, "[{}] rank order must match", backend);
+                                prop_assert_eq!(gf.0, wf, "[{}] flow must match", backend);
+                                prop_assert_eq!(gm, wm, "[{}] FIFO tie-break must match", backend);
+                            }
+                            (g, w) => prop_assert!(false, "[{backend}] divergence: block={g:?} ref={w:?}"),
                         }
-                        (g, w) => prop_assert!(false, "divergence: block={g:?} ref={w:?}"),
                     }
                 }
+                prop_assert_eq!(block.len(l), reference.len());
             }
-            prop_assert_eq!(block.len(l), reference.len());
-        }
-        // Drain both to the end.
-        loop {
-            let got = block.dequeue(l);
-            let want = reference.pop();
-            prop_assert_eq!(got.is_some(), want.is_some());
-            if got.is_none() { break; }
-            let (gr, _, gm) = got.unwrap();
-            let (wr, (_, wm)) = want.unwrap();
-            prop_assert_eq!(gr, wr);
-            prop_assert_eq!(gm, wm);
+            // Drain both to the end.
+            loop {
+                let got = block.dequeue(l);
+                let want = reference.pop();
+                prop_assert_eq!(got.is_some(), want.is_some());
+                if got.is_none() { break; }
+                let (gr, _, gm) = got.unwrap();
+                let (wr, (_, wm)) = want.unwrap();
+                prop_assert_eq!(gr, wr);
+                prop_assert_eq!(gm, wm);
+            }
         }
     }
 
@@ -118,7 +122,8 @@ proptest! {
 
     /// Two logical PIFOs sharing one block stay order-isolated: the
     /// dequeue sequence of each lpifo equals what a dedicated PIFO would
-    /// have produced.
+    /// have produced — with the two dedicated references deliberately on
+    /// *different* backends to cross-check the whole family at once.
     #[test]
     fn logical_pifos_share_block_without_interference(
         pushes in proptest::collection::vec((0u32..4, 0u16..2, 1u64..20), 1..200)
@@ -130,8 +135,8 @@ proptest! {
             ..BlockConfig::default()
         };
         let mut block = PifoBlock::new(cfg).strict_monotonic(true);
-        let mut refs: Vec<SortedArrayPifo<u64>> =
-            vec![SortedArrayPifo::new(), SortedArrayPifo::new()];
+        let mut refs: Vec<BoxedPifo<u64>> =
+            vec![PifoBackend::Heap.make(), PifoBackend::Bucket.make()];
         // Per-(lpifo, flow) monotone, globally unique ranks.
         let mut next_rank = [[0u64; 4]; 2];
         for (i, (f, l, d)) in pushes.iter().enumerate() {

@@ -126,6 +126,58 @@ mod tests {
         assert_eq!(s.drops(), 1);
     }
 
+    /// The scheduler adapter is backend-agnostic end to end: an identical
+    /// STFQ workload driven through the real port loop departs in the
+    /// same order on every PIFO engine.
+    #[test]
+    fn tree_scheduler_is_backend_invariant() {
+        use crate::port::{run_port, PortConfig};
+        use crate::traffic::{CbrSource, TrafficSource};
+        use pifo_algos::{Stfq, WeightTable};
+
+        let run = |backend: PifoBackend| -> Vec<(u64, u64)> {
+            let end = Nanos::from_millis(1);
+            let mut sources: Vec<Box<dyn TrafficSource>> = Vec::new();
+            for f in 1..=3u32 {
+                sources.push(Box::new(CbrSource::new(
+                    FlowId(f),
+                    1_000,
+                    4_000_000_000,
+                    Nanos::ZERO,
+                    end,
+                )));
+            }
+            let mut arrivals = crate::traffic::merge(sources);
+            crate::traffic::renumber(&mut arrivals);
+
+            let table = WeightTable::from_pairs([(FlowId(1), 1), (FlowId(2), 2), (FlowId(3), 4)]);
+            let mut b = TreeBuilder::new();
+            b.with_backend(backend);
+            let root = b.add_root("WFQ", Box::new(Stfq::new(table)));
+            b.buffer_limit(10_000);
+            let tree = b.build(Box::new(move |_| root)).unwrap();
+            let mut sched = TreeScheduler::new("WFQ", tree);
+            let cfg = PortConfig::new(2_000_000_000).with_horizon(end);
+            run_port(&arrivals, &mut sched, &cfg)
+                .into_iter()
+                .map(|d| (d.packet.id.0, d.finish.as_nanos()))
+                .collect()
+        };
+
+        let reference = run(PifoBackend::SortedArray);
+        assert!(
+            !reference.is_empty(),
+            "workload must actually depart packets"
+        );
+        for backend in [PifoBackend::Heap, PifoBackend::Bucket] {
+            assert_eq!(
+                run(backend),
+                reference,
+                "{backend} departure trace diverges"
+            );
+        }
+    }
+
     #[test]
     fn next_ready_reports_shaping_gap() {
         use pifo_algos::TokenBucketFilter;

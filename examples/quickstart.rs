@@ -73,4 +73,28 @@ fn main() {
         "WFQ 1:4          -> flows {:?} (flow 2 gets ~4 of every 5 slots)",
         order
     );
+
+    // The queue engine behind every node is swappable without touching
+    // the program: `TreeBuilder::with_backend` picks the sorted-array
+    // reference, the binary heap, or the Eiffel-style bucket calendar
+    // (fastest at switch-scale occupancies). Semantics are identical on
+    // all of them — same order, same FIFO tie-breaks.
+    for backend in PifoBackend::ALL {
+        let mut b = TreeBuilder::new();
+        b.with_backend(backend);
+        let root = b.add_root("prio", Box::new(StrictPriority));
+        let mut tree = b.build(Box::new(move |_| root)).expect("valid tree");
+        for spec in packets {
+            let p = mk(spec);
+            let t = p.arrival;
+            tree.enqueue(p, t).expect("enqueue");
+        }
+        let order: Vec<String> = std::iter::from_fn(|| tree.dequeue(Nanos(100)))
+            .map(|p| format!("p{}", p.id.0))
+            .collect();
+        println!(
+            "StrictPriority on '{backend}' backend -> {}",
+            order.join(", ")
+        );
+    }
 }
