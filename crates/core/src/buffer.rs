@@ -1,0 +1,328 @@
+//! The shared packet-buffer slab (§4).
+//!
+//! The paper's hardware never moves packets through the PIFO mesh: a
+//! packet is written **once** into a shared buffer, and every PIFO holds
+//! only a small `(rank, pointer, metadata)` entry (§4, Fig 6). This module
+//! is the software analogue: [`PacketBuffer`] owns every buffered
+//! [`Packet`], and the scheduling tree circulates 4-byte [`PktHandle`]s
+//! through its PIFOs instead of ~100-byte packet clones.
+//!
+//! Slots are reference-counted (a packet can be held by its leaf PIFO
+//! element *and* by one parked shaping entry that needs its header fields
+//! at release time); a slot returns to the free list when its last
+//! reference is dropped, so the enqueue→dequeue round trip is
+//! allocation-free once the slab has grown to the working-set size.
+
+use crate::packet::Packet;
+use core::fmt;
+
+/// A 4-byte ticket naming one occupied slot of a [`PacketBuffer`].
+///
+/// Handles are only meaningful to the buffer that issued them and only
+/// until the slot's last reference is released; the scheduling tree keeps
+/// this discipline internally and never exposes a dangling handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PktHandle(u32);
+
+impl PktHandle {
+    /// Raw slot index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PktHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Sentinel terminating the free list.
+const FREE_END: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Occupied { packet: Packet, refs: u32 },
+    Free { next: u32 },
+}
+
+/// A bounded slab of packets with an intrusive free list: O(1) insert,
+/// access, retain and release; no per-packet allocation after warm-up.
+///
+/// The capacity models the shared packet buffer of §5.1 (60 K packets on
+/// the reference switch): [`try_insert`](Self::try_insert) hands the
+/// caller's packet back — unmoved and unclonable from the outside — when
+/// the buffer is exhausted.
+#[derive(Debug, Clone)]
+pub struct PacketBuffer {
+    slots: Vec<Slot>,
+    free_head: u32,
+    live: usize,
+    capacity: Option<usize>,
+}
+
+impl Default for PacketBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuffer {
+    /// An unbounded buffer (grows on demand, reuses freed slots first).
+    pub fn new() -> Self {
+        PacketBuffer {
+            slots: Vec::new(),
+            free_head: FREE_END,
+            live: 0,
+            capacity: None,
+        }
+    }
+
+    /// A buffer that rejects inserts beyond `capacity` live packets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PacketBuffer {
+            slots: Vec::new(),
+            free_head: FREE_END,
+            live: 0,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Insert `packet` with one reference, returning its handle — or the
+    /// packet itself, unchanged, when the buffer is at capacity.
+    pub fn try_insert(&mut self, packet: Packet) -> Result<PktHandle, Packet> {
+        if let Some(cap) = self.capacity {
+            if self.live >= cap {
+                return Err(packet);
+            }
+        }
+        let handle = if self.free_head != FREE_END {
+            let idx = self.free_head;
+            let Slot::Free { next } = self.slots[idx as usize] else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free_head = next;
+            self.slots[idx as usize] = Slot::Occupied { packet, refs: 1 };
+            PktHandle(idx)
+        } else {
+            // Slots are indexed by u32 handles; a slab this large would
+            // hold 4 G packets, far past any modelled switch buffer.
+            let idx = u32::try_from(self.slots.len()).expect("packet buffer exceeds u32 slots");
+            assert!(idx != FREE_END, "packet buffer exceeds u32 slots");
+            self.slots.push(Slot::Occupied { packet, refs: 1 });
+            PktHandle(idx)
+        };
+        self.live += 1;
+        Ok(handle)
+    }
+
+    /// Borrow the packet in `handle`'s slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free (a stale handle — a bug in the caller's
+    /// reference discipline, not recoverable).
+    pub fn get(&self, handle: PktHandle) -> &Packet {
+        match &self.slots[handle.index()] {
+            Slot::Occupied { packet, .. } => packet,
+            Slot::Free { .. } => panic!("stale packet handle {handle}"),
+        }
+    }
+
+    /// Add one reference to `handle`'s slot (e.g. a shaping entry parking
+    /// alongside the leaf PIFO element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free.
+    pub fn retain(&mut self, handle: PktHandle) {
+        match &mut self.slots[handle.index()] {
+            Slot::Occupied { refs, .. } => *refs += 1,
+            Slot::Free { .. } => panic!("retain of stale packet handle {handle}"),
+        }
+    }
+
+    /// Drop one reference to `handle`'s slot. When it was the last, the
+    /// slot is freed and the packet is **moved out** (zero-copy) and
+    /// returned; otherwise `None` (the packet stays for the remaining
+    /// holder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free.
+    pub fn release(&mut self, handle: PktHandle) -> Option<Packet> {
+        let idx = handle.index();
+        match &mut self.slots[idx] {
+            Slot::Occupied { refs, .. } if *refs > 1 => {
+                *refs -= 1;
+                None
+            }
+            Slot::Occupied { .. } => {
+                let old = std::mem::replace(
+                    &mut self.slots[idx],
+                    Slot::Free {
+                        next: self.free_head,
+                    },
+                );
+                self.free_head = handle.0;
+                self.live -= 1;
+                let Slot::Occupied { packet, .. } = old else {
+                    unreachable!("matched occupied above");
+                };
+                Some(packet)
+            }
+            Slot::Free { .. } => panic!("release of stale packet handle {handle}"),
+        }
+    }
+
+    /// Number of references currently held on `handle`'s slot (0 for a
+    /// free slot). For tests and diagnostics.
+    pub fn ref_count(&self, handle: PktHandle) -> usize {
+        match &self.slots[handle.index()] {
+            Slot::Occupied { refs, .. } => *refs as usize,
+            Slot::Free { .. } => 0,
+        }
+    }
+
+    /// Packets currently resident (occupied slots).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// True when no packet is resident.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The live-packet limit, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Total slots ever allocated (high-water mark of the working set).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Check internal coherence: the free list visits exactly the free
+    /// slots, every slot is reachable exactly once, and `live` matches the
+    /// occupied count. Used by the leak-check property tests; O(slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation found.
+    pub fn assert_coherent(&self) {
+        let occupied = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Occupied { .. }))
+            .count();
+        assert_eq!(self.live, occupied, "live counter diverged from slots");
+        let mut seen = vec![false; self.slots.len()];
+        let mut cursor = self.free_head;
+        let mut free_len = 0usize;
+        while cursor != FREE_END {
+            let idx = cursor as usize;
+            assert!(idx < self.slots.len(), "free list points out of range");
+            assert!(!seen[idx], "free list cycles through slot {idx}");
+            seen[idx] = true;
+            free_len += 1;
+            match &self.slots[idx] {
+                Slot::Free { next } => cursor = *next,
+                Slot::Occupied { .. } => panic!("free list visits occupied slot {idx}"),
+            }
+        }
+        assert_eq!(
+            free_len + occupied,
+            self.slots.len(),
+            "free list misses some free slots"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use crate::time::Nanos;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(id, FlowId(0), 100, Nanos(id))
+    }
+
+    #[test]
+    fn insert_get_release_round_trip() {
+        let mut b = PacketBuffer::new();
+        let h = b.try_insert(pkt(7)).unwrap();
+        assert_eq!(b.get(h).id.0, 7);
+        assert_eq!(b.live(), 1);
+        let p = b.release(h).expect("last reference moves the packet out");
+        assert_eq!(p.id.0, 7);
+        assert!(b.is_empty());
+        b.assert_coherent();
+    }
+
+    #[test]
+    fn slots_are_reused_after_release() {
+        let mut b = PacketBuffer::new();
+        let h0 = b.try_insert(pkt(0)).unwrap();
+        let _h1 = b.try_insert(pkt(1)).unwrap();
+        b.release(h0);
+        let h2 = b.try_insert(pkt(2)).unwrap();
+        assert_eq!(h2.index(), h0.index(), "freed slot is reused first");
+        assert_eq!(b.slot_count(), 2, "no growth while free slots exist");
+        b.assert_coherent();
+    }
+
+    #[test]
+    fn capacity_rejects_returning_packet_unchanged() {
+        let mut b = PacketBuffer::with_capacity(1);
+        b.try_insert(pkt(0)).unwrap();
+        let back = b.try_insert(pkt(1).with_class(3)).unwrap_err();
+        assert_eq!(back.id.0, 1);
+        assert_eq!(back.class, 3, "rejected packet comes back unchanged");
+        assert_eq!(b.live(), 1);
+    }
+
+    #[test]
+    fn retain_keeps_packet_until_last_release() {
+        let mut b = PacketBuffer::new();
+        let h = b.try_insert(pkt(9)).unwrap();
+        b.retain(h);
+        assert_eq!(b.ref_count(h), 2);
+        assert!(b.release(h).is_none(), "one holder remains");
+        assert_eq!(b.get(h).id.0, 9, "packet still readable");
+        assert_eq!(b.live(), 1);
+        let p = b.release(h).expect("now the last reference");
+        assert_eq!(p.id.0, 9);
+        assert_eq!(b.ref_count(h), 0);
+        b.assert_coherent();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn stale_handle_panics() {
+        let mut b = PacketBuffer::new();
+        let h = b.try_insert(pkt(0)).unwrap();
+        b.release(h);
+        let _ = b.get(h);
+    }
+
+    #[test]
+    fn free_list_restored_after_churn() {
+        let mut b = PacketBuffer::with_capacity(8);
+        let mut handles = Vec::new();
+        for round in 0..10u64 {
+            for i in 0..8 {
+                handles.push(b.try_insert(pkt(round * 8 + i)).unwrap());
+            }
+            assert!(b.try_insert(pkt(999)).is_err(), "at capacity");
+            for h in handles.drain(..) {
+                b.release(h);
+            }
+            assert!(b.is_empty());
+            b.assert_coherent();
+        }
+        assert_eq!(b.slot_count(), 8, "working set never exceeds capacity");
+    }
+}

@@ -17,9 +17,12 @@
 //!   [`pifo::PifoInspect`]) and its interchangeable backends:
 //!   [`pifo::SortedArrayPifo`] (reference semantics), [`pifo::HeapPifo`]
 //!   (binary heap) and [`pifo::BucketPifo`] (Eiffel-style FFS bucket
-//!   calendar). [`pifo::PifoBackend`] selects one at runtime; see the
-//!   module docs for the "choosing a backend" table.
+//!   calendar). [`pifo::PifoBackend`] selects one at runtime — boxed
+//!   ([`pifo::BoxedPifo`]) or statically dispatched ([`pifo::EnumPifo`]);
+//!   see the module docs for the "choosing a backend" table.
 //! * [`packet`], [`rank`], [`time`] — the vocabulary types.
+//! * [`buffer`] — the shared packet-buffer slab (§4): packets live once,
+//!   PIFOs circulate 4-byte [`buffer::PktHandle`]s.
 //! * [`transaction`] — scheduling & shaping transaction traits (§2.1, §2.3).
 //! * [`tree`] — trees of transactions with suspend/resume shaping (§2.2–2.3).
 //!
@@ -49,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod packet;
 pub mod pifo;
 pub mod rank;
@@ -58,10 +62,11 @@ pub mod tree;
 
 /// Convenient glob-import of the types nearly every user needs.
 pub mod prelude {
+    pub use crate::buffer::{PacketBuffer, PktHandle};
     pub use crate::packet::{FlowId, Packet, PacketId};
     pub use crate::pifo::{
-        BoxedPifo, BucketPifo, HeapPifo, PifoBackend, PifoEngine, PifoFull, PifoInspect, PifoQueue,
-        SortedArrayPifo,
+        BoxedPifo, BucketPifo, EnumPifo, HeapPifo, PifoBackend, PifoEngine, PifoFull, PifoInspect,
+        PifoQueue, SortedArrayPifo,
     };
     pub use crate::rank::{Rank, VT_SHIFT};
     pub use crate::time::{bytes_in, tx_time, Nanos};

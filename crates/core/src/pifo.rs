@@ -198,6 +198,115 @@ impl PifoBackend {
             PifoBackend::Bucket => Box::new(BucketPifo::with_capacity(capacity)),
         }
     }
+
+    /// Construct an unbounded queue of this backend with **static**
+    /// dispatch: an [`EnumPifo`] instead of a boxed trait object. Hot
+    /// paths that own their queues (the scheduling tree's per-node PIFOs)
+    /// use this so push/pop monomorphize; [`make`](Self::make) remains the
+    /// object-safe choice for heterogeneous collections behind one
+    /// pointer type.
+    pub fn make_enum<T>(self) -> EnumPifo<T> {
+        match self {
+            PifoBackend::SortedArray => EnumPifo::SortedArray(SortedArrayPifo::new()),
+            PifoBackend::Heap => EnumPifo::Heap(HeapPifo::new()),
+            PifoBackend::Bucket => EnumPifo::Bucket(BucketPifo::new()),
+        }
+    }
+
+    /// [`make_enum`](Self::make_enum) with a capacity bound.
+    pub fn make_enum_bounded<T>(self, capacity: usize) -> EnumPifo<T> {
+        match self {
+            PifoBackend::SortedArray => {
+                EnumPifo::SortedArray(SortedArrayPifo::with_capacity(capacity))
+            }
+            PifoBackend::Heap => EnumPifo::Heap(HeapPifo::with_capacity(capacity)),
+            PifoBackend::Bucket => EnumPifo::Bucket(BucketPifo::with_capacity(capacity)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EnumPifo — static dispatch over the three engines
+// ---------------------------------------------------------------------------
+
+/// A closed sum of the three queue engines with `match` dispatch.
+///
+/// Semantically identical to the corresponding [`BoxedPifo`] (both
+/// delegate to the same implementations), but the compiler sees concrete
+/// types through one `match`, so hot-path `push`/`pop`/`peek` inline and
+/// monomorphize instead of going through a vtable. The scheduling tree
+/// stores one of these per node; public APIs that need an open set of
+/// engines keep using [`BoxedPifo`].
+#[derive(Debug, Clone)]
+pub enum EnumPifo<T> {
+    /// [`SortedArrayPifo`] — the O(n)-insert reference.
+    SortedArray(SortedArrayPifo<T>),
+    /// [`HeapPifo`] — O(log n) binary heap.
+    Heap(HeapPifo<T>),
+    /// [`BucketPifo`] — FFS bucket calendar, O(1) amortised.
+    Bucket(BucketPifo<T>),
+}
+
+/// Delegate one method to whichever engine is inhabited.
+macro_rules! enum_pifo_delegate {
+    ($self:ident, $q:ident => $body:expr) => {
+        match $self {
+            EnumPifo::SortedArray($q) => $body,
+            EnumPifo::Heap($q) => $body,
+            EnumPifo::Bucket($q) => $body,
+        }
+    };
+}
+
+impl<T> EnumPifo<T> {
+    /// The backend selector this queue was built from.
+    pub fn backend(&self) -> PifoBackend {
+        match self {
+            EnumPifo::SortedArray(_) => PifoBackend::SortedArray,
+            EnumPifo::Heap(_) => PifoBackend::Heap,
+            EnumPifo::Bucket(_) => PifoBackend::Bucket,
+        }
+    }
+}
+
+impl<T> PifoQueue<T> for EnumPifo<T> {
+    #[inline]
+    fn try_push(&mut self, rank: Rank, item: T) -> Result<(), PifoFull<T>> {
+        enum_pifo_delegate!(self, q => q.try_push(rank, item))
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Rank, T)> {
+        enum_pifo_delegate!(self, q => q.pop())
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<(Rank, &T)> {
+        enum_pifo_delegate!(self, q => q.peek())
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        enum_pifo_delegate!(self, q => q.len())
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        enum_pifo_delegate!(self, q => q.capacity())
+    }
+}
+
+impl<T> PifoInspect<T> for EnumPifo<T> {
+    fn iter_in_order(&self) -> Box<dyn Iterator<Item = (Rank, &T)> + '_> {
+        enum_pifo_delegate!(self, q => q.iter_in_order())
+    }
+
+    fn peek_first_matching(&self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, &T)> {
+        enum_pifo_delegate!(self, q => q.peek_first_matching(pred))
+    }
+
+    fn pop_first_matching(&mut self, pred: &mut dyn FnMut(&T) -> bool) -> Option<(Rank, T)> {
+        enum_pifo_delegate!(self, q => q.pop_first_matching(pred))
+    }
 }
 
 impl fmt::Display for PifoBackend {
@@ -958,6 +1067,48 @@ mod tests {
             Ok(PifoBackend::SortedArray)
         );
         assert!("mystery".parse::<PifoBackend>().is_err());
+    }
+
+    /// The statically-dispatched enum and the boxed trait object are the
+    /// same engines: identical traces, inspection views and admission.
+    #[test]
+    fn enum_pifo_matches_boxed_engine() {
+        for backend in PifoBackend::ALL {
+            let mut e = backend.make_enum::<u32>();
+            let mut b: BoxedPifo<u32> = backend.make();
+            assert_eq!(e.backend(), backend);
+            for (i, r) in [5u64, 1, 1 << 40, 5, 0, 700].iter().enumerate() {
+                e.push(Rank(*r), i as u32);
+                b.push(Rank(*r), i as u32);
+            }
+            let ve: Vec<_> = e.iter_in_order().map(|(r, v)| (r, *v)).collect();
+            let vb: Vec<_> = b.iter_in_order().map(|(r, v)| (r, *v)).collect();
+            assert_eq!(ve, vb, "{backend} inspection diverges");
+            loop {
+                let (x, y) = (e.pop(), b.pop());
+                assert_eq!(x, y, "{backend} pop diverges");
+                if x.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enum_pifo_bounded_rejects_like_boxed() {
+        for backend in PifoBackend::ALL {
+            let mut e = backend.make_enum_bounded::<u8>(2);
+            let mut b: BoxedPifo<u8> = backend.make_bounded(2);
+            assert_eq!(e.capacity(), Some(2));
+            for r in 0..3u64 {
+                assert_eq!(
+                    e.try_push(Rank(r), r as u8),
+                    b.try_push(Rank(r), r as u8),
+                    "{backend} admission diverges"
+                );
+            }
+            assert_eq!(e.len(), 2, "{backend}");
+        }
     }
 
     // ---- BucketPifo-specific structure tests -----------------------------

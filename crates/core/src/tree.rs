@@ -13,6 +13,23 @@
 //! the node's shaping PIFO, ranked by wall-clock release time, and the walk
 //! resumes at the parent only when that time arrives.
 //!
+//! # Zero-copy hot path
+//!
+//! Packets live **once** in a shared [`PacketBuffer`] slab, exactly as in
+//! the paper's hardware (§4): the PIFOs circulate 8-byte [`Element`]s — a
+//! [`PktHandle`] at leaves, a [`NodeId`] reference at interior nodes —
+//! instead of full packet clones, and `dequeue` returns the packet by
+//! moving it out of its slot. Suspended shaping entries hold a
+//! reference-counted handle to the same slot (the hardware equivalently
+//! carries element metadata, §4.2), so the whole enqueue→dequeue walk is
+//! allocation-free and copies each packet exactly once, on admission.
+//!
+//! Shaping releases are driven by a single tree-wide min-ordered *agenda*
+//! (`(release_time, node, seq)` heap): work-conserving trees pay an O(1)
+//! `shaped == 0` check per operation — zero shaping inspections, see
+//! [`ScheduleTree::shaping_inspections`] — and shaped trees pay O(log s)
+//! per parked entry instead of an O(nodes) scan per call.
+//!
 //! # Invariants
 //!
 //! * Work-conserving subtrees: a node's scheduling-PIFO length equals the
@@ -22,13 +39,18 @@
 //!   is a bug in this module, not in user code).
 //! * All shaped elements whose release time has passed are released before
 //!   any enqueue/dequeue at a later wall-clock time is processed.
+//! * Slab accounting: `packet_buffer().live() == len() +
+//!   shaped_refs_holding_packets()`, and the slab's free list is whole
+//!   again once the tree fully drains (no leaked slots).
 
+use crate::buffer::{PacketBuffer, PktHandle};
 use crate::packet::{FlowId, Packet};
-use crate::pifo::{BoxedPifo, PifoBackend};
-use crate::rank::Rank;
+use crate::pifo::{EnumPifo, PifoBackend, PifoInspect, PifoQueue};
 use crate::time::Nanos;
 use crate::transaction::{DeqCtx, EnqCtx, SchedulingTransaction, ShapingTransaction};
 use core::fmt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Identifies a node within one [`ScheduleTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -100,23 +122,34 @@ impl fmt::Display for NodeId {
 
 /// An element stored in a scheduling PIFO: a packet at a leaf, a reference
 /// to a child PIFO at an interior node (Fig 2).
-#[derive(Debug, Clone)]
+///
+/// Mirrors the hardware's small PIFO entries (§4, Fig 6): the packet
+/// itself lives in the tree's shared [`PacketBuffer`], so this is a
+/// `Copy` type two words wide and PIFO pushes never move packet bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Element {
-    /// A buffered packet (leaf PIFOs only).
-    Packet(Packet),
+    /// A handle to a buffered packet (leaf PIFOs only).
+    Packet(PktHandle),
     /// A reference to a child node's scheduling PIFO.
     Ref(NodeId),
 }
 
-/// A reference parked in a shaping PIFO, waiting for its release time.
+/// A walk parked at a shaping transaction, waiting on the tree-wide
+/// agenda for its release time.
 ///
-/// Carries a snapshot of the triggering packet so that the parent's
-/// scheduling transaction can read packet fields when the walk resumes —
-/// the hardware equivalently carries element metadata (§4.2).
-#[derive(Debug, Clone)]
-struct Suspended {
-    packet: Packet,
-    node: NodeId,
+/// The entry holds a reference-counted handle into the shared packet
+/// buffer so the parent's scheduling transaction can read the triggering
+/// packet's fields when the walk resumes — the hardware equivalently
+/// carries element metadata (§4.2). Ordering is the derived lexicographic
+/// `(release, node, seq, ..)`: release time first, ties broken by node
+/// index, then FIFO within a node via the globally monotone `seq` (which
+/// also makes the trailing `handle` irrelevant to the order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct AgendaEntry {
+    release: u64,
+    node: u32,
+    seq: u64,
+    handle: PktHandle,
 }
 
 /// Errors surfaced by tree construction and use.
@@ -181,9 +214,10 @@ struct Node {
     shaper: Option<Box<dyn ShapingTransaction>>,
     flow_fn: Option<FlowFn>,
     backend: PifoBackend,
-    sched_pifo: BoxedPifo<Element>,
-    /// Rank = wall-clock release time in nanoseconds.
-    shaping_pifo: BoxedPifo<Suspended>,
+    /// Statically dispatched so hot-path push/pop monomorphize.
+    sched_pifo: EnumPifo<Element>,
+    /// Entries parked for this node on the tree-wide shaping agenda.
+    shaping_len: usize,
 }
 
 /// Builder for [`ScheduleTree`].
@@ -247,9 +281,18 @@ impl TreeBuilder {
         self
     }
 
-    /// Limit the total number of buffered packets across the tree; beyond
-    /// it, [`ScheduleTree::enqueue`] returns [`TreeError::BufferFull`].
-    /// Models the shared packet buffer of §5.1 (60 K packets).
+    /// Limit the number of packets resident in the tree's shared
+    /// [`PacketBuffer`] slab — the model of §5.1's shared packet buffer
+    /// (60 K packets); beyond it, [`ScheduleTree::enqueue`] returns
+    /// [`TreeError::BufferFull`].
+    ///
+    /// Residency is what the buffer physically holds, which is normally
+    /// exactly [`ScheduleTree::len`]. The one exception: a shaped
+    /// reference whose packet already departed through an earlier
+    /// reference keeps its slot until the shaper releases it (see
+    /// [`ScheduleTree::shaped_refs_holding_packets`]), and such slots
+    /// count against the limit — a genuinely full buffer rejects, like
+    /// the hardware's.
     pub fn buffer_limit(&mut self, packets: usize) -> &mut Self {
         self.buffer_limit = Some(packets);
         self
@@ -339,18 +382,26 @@ impl TreeBuilder {
                     shaper: n.shaper,
                     flow_fn: n.flow_fn,
                     backend,
-                    sched_pifo: backend.make(),
-                    shaping_pifo: backend.make(),
+                    sched_pifo: backend.make_enum(),
+                    shaping_len: 0,
                 }
             })
             .collect();
+        let slab = match self.buffer_limit {
+            Some(limit) => PacketBuffer::with_capacity(limit),
+            None => PacketBuffer::new(),
+        };
         Ok(ScheduleTree {
             nodes,
             root,
             classifier,
+            slab,
+            agenda: BinaryHeap::new(),
+            agenda_seq: 0,
             buffered: 0,
             shaped: 0,
-            buffer_limit: self.buffer_limit,
+            dangling_shaped: 0,
+            shaping_inspections: 0,
         })
     }
 }
@@ -361,9 +412,19 @@ pub struct ScheduleTree {
     nodes: Vec<Node>,
     root: NodeId,
     classifier: Classifier,
+    /// The shared packet-buffer slab; its capacity is the builder's
+    /// `buffer_limit`.
+    slab: PacketBuffer,
+    /// Tree-wide shaping agenda: every parked walk, globally min-ordered
+    /// by `(release, node, seq)`.
+    agenda: BinaryHeap<Reverse<AgendaEntry>>,
+    agenda_seq: u64,
     buffered: usize,
     shaped: usize,
-    buffer_limit: Option<usize>,
+    /// Parked entries that are the *sole* owner of their buffer slot —
+    /// their packet already departed through an earlier reference.
+    dangling_shaped: usize,
+    shaping_inspections: u64,
 }
 
 impl fmt::Debug for ScheduleTree {
@@ -374,6 +435,17 @@ impl fmt::Debug for ScheduleTree {
             .field("buffered", &self.buffered)
             .field("shaped", &self.shaped)
             .finish()
+    }
+}
+
+/// Resolve the flow an element belongs to at a node: the node's override
+/// when set, the packet's own flow otherwise. A free function (not a
+/// `&self` method) so callers can hold `&mut` node borrows alongside the
+/// slab borrow feeding `packet`.
+fn flow_of(flow_fn: &Option<FlowFn>, packet: &Packet) -> FlowId {
+    match flow_fn {
+        Some(f) => f(packet),
+        None => packet.flow,
     }
 }
 
@@ -433,16 +505,34 @@ impl ScheduleTree {
         self.nodes[node.index()].sched_pifo.len()
     }
 
-    /// Shaping-PIFO occupancy of `node`.
+    /// Shaping occupancy of `node`: entries parked on the tree-wide
+    /// agenda waiting on this node's shaping transaction.
     pub fn shaping_pifo_len(&self, node: NodeId) -> usize {
-        self.nodes[node.index()].shaping_pifo.len()
+        self.nodes[node.index()].shaping_len
     }
 
-    fn flow_at(&self, node: NodeId, packet: &Packet) -> FlowId {
-        match &self.nodes[node.index()].flow_fn {
-            Some(f) => f(packet),
-            None => packet.flow,
-        }
+    /// Read-only view of the shared packet-buffer slab (occupancy,
+    /// capacity, coherence checks — see [`PacketBuffer`]).
+    pub fn packet_buffer(&self) -> &PacketBuffer {
+        &self.slab
+    }
+
+    /// Parked shaping entries that are the sole owner of their buffer
+    /// slot: their packet already departed through an earlier reference
+    /// to the same leaf, but its header fields are still needed by
+    /// ancestor transactions at release time. Together with [`len`](
+    /// Self::len) this accounts for every live slab slot:
+    /// `packet_buffer().live() == len() + shaped_refs_holding_packets()`.
+    pub fn shaped_refs_holding_packets(&self) -> usize {
+        self.dangling_shaped
+    }
+
+    /// Number of times [`release_due`](Self::release_due) actually
+    /// examined the shaping agenda. Work-conserving trees (no shaper ever
+    /// parks an element) stay at 0 forever — the dequeue hot path
+    /// performs zero shaping inspections.
+    pub fn shaping_inspections(&self) -> u64 {
+        self.shaping_inspections
     }
 
     /// Enqueue `packet` at wall-clock time `now`.
@@ -466,106 +556,127 @@ impl ScheduleTree {
         if !self.nodes[leaf.index()].children.is_empty() {
             return Err(TreeError::NotALeaf(leaf));
         }
-        if let Some(limit) = self.buffer_limit {
-            if self.buffered >= limit {
-                return Err(TreeError::BufferFull(packet));
-            }
-        }
-
-        // Leaf: the element is the packet itself.
-        let flow = self.flow_at(leaf, &packet);
-        let ctx = EnqCtx {
-            packet: &packet,
-            now,
-            flow,
+        // Admission is the slab insert itself, before any other state
+        // changes: a reject hands the caller's packet back unchanged
+        // (moved, never cloned).
+        let handle = match self.slab.try_insert(packet) {
+            Ok(h) => h,
+            Err(packet) => return Err(TreeError::BufferFull(packet)),
         };
-        let rank = self.nodes[leaf.index()].sched.rank(&ctx);
-        self.nodes[leaf.index()]
-            .sched_pifo
-            .push(rank, Element::Packet(packet.clone()));
+
+        // Leaf: the element is a handle to the buffered packet.
+        {
+            let node = &mut self.nodes[leaf.index()];
+            let p = self.slab.get(handle);
+            let flow = flow_of(&node.flow_fn, p);
+            let ctx = EnqCtx {
+                packet: p,
+                now,
+                flow,
+            };
+            let rank = node.sched.rank(&ctx);
+            node.sched_pifo.push(rank, Element::Packet(handle));
+        }
         self.buffered += 1;
 
-        self.after_insert(leaf, packet, now);
+        self.after_insert(leaf, handle, now, false);
         Ok(())
     }
 
     /// Continue the upward walk after an element entered `node`'s
     /// scheduling PIFO: either suspend at `node`'s shaper or push a
     /// reference into the parent (and recurse).
-    fn after_insert(&mut self, node: NodeId, packet: Packet, now: Nanos) {
+    ///
+    /// `owns_ref` is true when this walk is a shaping *resumption* and
+    /// therefore carries the popped agenda entry's buffer reference; a
+    /// fresh enqueue walk does not (the leaf element holds the packet).
+    fn after_insert(&mut self, node: NodeId, handle: PktHandle, now: Nanos, owns_ref: bool) {
         if self.nodes[node.index()].shaper.is_some() {
-            let flow = self.flow_at(node, &packet);
-            let ctx = EnqCtx {
-                packet: &packet,
-                now,
-                flow,
-            };
-            let t = self.nodes[node.index()]
-                .shaper
-                .as_mut()
-                .expect("checked above")
-                .send_time(&ctx);
-            self.nodes[node.index()]
-                .shaping_pifo
-                .push(Rank(t.as_nanos()), Suspended { packet, node });
+            let release;
+            {
+                let n = &mut self.nodes[node.index()];
+                let p = self.slab.get(handle);
+                let flow = flow_of(&n.flow_fn, p);
+                let ctx = EnqCtx {
+                    packet: p,
+                    now,
+                    flow,
+                };
+                release = n.shaper.as_mut().expect("checked above").send_time(&ctx);
+            }
+            if !owns_ref {
+                // The parked entry keeps the packet's fields alive even if
+                // the packet departs through an earlier reference first.
+                self.slab.retain(handle);
+            }
+            self.agenda.push(Reverse(AgendaEntry {
+                release: release.as_nanos(),
+                node: node.0,
+                seq: self.agenda_seq,
+                handle,
+            }));
+            self.agenda_seq += 1;
             self.shaped += 1;
+            self.nodes[node.index()].shaping_len += 1;
             return; // Suspended: the parent sees nothing until release.
         }
-        self.push_ref_to_parent(node, packet, now);
+        self.push_ref_to_parent(node, handle, now, owns_ref);
     }
 
     /// Push `Ref(node)` into `node`'s parent scheduling PIFO, executing the
     /// parent's scheduling transaction, then continue upward.
-    fn push_ref_to_parent(&mut self, node: NodeId, packet: Packet, now: Nanos) {
+    fn push_ref_to_parent(&mut self, node: NodeId, handle: PktHandle, now: Nanos, owns_ref: bool) {
         let Some(parent) = self.nodes[node.index()].parent else {
-            return; // Reached the root: walk complete.
+            // Reached the root: walk complete. A resumption drops the
+            // agenda entry's buffer reference; if the packet already
+            // departed, that frees the slot.
+            if owns_ref && self.slab.release(handle).is_some() {
+                self.dangling_shaped -= 1;
+            }
+            return;
         };
-        let ctx = EnqCtx {
-            packet: &packet,
-            now,
-            flow: node.as_flow(),
-        };
-        let rank = self.nodes[parent.index()].sched.rank(&ctx);
-        self.nodes[parent.index()]
-            .sched_pifo
-            .push(rank, Element::Ref(node));
-        self.after_insert(parent, packet, now);
+        {
+            let pnode = &mut self.nodes[parent.index()];
+            let p = self.slab.get(handle);
+            let ctx = EnqCtx {
+                packet: p,
+                now,
+                flow: node.as_flow(),
+            };
+            let rank = pnode.sched.rank(&ctx);
+            pnode.sched_pifo.push(rank, Element::Ref(node));
+        }
+        self.after_insert(parent, handle, now, owns_ref);
     }
 
     /// Release every shaped element whose wall-clock time has arrived,
     /// resuming the suspended walks in release-time order (ties broken by
-    /// node index, then FIFO). A resumed walk may suspend again at a higher
-    /// shaper; if that release time has also passed it is processed in the
-    /// same call.
+    /// node index, then FIFO — the agenda's `(release, node, seq)` order,
+    /// identical to the historical per-node-scan order). A resumed walk
+    /// may suspend again at a higher shaper; if that release time has also
+    /// passed it is processed in the same call.
+    ///
+    /// Work-conserving trees exit in O(1) on `shaped == 0` without
+    /// touching the agenda; shaped trees pay O(log s) per released entry.
     pub fn release_due(&mut self, now: Nanos) {
-        loop {
-            // Find the globally earliest due entry across all shaping PIFOs.
-            let mut best: Option<(Rank, usize)> = None;
-            for (i, n) in self.nodes.iter().enumerate() {
-                if let Some((r, _)) = n.shaping_pifo.peek() {
-                    if r.value() <= now.as_nanos() && best.map_or(true, |(br, _)| r < br) {
-                        best = Some((r, i));
-                    }
-                }
+        while self.shaped > 0 {
+            self.shaping_inspections += 1;
+            match self.agenda.peek() {
+                Some(Reverse(e)) if e.release <= now.as_nanos() => {}
+                _ => return,
             }
-            let Some((_, idx)) = best else { break };
-            let (_, susp) = self.nodes[idx]
-                .shaping_pifo
-                .pop()
-                .expect("peeked entry vanished");
+            let Reverse(e) = self.agenda.pop().expect("peeked entry vanished");
             self.shaped -= 1;
-            self.push_ref_to_parent(susp.node, susp.packet, now);
+            self.nodes[e.node as usize].shaping_len -= 1;
+            self.push_ref_to_parent(NodeId(e.node), e.handle, now, true);
         }
     }
 
     /// The earliest pending shaping release time, if any. A simulator
     /// should call [`release_due`](Self::release_due) (or any
-    /// enqueue/dequeue) at or after this instant.
+    /// enqueue/dequeue) at or after this instant. O(1) via the agenda.
     pub fn next_shaping_event(&self) -> Option<Nanos> {
-        self.nodes
-            .iter()
-            .filter_map(|n| n.shaping_pifo.peek().map(|(r, _)| Nanos(r.value())))
-            .min()
+        self.agenda.peek().map(|Reverse(e)| Nanos(e.release))
     }
 
     /// Dequeue the next packet at wall-clock time `now`: walk from the root
@@ -578,19 +689,38 @@ impl ScheduleTree {
         let mut node = self.root;
         loop {
             let (rank, elem) = self.nodes[node.index()].sched_pifo.pop()?;
-            let flow = match &elem {
-                Element::Packet(p) => self.flow_at(node, p),
-                Element::Ref(child) => child.as_flow(),
-            };
-            self.nodes[node.index()]
-                .sched
-                .on_dequeue(rank, &DeqCtx { now, flow });
             match elem {
-                Element::Packet(p) => {
+                Element::Packet(h) => {
+                    let flow = {
+                        let n = &self.nodes[node.index()];
+                        let p = self.slab.get(h);
+                        flow_of(&n.flow_fn, p)
+                    };
+                    self.nodes[node.index()]
+                        .sched
+                        .on_dequeue(rank, &DeqCtx { now, flow });
                     self.buffered -= 1;
-                    return Some(p);
+                    // Common case: the leaf element is the last holder and
+                    // the packet moves out of its slot, zero-copy. Rare
+                    // case: a parked shaping entry still needs the fields
+                    // (this packet overtook its own suspended reference),
+                    // so the slot stays live until that entry resumes.
+                    return Some(match self.slab.release(h) {
+                        Some(p) => p,
+                        None => {
+                            self.dangling_shaped += 1;
+                            self.slab.get(h).clone()
+                        }
+                    });
                 }
                 Element::Ref(child) => {
+                    self.nodes[node.index()].sched.on_dequeue(
+                        rank,
+                        &DeqCtx {
+                            now,
+                            flow: child.as_flow(),
+                        },
+                    );
                     debug_assert!(
                         !self.nodes[child.index()].sched_pifo.is_empty(),
                         "dequeued a reference to empty child {child} — tree invariant broken"
@@ -602,16 +732,33 @@ impl ScheduleTree {
     }
 
     /// Peek the packet that `dequeue` would return *right now*, without
-    /// mutating any state (and without releasing due shaped elements).
+    /// mutating any state.
+    ///
+    /// **No time passes**: due-but-unreleased shaped elements are *not*
+    /// released first, so with shapers `peek()` can disagree with
+    /// [`dequeue`](Self::dequeue) at a later `now` — `dequeue(now)`
+    /// releases everything due at `now` before walking. Use
+    /// [`peek_at`](Self::peek_at) to preview what `dequeue(now)` would
+    /// return.
     pub fn peek(&self) -> Option<&Packet> {
         let mut node = self.root;
         loop {
             let (_, elem) = self.nodes[node.index()].sched_pifo.peek()?;
             match elem {
-                Element::Packet(p) => return Some(p),
+                Element::Packet(h) => return Some(self.slab.get(*h)),
                 Element::Ref(child) => node = *child,
             }
         }
+    }
+
+    /// Peek the packet that [`dequeue`](Self::dequeue)`(now)` would
+    /// return: releases every shaped element due at `now` first (which is
+    /// why this takes `&mut self`), then walks the root path without
+    /// popping. The same non-decreasing time contract as
+    /// `enqueue`/`dequeue` applies.
+    pub fn peek_at(&mut self, now: Nanos) -> Option<&Packet> {
+        self.release_due(now);
+        self.peek()
     }
 
     /// Render the instantaneous scheduling order of a node's PIFO as a
@@ -621,7 +768,7 @@ impl ScheduleTree {
             .sched_pifo
             .iter_in_order()
             .map(|(r, e)| match e {
-                Element::Packet(p) => format!("{}@{}", p.id, r),
+                Element::Packet(h) => format!("{}@{}", self.slab.get(*h).id, r),
                 Element::Ref(c) => format!("{}@{}", self.node_name(*c), r),
             })
             .collect();
@@ -632,6 +779,7 @@ impl ScheduleTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rank::Rank;
     use crate::transaction::FnTransaction;
 
     fn fifo_tx() -> Box<dyn SchedulingTransaction> {
@@ -980,6 +1128,156 @@ mod tests {
         let mut tree = b.build(Box::new(move |_| NodeId::INVALID)).unwrap();
         let err = tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap_err();
         assert_eq!(err, TreeError::UnknownNode(NodeId::INVALID));
+    }
+
+    /// `peek()` lets no time pass, so a due-but-unreleased shaped element
+    /// is invisible to it; `peek_at(now)` releases first and agrees with
+    /// what `dequeue(now)` would return.
+    #[test]
+    fn peek_at_releases_due_elements_peek_does_not() {
+        struct FixedAt(u64);
+        impl ShapingTransaction for FixedAt {
+            fn send_time(&mut self, _ctx: &EnqCtx<'_>) -> Nanos {
+                Nanos(self.0)
+            }
+        }
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let leaf = b.add_child(root, "leaf", fifo_tx());
+        b.set_shaper(leaf, Box::new(FixedAt(100)));
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+        tree.enqueue(pkt(3, 0, 0), Nanos(0)).unwrap();
+
+        // The release time has arrived, but peek() does not release.
+        assert!(tree.peek().is_none(), "peek must not advance time");
+        // peek_at(100) releases and previews dequeue(100) without popping.
+        assert_eq!(tree.peek_at(Nanos(100)).unwrap().id.0, 3);
+        assert_eq!(tree.len(), 1, "peek_at must not dequeue");
+        assert_eq!(tree.dequeue(Nanos(100)).unwrap().id.0, 3);
+    }
+
+    /// A work-conserving tree never inspects the shaping agenda: the
+    /// `shaped == 0` early exit keeps the whole enqueue/dequeue hot path
+    /// free of shaping work.
+    #[test]
+    fn work_conserving_path_never_inspects_shaping_agenda() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let l = b.add_child(root, "L", fifo_tx());
+        let r = b.add_child(root, "R", fifo_tx());
+        let mut tree = b
+            .build(Box::new(
+                move |p: &Packet| if p.flow.0 == 0 { l } else { r },
+            ))
+            .unwrap();
+        for i in 0..200 {
+            tree.enqueue(pkt(i, (i % 2) as u32, i), Nanos(i)).unwrap();
+            if i % 3 == 0 {
+                tree.dequeue(Nanos(i));
+            }
+        }
+        while tree.dequeue(Nanos(1_000)).is_some() {}
+        assert_eq!(
+            tree.shaping_inspections(),
+            0,
+            "no shaper ever parked an element, so the agenda must never be touched"
+        );
+    }
+
+    /// ...whereas a shaped tree does pay for its releases (sanity check
+    /// that the counter counts).
+    #[test]
+    fn shaped_tree_records_agenda_inspections() {
+        struct Immediate;
+        impl ShapingTransaction for Immediate {
+            fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+                ctx.now
+            }
+        }
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let leaf = b.add_child(root, "leaf", fifo_tx());
+        b.set_shaper(leaf, Box::new(Immediate));
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+        tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap();
+        assert!(tree.dequeue(Nanos(0)).is_some());
+        assert!(tree.shaping_inspections() > 0);
+    }
+
+    /// A rejected packet comes back through `BufferFull` unchanged, every
+    /// field intact — admission happens before any slab insert.
+    #[test]
+    fn buffer_full_returns_packet_unchanged() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("fifo", fifo_tx());
+        b.buffer_limit(1);
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+        tree.enqueue(pkt(0, 0, 0), Nanos(0)).unwrap();
+        let original = pkt(1, 7, 5)
+            .with_class(3)
+            .with_slack(-9)
+            .with_deadline(Nanos(77))
+            .with_flow_size(1_000)
+            .with_remaining(400)
+            .with_attained(600)
+            .with_seq_in_flow(42);
+        match tree.enqueue(original.clone(), Nanos(5)) {
+            Err(TreeError::BufferFull(p)) => assert_eq!(p, original),
+            other => panic!("expected BufferFull, got {other:?}"),
+        }
+        assert_eq!(tree.packet_buffer().live(), 1, "no slab slot consumed");
+    }
+
+    /// A packet can overtake its own parked shaping entry: an earlier
+    /// reference pops it from the leaf first. The parked entry then
+    /// becomes the sole owner of the buffer slot (keeping the header
+    /// fields for the ancestors' transactions), and the slot is freed
+    /// when the entry finally resumes.
+    #[test]
+    fn overtaken_shaped_ref_keeps_slot_until_release() {
+        struct Script(Vec<u64>, usize);
+        impl ShapingTransaction for Script {
+            fn send_time(&mut self, _ctx: &EnqCtx<'_>) -> Nanos {
+                let t = self.0[self.1];
+                self.1 += 1;
+                Nanos(t)
+            }
+        }
+        let by_class = Box::new(FnTransaction::new("class", |ctx: &EnqCtx<'_>| {
+            Rank(ctx.packet.class as u64)
+        }));
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", fifo_tx());
+        let leaf = b.add_child(root, "leaf", by_class);
+        // P0 releases immediately; P1 not until t=100.
+        b.set_shaper(leaf, Box::new(Script(vec![0, 100], 0)));
+        let mut tree = b.build(Box::new(move |_| leaf)).unwrap();
+
+        tree.enqueue(pkt(0, 0, 0).with_class(5), Nanos(0)).unwrap();
+        // t=1: P0's ref releases to the root; P1 parks until t=100 but
+        // holds the smaller leaf rank.
+        tree.enqueue(pkt(1, 0, 1).with_class(1), Nanos(1)).unwrap();
+
+        // P0's reference pops the leaf head — which is P1 (rank 1 < 5).
+        let p = tree.dequeue(Nanos(2)).expect("root has one ref");
+        assert_eq!(p.id.0, 1, "earlier ref retrieves the overtaking packet");
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.shaped_len(), 1);
+        assert_eq!(
+            tree.shaped_refs_holding_packets(),
+            1,
+            "P1's parked entry is now the sole owner of its slot"
+        );
+        assert_eq!(tree.packet_buffer().live(), 2, "P0 buffered + P1 held");
+
+        // t=100: P1's entry resumes, frees its slot, and its reference
+        // retrieves P0.
+        let p = tree.dequeue(Nanos(100)).expect("released");
+        assert_eq!(p.id.0, 0);
+        assert!(tree.is_empty());
+        assert_eq!(tree.shaped_refs_holding_packets(), 0);
+        assert_eq!(tree.packet_buffer().live(), 0);
+        tree.packet_buffer().assert_coherent();
     }
 
     #[test]

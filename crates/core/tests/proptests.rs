@@ -271,3 +271,203 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shared-slab accounting and shaping-agenda order (the zero-copy hot path)
+// ---------------------------------------------------------------------------
+
+/// An abstract operation on a shaped tree, with time moving only forward.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    /// Enqueue to flow (0..4) with a random leaf rank (the `class` field),
+    /// so later packets can overtake earlier ones *and their own parked
+    /// shaping entries* — the case where a shaped ref becomes the sole
+    /// owner of its buffer slot.
+    Enq(u32, u8),
+    Deq,
+    /// Advance the clock and release whatever came due.
+    Advance(u64),
+}
+
+fn tree_op_strategy() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        4 => (0u32..4, any::<u8>()).prop_map(|(f, c)| TreeOp::Enq(f, c)),
+        3 => Just(TreeOp::Deq),
+        2 => (1u64..300).prop_map(TreeOp::Advance),
+    ]
+}
+
+proptest! {
+    /// After every operation the shared slab accounts for exactly the
+    /// buffered packets plus the parked shaping entries that outlived
+    /// their packet; once the tree fully drains, every slot is back on
+    /// the free list (no leaks), on every backend.
+    #[test]
+    fn slab_accounting_is_exact_and_leak_free(
+        ops in proptest::collection::vec(tree_op_strategy(), 1..120),
+        delays in proptest::collection::vec(0u64..200, 1..8),
+    ) {
+        use pifo_core::transaction::FnTransaction;
+
+        struct CyclicDelay { delays: Vec<u64>, i: usize }
+        impl ShapingTransaction for CyclicDelay {
+            fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+                let d = self.delays[self.i % self.delays.len()];
+                self.i += 1;
+                Nanos(ctx.now.as_nanos() + d)
+            }
+        }
+
+        let by_class = || -> Box<dyn SchedulingTransaction> {
+            Box::new(FnTransaction::new("class", |ctx: &EnqCtx| Rank(ctx.packet.class as u64)))
+        };
+        let fifo = || -> Box<dyn SchedulingTransaction> {
+            Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| Rank(ctx.now.as_nanos())))
+        };
+        for backend in PifoBackend::ALL {
+            let mut b = TreeBuilder::new();
+            b.with_backend(backend);
+            let root = b.add_root("root", fifo());
+            let l = b.add_child(root, "L", by_class());
+            let r = b.add_child(root, "R", by_class());
+            b.set_shaper(l, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
+            b.set_shaper(r, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
+            let mut tree = b.build(Box::new(move |p: &Packet| {
+                if p.flow.0 < 2 { l } else { r }
+            })).unwrap();
+
+            let mut now = 0u64;
+            let mut id = 0u64;
+            for op in &ops {
+                match op {
+                    TreeOp::Enq(f, c) => {
+                        let p = Packet::new(id, FlowId(*f), 100, Nanos(now)).with_class(*c);
+                        id += 1;
+                        tree.enqueue(p, Nanos(now)).unwrap();
+                    }
+                    TreeOp::Deq => { let _ = tree.dequeue(Nanos(now)); }
+                    TreeOp::Advance(dt) => {
+                        now += dt;
+                        tree.release_due(Nanos(now));
+                    }
+                }
+                prop_assert_eq!(
+                    tree.packet_buffer().live(),
+                    tree.len() + tree.shaped_refs_holding_packets(),
+                    "slab accounting diverges on {} after {:?}", backend, op
+                );
+                prop_assert!(
+                    tree.shaped_refs_holding_packets() <= tree.shaped_len(),
+                    "sole-owner refs are a subset of parked refs on {}", backend
+                );
+            }
+            // Drain fully, hopping across shaping gaps.
+            loop {
+                if tree.dequeue(Nanos(now)).is_some() { continue; }
+                match tree.next_shaping_event() {
+                    Some(t) => now = now.max(t.as_nanos()),
+                    None => break,
+                }
+            }
+            prop_assert_eq!(tree.len(), 0, "{} drains", backend);
+            prop_assert_eq!(tree.shaped_len(), 0, "{} releases all", backend);
+            prop_assert_eq!(tree.packet_buffer().live(), 0, "{} leaks slots", backend);
+            prop_assert_eq!(tree.shaped_refs_holding_packets(), 0, "{}", backend);
+            // Free list whole again: every slot reachable exactly once.
+            tree.packet_buffer().assert_coherent();
+        }
+    }
+
+    /// Differential trace: the shaping agenda releases parked walks in
+    /// exactly the order the legacy per-node scan did — earliest release
+    /// time first, ties broken by node index, then FIFO within a node.
+    /// The oracle below *is* that scan, reimplemented over plain vectors.
+    #[test]
+    fn agenda_matches_legacy_scan_release_order(
+        pkts in proptest::collection::vec((0usize..3, 0u64..40), 1..60),
+    ) {
+        use pifo_core::transaction::FnTransaction;
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct Scripted { times: Vec<u64>, i: usize }
+        impl ShapingTransaction for Scripted {
+            fn send_time(&mut self, _ctx: &EnqCtx<'_>) -> Nanos {
+                let t = self.times[self.i];
+                self.i += 1;
+                Nanos(t)
+            }
+        }
+
+        // Root rank = insertion counter, so the departure order *is* the
+        // order references reached the root, i.e. the release order.
+        // Leaf rank = arrival counter, so within a leaf packets pop FIFO.
+        let counter_tx = |c: Rc<Cell<u64>>| -> Box<dyn SchedulingTransaction> {
+            Box::new(FnTransaction::new("count", move |_: &EnqCtx| {
+                let v = c.get();
+                c.set(v + 1);
+                Rank(v)
+            }))
+        };
+
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("root", counter_tx(Rc::new(Cell::new(0))));
+        let leaf_count = Rc::new(Cell::new(0));
+        let leaves: Vec<NodeId> = (0..3)
+            .map(|i| b.add_child(root, &format!("leaf{i}"), counter_tx(leaf_count.clone())))
+            .collect();
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let times: Vec<u64> = pkts.iter().filter(|(l, _)| *l == i).map(|(_, t)| *t).collect();
+            b.set_shaper(leaf, Box::new(Scripted { times, i: 0 }));
+        }
+        let lv = leaves.clone();
+        let mut tree = b.build(Box::new(move |p: &Packet| lv[p.flow.0 as usize])).unwrap();
+
+        // Legacy-scan oracle state: per node, parked (release, seq) FIFO
+        // kept sorted by (release, seq); plus per-leaf arrival queues.
+        let mut parked: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 3];
+        let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut seq = 0u64;
+        let mut expected = Vec::new();
+        let scan = |parked: &mut Vec<Vec<(u64, u64)>>, now: u64, out: &mut Vec<usize>| {
+            loop {
+                let mut best: Option<(u64, usize)> = None;
+                for (n, q) in parked.iter().enumerate() {
+                    if let Some(&(t, _)) = q.first() {
+                        if t <= now && best.map_or(true, |(bt, _)| t < bt) {
+                            best = Some((t, n));
+                        }
+                    }
+                }
+                let Some((_, n)) = best else { break };
+                parked[n].remove(0);
+                out.push(n);
+            }
+        };
+
+        // Drive both: packet i arrives at t=i with scripted release time.
+        let mut release_order: Vec<usize> = Vec::new();
+        for (i, (leaf, t_rel)) in pkts.iter().enumerate() {
+            let now = i as u64;
+            tree.enqueue(Packet::new(i as u64, FlowId(*leaf as u32), 100, Nanos(now)), Nanos(now)).unwrap();
+            // Oracle mirrors enqueue: release what is due *first*, then park.
+            scan(&mut parked, now, &mut release_order);
+            let pos = parked[*leaf].partition_point(|&(t, s)| (t, s) <= (*t_rel, seq));
+            parked[*leaf].insert(pos, (*t_rel, seq));
+            seq += 1;
+            arrivals[*leaf].push(i as u64);
+        }
+        let horizon = 1_000_000u64;
+        scan(&mut parked, horizon, &mut release_order);
+        for n in &release_order {
+            expected.push(arrivals[*n].remove(0));
+        }
+
+        let mut got = Vec::new();
+        while let Some(p) = tree.dequeue(Nanos(horizon)) {
+            got.push(p.id.0);
+        }
+        prop_assert_eq!(got, expected, "agenda order diverges from the legacy scan");
+        prop_assert_eq!(tree.shaped_len(), 0);
+    }
+}

@@ -178,6 +178,54 @@ mod tests {
         }
     }
 
+    /// A work-conserving tree driven through the real port loop never
+    /// touches the shaping agenda: the whole enqueue/dequeue hot path is
+    /// free of shaping inspections end to end, not just in unit tests.
+    #[test]
+    fn work_conserving_port_run_never_inspects_shaping() {
+        use crate::port::{run_port, PortConfig};
+        use crate::traffic::{CbrSource, TrafficSource};
+        use pifo_algos::{Stfq, WeightTable};
+
+        let end = Nanos::from_millis(1);
+        let sources: Vec<Box<dyn TrafficSource>> = (1..=3u32)
+            .map(|f| {
+                Box::new(CbrSource::new(
+                    FlowId(f),
+                    1_000,
+                    3_000_000_000,
+                    Nanos::ZERO,
+                    end,
+                )) as Box<dyn TrafficSource>
+            })
+            .collect();
+        let mut arrivals = crate::traffic::merge(sources);
+        crate::traffic::renumber(&mut arrivals);
+
+        let mut b = TreeBuilder::new();
+        let root = b.add_root(
+            "WFQ",
+            Box::new(Stfq::new(WeightTable::from_pairs([
+                (FlowId(1), 1),
+                (FlowId(2), 2),
+                (FlowId(3), 4),
+            ]))),
+        );
+        let tree = b.build(Box::new(move |_| root)).unwrap();
+        let mut sched = TreeScheduler::new("WFQ", tree);
+        let deps = run_port(
+            &arrivals,
+            &mut sched,
+            &PortConfig::new(2_000_000_000).with_horizon(end),
+        );
+        assert!(!deps.is_empty(), "workload departs packets");
+        assert_eq!(
+            sched.tree().shaping_inspections(),
+            0,
+            "no shaper in the tree, so the agenda must never be examined"
+        );
+    }
+
     #[test]
     fn next_ready_reports_shaping_gap() {
         use pifo_algos::TokenBucketFilter;

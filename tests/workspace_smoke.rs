@@ -94,11 +94,43 @@ fn hpfq_two_level_work_conservation_and_flow_fifo() {
 
 #[test]
 fn umbrella_reexports_cover_every_subcrate() {
-    // pifo::core / pifo::algos — Fig 3's HPFQ instance runs.
+    // pifo::core / pifo::algos — Fig 3's HPFQ instance runs, zero-copy
+    // through the shared packet-buffer slab.
     let (mut tree, _) = pifo::algos::fig3_hpfq();
     tree.enqueue(Packet::new(0, FlowId(0), 100, Nanos(0)), Nanos(0))
         .expect("fig3 tree accepts flow 0");
+    assert_eq!(
+        tree.packet_buffer().live(),
+        1,
+        "packet lives once, in the slab"
+    );
+    assert_eq!(tree.peek_at(Nanos(1)).expect("previews head").id.0, 0);
     assert_eq!(tree.dequeue(Nanos(1)).expect("serves it").id.0, 0);
+    assert_eq!(
+        tree.packet_buffer().live(),
+        0,
+        "dequeue moved it out of its slot"
+    );
+    assert_eq!(
+        tree.shaping_inspections(),
+        0,
+        "work-conserving trees never touch the shaping agenda"
+    );
+
+    // pifo::core — the statically dispatched engine sum re-exports too.
+    let mut q: EnumPifo<u32> = PifoBackend::Bucket.make_enum();
+    q.push(Rank(3), 30);
+    q.push(Rank(1), 10);
+    assert_eq!(q.backend(), PifoBackend::Bucket);
+    assert_eq!(q.pop(), Some((Rank(1), 10)));
+
+    // pifo::core — PacketBuffer/PktHandle round-trip through the prelude.
+    let mut slab = PacketBuffer::with_capacity(2);
+    let h: PktHandle = slab
+        .try_insert(Packet::new(9, FlowId(0), 64, Nanos(0)))
+        .unwrap();
+    assert_eq!(slab.get(h).id.0, 9);
+    assert_eq!(slab.release(h).expect("last ref moves out").id.0, 9);
 
     // pifo::domino — parse + analyze the paper's STFQ program.
     let prog = pifo::domino::parser::parse(pifo::domino::figures::STFQ_SRC).expect("STFQ parses");
