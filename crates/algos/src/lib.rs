@@ -17,6 +17,7 @@
 //! | CBQ | §3.4 | [`cbq::build_cbq`] |
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod cbq;

@@ -1,0 +1,360 @@
+//! Multi-port switch-fabric throughput: the shared-classifier → N-port →
+//! line-rate-drain pipeline of `pifo_sim::switch`, swept over ports ×
+//! PIFO backends × traffic patterns × drain mode, plus a standalone
+//! batched-vs-per-packet drain microbench on a standing backlog.
+//!
+//! Two result kinds land in `BENCH_switch.json` (override the path with
+//! `BENCH_SWITCH_OUT`):
+//!
+//! * `"switch"` — whole-fabric runs: one arrival stream per traffic
+//!   pattern (incast, Markov on/off, heavy-tailed flow workload; 1M+
+//!   packets each in full mode), classified across 1/4/16 ports, drained
+//!   per-packet vs batched. Every batched run is cross-checked
+//!   byte-identical against its per-packet twin before timing is
+//!   reported.
+//! * `"drain"` — the README headline: fill one port's tree to a standing
+//!   occupancy, then time *only* the drain, per-packet `dequeue` vs
+//!   `dequeue_upto` batches (the single-node fast path reaching
+//!   `BucketPifo::pop_batch`).
+//!
+//! `--smoke` (or `BENCH_SWITCH_SMOKE=1`) shrinks the sweep for CI.
+
+use pifo_algos::Stfq;
+use pifo_core::prelude::*;
+use pifo_sim::switch::{DrainMode, SwitchBuilder};
+use pifo_sim::traffic::{
+    flow_workload, merge, renumber, IncastSource, MarkovOnOffSource, SizeDistribution,
+    TrafficSource,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured configuration (either kind).
+struct Record {
+    kind: &'static str,
+    pattern: String,
+    ports: usize,
+    backend: PifoBackend,
+    drain: DrainMode,
+    occupancy: usize,
+    packets: u64,
+    elapsed_ns: u128,
+}
+
+impl Record {
+    fn pps(&self) -> f64 {
+        self.packets as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+/// A flat single-node STFQ scheduler — the common per-port program, and
+/// the shape that reaches `dequeue_upto`'s pop_batch fast path.
+fn port_tree(backend: PifoBackend, buffer: usize) -> ScheduleTree {
+    let mut b = TreeBuilder::new();
+    b.with_backend(backend);
+    b.buffer_limit(buffer);
+    let root = b.add_root("stfq", Box::new(Stfq::unweighted()));
+    b.build(Box::new(move |_| root)).expect("single-node tree")
+}
+
+/// Incast: 64 synchronized senders per wave, bursting every 20 µs.
+fn incast_arrivals(target_pkts: usize) -> Vec<Packet> {
+    const FANIN: u32 = 64;
+    const PKTS_PER_SENDER: u32 = 16;
+    let per_epoch = (FANIN * PKTS_PER_SENDER) as usize;
+    let epochs = target_pkts.div_ceil(per_epoch) as u64;
+    let period = Nanos::from_micros(20);
+    let mut src = IncastSource::new(
+        FlowId(0),
+        FANIN,
+        1_000,
+        PKTS_PER_SENDER,
+        40_000_000_000,
+        period,
+        Nanos(period.as_nanos() * epochs),
+    );
+    let mut out: Vec<Packet> = std::iter::from_fn(|| src.next_packet()).collect();
+    renumber(&mut out);
+    out
+}
+
+/// Markov on/off: 64 independently bursting flows.
+fn onoff_arrivals(target_pkts: usize) -> Vec<Packet> {
+    const FLOWS: u32 = 64;
+    // Mean cycle: 16 packets * 1 µs on-rate + 10 µs idle ≈ 26 µs per
+    // flow, so packets/flow ≈ horizon / 1.6 µs.
+    let horizon = Nanos((target_pkts as u64 / FLOWS as u64) * 1_650);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..FLOWS)
+        .map(|f| {
+            Box::new(MarkovOnOffSource::new(
+                FlowId(f),
+                1_000,
+                16.0,
+                8_000_000_000,
+                Nanos::from_micros(10),
+                horizon,
+                0xC0FFEE + f as u64,
+            )) as Box<dyn TrafficSource>
+        })
+        .collect();
+    let mut out = merge(sources);
+    renumber(&mut out);
+    out
+}
+
+/// Heavy-tailed flow workload: bounded-Pareto sizes, Poisson flow
+/// arrivals, packets injected at access-link rate.
+fn heavytail_arrivals(target_pkts: usize) -> Vec<Packet> {
+    let dist = SizeDistribution::bounded_pareto(1.2, 1_000, 10_000_000);
+    // Discretized mean ≈ 5 KB ≈ 3.3 MTU packets per flow.
+    let n_flows = (target_pkts / 3).max(1);
+    let (pkts, _) = flow_workload(n_flows, 2_000_000.0, &dist, 10_000_000_000, 1_500, 7);
+    pkts
+}
+
+/// Run one fabric configuration; `verify` additionally runs the
+/// per-packet twin and asserts byte-identical per-port traces first.
+fn run_switch_config(
+    pattern: &str,
+    arrivals: &[Packet],
+    ports: usize,
+    backend: PifoBackend,
+    drain: DrainMode,
+    verify: bool,
+) -> Record {
+    let build = |backend: PifoBackend| {
+        let mut sb = SwitchBuilder::new(10_000_000_000);
+        for _ in 0..ports {
+            sb.add_port(port_tree(backend, 60_000));
+        }
+        sb.with_burst(64);
+        let n = ports;
+        sb.build(Box::new(move |p: &Packet| p.flow.0 as usize % n))
+    };
+
+    if verify {
+        let a = build(backend).run(arrivals, DrainMode::PerPacket);
+        let b = build(backend).run(arrivals, DrainMode::Batched);
+        assert_eq!(a.misrouted, b.misrouted);
+        for (port, (x, y)) in a.ports.iter().zip(&b.ports).enumerate() {
+            assert_eq!(x.drops, y.drops, "{pattern}/{backend} port {port} drops");
+            assert_eq!(
+                x.departures.len(),
+                y.departures.len(),
+                "{pattern}/{backend} port {port} count"
+            );
+            for (dx, dy) in x.departures.iter().zip(&y.departures) {
+                assert!(
+                    dx.packet == dy.packet && dx.start == dy.start && dx.finish == dy.finish,
+                    "{pattern}/{backend} port {port}: batched trace diverges"
+                );
+            }
+        }
+    }
+
+    let mut sw = build(backend);
+    let start = Instant::now();
+    let run = sw.run(arrivals, drain);
+    let elapsed_ns = start.elapsed().as_nanos();
+    let handled = run.total_departures() as u64 + run.total_drops();
+    assert!(handled > 0, "{pattern}: fabric must move packets");
+    Record {
+        kind: "switch",
+        pattern: pattern.to_string(),
+        ports,
+        backend,
+        drain,
+        occupancy: 0,
+        packets: handled,
+        elapsed_ns,
+    }
+}
+
+/// The drain microbench: fill a single-node tree to `occupancy`, then
+/// time only the drain (per-packet vs batches of 64).
+///
+/// Ranks are arrival timestamps (FIFO), i.e. dense integers — the bucket
+/// calendar's design point, where batch pops drain whole buckets in one
+/// `memmove` instead of one find-first-set round trip per element.
+///
+/// A single drain lasts only a few hundred µs, so one observation is at
+/// the mercy of frequency scaling and scheduler noise. The two modes are
+/// therefore sampled **interleaved** (per-packet, batched, per-packet,
+/// batched, …) for `DRAIN_REPS` rounds with the first discarded as
+/// warm-up, and each leg reports its **median** round — slow phases of
+/// the machine hit both legs equally and outlier rounds cannot skew the
+/// ratio.
+fn run_drain_pair(backend: PifoBackend, occupancy: usize) -> [Record; 2] {
+    const DRAIN_REPS: usize = 9; // 1 warm-up + 8 measured, alternating
+    let fill = || -> ScheduleTree {
+        let mut b = TreeBuilder::new();
+        b.with_backend(backend);
+        b.buffer_limit(occupancy + 1);
+        let root = b.add_root(
+            "fifo",
+            Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+                Rank(ctx.now.as_nanos())
+            })),
+        );
+        let mut tree = b.build(Box::new(move |_| root)).expect("single-node tree");
+        for i in 0..occupancy as u64 {
+            tree.enqueue(
+                Packet::new(i, FlowId((i % 256) as u32), 1_000, Nanos(i)),
+                Nanos(i),
+            )
+            .expect("within buffer limit");
+        }
+        tree
+    };
+
+    let now = Nanos(occupancy as u64);
+    let mut out: Vec<Packet> = Vec::with_capacity(64);
+    let modes = [DrainMode::PerPacket, DrainMode::Batched];
+    let mut samples: [Vec<u128>; 2] = [Vec::new(), Vec::new()];
+    for rep in 0..DRAIN_REPS {
+        for (mi, mode) in modes.iter().enumerate() {
+            let mut tree = fill();
+            let start = Instant::now();
+            let mut drained = 0u64;
+            match mode {
+                DrainMode::PerPacket => {
+                    while let Some(_p) = tree.dequeue(now) {
+                        drained += 1;
+                    }
+                }
+                DrainMode::Batched => loop {
+                    out.clear();
+                    let n = tree.dequeue_upto(now, 64, &mut out);
+                    if n == 0 {
+                        break;
+                    }
+                    drained += n as u64;
+                },
+            }
+            let elapsed_ns = start.elapsed().as_nanos();
+            assert_eq!(drained, occupancy as u64, "tree must drain fully");
+            if rep > 0 {
+                samples[mi].push(elapsed_ns);
+            }
+        }
+    }
+    let record = |mi: usize| {
+        let s = &mut samples[mi].clone();
+        s.sort_unstable();
+        Record {
+            kind: "drain",
+            pattern: "standing_backlog".to_string(),
+            ports: 1,
+            backend,
+            drain: modes[mi],
+            occupancy,
+            packets: occupancy as u64,
+            elapsed_ns: s[s.len() / 2],
+        }
+    };
+    [record(0), record(1)]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SWITCH_SMOKE").is_ok_and(|v| v == "1");
+
+    let (target_pkts, port_counts, patterns): (usize, &[usize], &[&str]) = if smoke {
+        (60_000, &[4], &["incast"])
+    } else {
+        (1_200_000, &[1, 4, 16], &["incast", "onoff", "heavytail"])
+    };
+
+    let mut results: Vec<Record> = Vec::new();
+
+    // ---- Fabric sweep: pattern × ports × backend × drain mode ----------
+    for &pattern in patterns {
+        let arrivals = match pattern {
+            "incast" => incast_arrivals(target_pkts),
+            "onoff" => onoff_arrivals(target_pkts),
+            "heavytail" => heavytail_arrivals(target_pkts),
+            other => unreachable!("unknown pattern {other}"),
+        };
+        if !smoke {
+            assert!(
+                arrivals.len() >= 1_000_000,
+                "{pattern}: full mode must sweep 1M+ packets (got {})",
+                arrivals.len()
+            );
+        }
+        println!("pattern {pattern:<10} {} arrival packets", arrivals.len());
+        for &ports in port_counts {
+            for backend in PifoBackend::ALL {
+                for drain in [DrainMode::PerPacket, DrainMode::Batched] {
+                    // Cross-check traces once per (pattern, ports, backend),
+                    // on the batched leg.
+                    let verify = drain == DrainMode::Batched;
+                    let r = run_switch_config(pattern, &arrivals, ports, backend, drain, verify);
+                    println!(
+                        "switch_fabric {pattern:<10} ports={ports:<3} backend={:<6} drain={:<10} {:>12.0} pkts/s",
+                        r.backend.label(),
+                        r.drain.label(),
+                        r.pps()
+                    );
+                    results.push(r);
+                }
+            }
+        }
+    }
+
+    // ---- Drain microbench: standing backlog, batched vs per-packet -----
+    let occupancies: &[usize] = if smoke { &[10_000] } else { &[10_000, 60_000] };
+    for &occ in occupancies {
+        for backend in PifoBackend::ALL {
+            let pair = run_drain_pair(backend, occ);
+            let speedup = pair[1].pps() / pair[0].pps();
+            for r in pair {
+                println!(
+                    "switch_fabric drain      occ={occ:<6} backend={:<6} drain={:<10} {:>12.0} pkts/s",
+                    r.backend.label(),
+                    r.drain.label(),
+                    r.pps()
+                );
+                results.push(r);
+            }
+            println!(
+                "switch_fabric drain      occ={occ:<6} backend={:<6} batched/per-packet = {speedup:.2}x",
+                backend.label(),
+            );
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::from("{\n  \"bench\": \"switch_fabric\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"kind\": \"{}\", \"pattern\": \"{}\", \"ports\": {}, \"backend\": \"{}\", \
+             \"drain\": \"{}\", \"occupancy\": {}, \"packets\": {}, \"elapsed_ns\": {}, \
+             \"pkts_per_sec\": {:.0}}}",
+            r.kind,
+            r.pattern,
+            r.ports,
+            r.backend.label(),
+            r.drain.label(),
+            r.occupancy,
+            r.packets,
+            r.elapsed_ns,
+            r.pps()
+        );
+        json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("BENCH_SWITCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_switch.json").to_string()
+    });
+    std::fs::write(&out, &json).expect("write BENCH_switch.json");
+    println!("wrote {out}");
+}

@@ -2,13 +2,13 @@
 //!
 //! Experiment drivers (`repro` binary) and Criterion benchmarks.
 //!
-//! Every table and figure of the paper has a regenerator here — see
-//! `EXPERIMENTS.md` at the workspace root for the experiment index and
-//! the recorded paper-vs-measured outcomes. Run one with
-//! `cargo run -p pifo-bench --bin repro --release -- <id>` or all with
-//! `… -- all`.
+//! Every table and figure of the paper has a regenerator here — run
+//! `cargo run -p pifo-bench --bin repro --release -- list` for the
+//! experiment index, `… -- <id>` for one experiment, or `… -- all` for
+//! everything.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod experiments;

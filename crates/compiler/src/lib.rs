@@ -18,6 +18,7 @@
 //! runnable [`pifo_hw::Mesh`].
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 use pifo_core::prelude::*;

@@ -53,6 +53,28 @@ enum Slot {
 /// the reference switch): [`try_insert`](Self::try_insert) hands the
 /// caller's packet back — unmoved and unclonable from the outside — when
 /// the buffer is exhausted.
+///
+/// ```
+/// use pifo_core::buffer::PacketBuffer;
+/// use pifo_core::packet::{FlowId, Packet};
+/// use pifo_core::time::Nanos;
+///
+/// let mut buf = PacketBuffer::with_capacity(2);
+/// let a = buf.try_insert(Packet::new(0, FlowId(1), 1500, Nanos(0))).unwrap();
+/// let b = buf.try_insert(Packet::new(1, FlowId(2), 64, Nanos(1))).unwrap();
+/// assert_eq!(buf.get(a).length, 1500);
+///
+/// // At capacity: the rejected packet comes back unchanged, by move.
+/// let back = buf.try_insert(Packet::new(2, FlowId(3), 100, Nanos(2))).unwrap_err();
+/// assert_eq!(back.id.0, 2);
+///
+/// // The last release moves the packet out of its slot — zero-copy.
+/// let gone = buf.release(b).expect("sole reference");
+/// assert_eq!(gone.id.0, 1);
+/// assert_eq!(buf.live(), 1);
+/// # buf.release(a);
+/// # buf.assert_coherent();
+/// ```
 #[derive(Debug, Clone)]
 pub struct PacketBuffer {
     slots: Vec<Slot>,
@@ -86,6 +108,15 @@ impl PacketBuffer {
             live: 0,
             capacity: Some(capacity),
         }
+    }
+
+    /// Pre-grow the slot vector so the next `additional` inserts trigger
+    /// at most one allocation. Used by the scheduling tree's batched
+    /// enqueue to amortize slab growth across a whole arrival batch; a
+    /// no-op once the working set has warmed up (freed slots are always
+    /// reused first).
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
     }
 
     /// Insert `packet` with one reference, returning its handle — or the

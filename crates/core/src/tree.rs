@@ -30,6 +30,15 @@
 //! [`ScheduleTree::shaping_inspections`] — and shaped trees pay O(log s)
 //! per parked entry instead of an O(nodes) scan per call.
 //!
+//! # Batched entry points
+//!
+//! Switch-style callers that handle whole arrival/departure bursts use
+//! [`ScheduleTree::enqueue_batch`] and [`ScheduleTree::dequeue_upto`]:
+//! byte-identical to per-packet `enqueue`/`dequeue` loops (differentially
+//! tested on every backend), but amortizing slab growth, the
+//! shaping-release pass, and — for single-node trees — the entire pop
+//! sequence through one [`PifoQueue::pop_batch`].
+//!
 //! # Invariants
 //!
 //! * Work-conserving subtrees: a node's scheduling-PIFO length equals the
@@ -46,6 +55,7 @@
 use crate::buffer::{PacketBuffer, PktHandle};
 use crate::packet::{FlowId, Packet};
 use crate::pifo::{EnumPifo, PifoBackend, PifoInspect, PifoQueue};
+use crate::rank::Rank;
 use crate::time::Nanos;
 use crate::transaction::{DeqCtx, EnqCtx, SchedulingTransaction, ShapingTransaction};
 use core::fmt;
@@ -369,7 +379,7 @@ impl TreeBuilder {
             return Err(TreeError::ShaperOnRoot);
         }
         let default_backend = self.backend;
-        let nodes = self
+        let nodes: Vec<Node> = self
             .nodes
             .into_iter()
             .map(|n| {
@@ -391,6 +401,7 @@ impl TreeBuilder {
             Some(limit) => PacketBuffer::with_capacity(limit),
             None => PacketBuffer::new(),
         };
+        let has_shapers = nodes.iter().any(|n: &Node| n.shaper.is_some());
         Ok(ScheduleTree {
             nodes,
             root,
@@ -402,6 +413,8 @@ impl TreeBuilder {
             shaped: 0,
             dangling_shaped: 0,
             shaping_inspections: 0,
+            has_shapers,
+            scratch: Vec::new(),
         })
     }
 }
@@ -425,6 +438,13 @@ pub struct ScheduleTree {
     /// their packet already departed through an earlier reference.
     dangling_shaped: usize,
     shaping_inspections: u64,
+    /// True when any node carries a shaping transaction — fixed at build,
+    /// lets the batch paths document/skip release work for
+    /// work-conserving trees.
+    has_shapers: bool,
+    /// Reusable buffer for [`ScheduleTree::dequeue_upto`]'s single-node
+    /// fast path, so steady-state batch drains allocate nothing.
+    scratch: Vec<(Rank, Element)>,
 }
 
 impl fmt::Debug for ScheduleTree {
@@ -686,6 +706,15 @@ impl ScheduleTree {
     /// happen even while packets are buffered (non-work-conserving).
     pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
         self.release_due(now);
+        self.dequeue_walk(now)
+    }
+
+    /// The root-to-packet walk of [`dequeue`](Self::dequeue), without the
+    /// preceding shaping-release pass. Factored out so
+    /// [`dequeue_upto`](Self::dequeue_upto) can release once per batch:
+    /// a walk never parks new agenda entries, so at a fixed `now` one
+    /// release pass covers any number of subsequent walks.
+    fn dequeue_walk(&mut self, now: Nanos) -> Option<Packet> {
         let mut node = self.root;
         loop {
             let (rank, elem) = self.nodes[node.index()].sched_pifo.pop()?;
@@ -729,6 +758,144 @@ impl ScheduleTree {
                 }
             }
         }
+    }
+
+    /// Enqueue a whole arrival batch at wall-clock time `now`, returning
+    /// the per-packet errors (empty when every packet was admitted).
+    ///
+    /// **Byte-identical to the per-packet path**: the batch behaves
+    /// exactly as one [`enqueue`](Self::enqueue) call per packet, in
+    /// order — including the release of shaped elements that become due
+    /// *mid-batch* (a shaper may park an element due at `now` itself).
+    /// What the batch amortizes is slab growth (one
+    /// [`PacketBuffer::reserve`] for the whole batch) and, for
+    /// work-conserving trees, the per-packet agenda check collapses to a
+    /// single always-false branch.
+    ///
+    /// ```
+    /// use pifo_core::prelude::*;
+    ///
+    /// let mut b = TreeBuilder::new();
+    /// let root = b.add_root("fifo", Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+    ///     Rank(ctx.now.as_nanos())
+    /// })));
+    /// let mut tree = b.build(Box::new(move |_| root)).unwrap();
+    ///
+    /// let batch: Vec<Packet> = (0..3)
+    ///     .map(|i| Packet::new(i, FlowId(0), 100, Nanos(5)))
+    ///     .collect();
+    /// let errors = tree.enqueue_batch(batch, Nanos(5));
+    /// assert!(errors.is_empty());
+    /// assert_eq!(tree.len(), 3);
+    /// ```
+    pub fn enqueue_batch(
+        &mut self,
+        packets: impl IntoIterator<Item = Packet>,
+        now: Nanos,
+    ) -> Vec<TreeError> {
+        let packets = packets.into_iter();
+        self.slab.reserve(packets.size_hint().0);
+        let mut errors = Vec::new();
+        for p in packets {
+            if let Err(e) = self.enqueue(p, now) {
+                errors.push(e);
+            }
+        }
+        errors
+    }
+
+    /// Dequeue up to `max` packets at wall-clock time `now`, appending
+    /// them to `out` in departure order; returns how many were dequeued
+    /// (fewer than `max` when the tree empties or every remaining packet
+    /// is held back by a shaper).
+    ///
+    /// **Byte-identical to the per-packet path**: `dequeue_upto(now, n)`
+    /// returns exactly what `n` successive [`dequeue`](Self::dequeue)
+    /// calls at the same `now` would — shaped elements are released once
+    /// up front, which is equivalent because a dequeue walk never parks
+    /// new agenda entries and time does not advance inside the batch
+    /// (enforced by the cross-backend differential tests).
+    ///
+    /// What the batch amortizes: the shaping-release pass runs once
+    /// instead of once per packet, and a **single-node tree** (the common
+    /// flat per-port scheduler) takes the entire batch off its root PIFO
+    /// through one [`PifoQueue::pop_batch`] — on the
+    /// [bucket backend](crate::pifo::BucketPifo) that means one bitmap
+    /// step per calendar bucket rather than per packet.
+    ///
+    /// ```
+    /// use pifo_core::prelude::*;
+    ///
+    /// let mut b = TreeBuilder::new();
+    /// b.with_backend(PifoBackend::Bucket);
+    /// let root = b.add_root("prio", Box::new(FnTransaction::new("prio", |ctx: &EnqCtx| {
+    ///     Rank(ctx.packet.class as u64)
+    /// })));
+    /// let mut tree = b.build(Box::new(move |_| root)).unwrap();
+    /// for i in 0..4u64 {
+    ///     let p = Packet::new(i, FlowId(0), 100, Nanos(i)).with_class((3 - i as u8) % 4);
+    ///     tree.enqueue(p, Nanos(i)).unwrap();
+    /// }
+    ///
+    /// let mut out = Vec::new();
+    /// assert_eq!(tree.dequeue_upto(Nanos(10), 3, &mut out), 3);
+    /// let classes: Vec<u8> = out.iter().map(|p| p.class).collect();
+    /// assert_eq!(classes, vec![0, 1, 2], "highest priority first");
+    /// assert_eq!(tree.len(), 1);
+    /// ```
+    pub fn dequeue_upto(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
+        self.release_due(now);
+        let before = out.len();
+        if self.nodes.len() == 1 {
+            // Fast path: the root is the only (leaf) node, so the batch
+            // is exactly the PIFO's head prefix. A single-node tree can
+            // hold no shaper (`ShaperOnRoot`), so every element is a
+            // sole-owner packet handle.
+            let Self {
+                nodes,
+                slab,
+                buffered,
+                scratch,
+                ..
+            } = self;
+            let mut batch = std::mem::take(scratch);
+            let node = &mut nodes[0];
+            node.sched_pifo.pop_batch(max, &mut batch);
+            *buffered -= batch.len();
+            out.reserve(batch.len());
+            for (rank, elem) in batch.drain(..) {
+                let Element::Packet(h) = elem else {
+                    unreachable!("single-node tree PIFOs hold only packets")
+                };
+                // Move the packet out first (sole holder — a single-node
+                // tree cannot park shaping refs), then feed `on_dequeue`
+                // from the moved copy: one slab access per packet instead
+                // of a borrow + a release.
+                let p = slab
+                    .release(h)
+                    .expect("single-node slots have exactly one holder");
+                let flow = flow_of(&node.flow_fn, &p);
+                node.sched.on_dequeue(rank, &DeqCtx { now, flow });
+                out.push(p);
+            }
+            self.scratch = batch;
+            return out.len() - before;
+        }
+        while out.len() - before < max {
+            match self.dequeue_walk(now) {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        out.len() - before
+    }
+
+    /// True when any node of this tree carries a shaping transaction
+    /// (fixed at build time). Work-conserving trees (`false`) never touch
+    /// the shaping agenda — see
+    /// [`shaping_inspections`](Self::shaping_inspections).
+    pub fn has_shapers(&self) -> bool {
+        self.has_shapers
     }
 
     /// Peek the packet that `dequeue` would return *right now*, without
@@ -1278,6 +1445,101 @@ mod tests {
         assert_eq!(tree.shaped_refs_holding_packets(), 0);
         assert_eq!(tree.packet_buffer().live(), 0);
         tree.packet_buffer().assert_coherent();
+    }
+
+    /// `enqueue_batch` across the buffer limit admits the prefix that
+    /// fits and hands every rejected packet back through
+    /// `TreeError::BufferFull`, field-for-field unchanged, in order.
+    #[test]
+    fn enqueue_batch_partial_admission_returns_rejects_unchanged() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("fifo", fifo_tx());
+        b.buffer_limit(2);
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+
+        let decorated = |id: u64| {
+            pkt(id, 3, 5)
+                .with_class(2)
+                .with_slack(-4)
+                .with_deadline(Nanos(50))
+                .with_flow_size(9_000)
+                .with_remaining(1_000 + id)
+                .with_attained(8_000 - id)
+                .with_seq_in_flow(id)
+        };
+        let batch: Vec<Packet> = (0..4).map(decorated).collect();
+        let errors = tree.enqueue_batch(batch, Nanos(5));
+        assert_eq!(tree.len(), 2, "only the fitting prefix is admitted");
+        let rejected: Vec<Packet> = errors
+            .into_iter()
+            .map(|e| match e {
+                TreeError::BufferFull(p) => p,
+                other => panic!("expected BufferFull, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(rejected, vec![decorated(2), decorated(3)]);
+        // The admitted prefix drains normally.
+        assert_eq!(tree.dequeue(Nanos(6)).unwrap().id.0, 0);
+        assert_eq!(tree.dequeue(Nanos(6)).unwrap().id.0, 1);
+    }
+
+    /// Empty batches are no-ops on both batch entry points.
+    #[test]
+    fn empty_tree_batches_are_noops() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root("fifo", fifo_tx());
+        let mut tree = b.build(Box::new(move |_| root)).unwrap();
+        assert!(tree.enqueue_batch(Vec::new(), Nanos(0)).is_empty());
+        let mut out = Vec::new();
+        assert_eq!(tree.dequeue_upto(Nanos(0), 0, &mut out), 0);
+        assert_eq!(tree.dequeue_upto(Nanos(0), 16, &mut out), 0);
+        assert!(out.is_empty());
+        assert!(tree.is_empty());
+    }
+
+    /// The single-node `dequeue_upto` fast path honours a leaf flow
+    /// override and feeds `on_dequeue` exactly like the per-packet path.
+    #[test]
+    fn dequeue_upto_fast_path_matches_per_packet_with_flow_fn() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let build = |log: Rc<RefCell<Vec<(u64, u32)>>>| {
+            let mut b = TreeBuilder::new();
+            struct Logging(Rc<RefCell<Vec<(u64, u32)>>>);
+            impl SchedulingTransaction for Logging {
+                fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
+                    Rank(ctx.packet.class as u64)
+                }
+                fn on_dequeue(&mut self, rank: Rank, ctx: &DeqCtx) {
+                    self.0.borrow_mut().push((rank.value(), ctx.flow.0));
+                }
+            }
+            let root = b.add_root("prio", Box::new(Logging(log)));
+            // Leaf flow override: everything collapses to flow 9.
+            b.set_flow_fn(root, Box::new(|_| FlowId(9)));
+            b.build(Box::new(move |_| root)).unwrap()
+        };
+
+        let batch_log = Rc::new(RefCell::new(Vec::new()));
+        let ref_log = Rc::new(RefCell::new(Vec::new()));
+        let mut batch_tree = build(batch_log.clone());
+        let mut ref_tree = build(ref_log.clone());
+        for i in 0..6u64 {
+            let p = pkt(i, i as u32, i).with_class((5 - i as u8) % 3);
+            batch_tree.enqueue(p.clone(), Nanos(i)).unwrap();
+            ref_tree.enqueue(p, Nanos(i)).unwrap();
+        }
+
+        let mut batched = Vec::new();
+        assert_eq!(batch_tree.dequeue_upto(Nanos(10), 4, &mut batched), 4);
+        let per_packet: Vec<Packet> = (0..4)
+            .map(|_| ref_tree.dequeue(Nanos(10)).unwrap())
+            .collect();
+        assert_eq!(batched, per_packet);
+        assert_eq!(batch_log.borrow().as_slice(), ref_log.borrow().as_slice());
+        assert!(batch_log.borrow().iter().all(|&(_, f)| f == 9));
+        assert_eq!(batch_tree.len(), 2);
     }
 
     #[test]

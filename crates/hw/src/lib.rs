@@ -12,6 +12,7 @@
 //! by property tests), while sorting only per-flow heads.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod block;

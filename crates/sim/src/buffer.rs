@@ -359,9 +359,9 @@ mod tests {
 
     #[test]
     fn dynamic_threshold_prevents_monopoly_lockout() {
-        // The pathology observed with plain tail drop (see EXPERIMENTS.md
-        // F1 note): one flow owning the whole buffer. With dynamic
-        // thresholds a second flow always finds room.
+        // The classic tail-drop pathology: one flow owning the whole
+        // buffer. With dynamic thresholds a second flow always finds
+        // room.
         let mut s = ManagedScheduler::new(
             FifoSched::new(1_000),
             SharedBuffer::new(64, Threshold::Dynamic { num: 1, den: 1 }),

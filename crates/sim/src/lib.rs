@@ -1,16 +1,19 @@
 //! # pifo-sim
 //!
 //! A deterministic discrete-event network-simulation substrate for the
-//! PIFO reproduction: traffic generators, output ports, multi-hop paths,
-//! metric collectors, the fixed-function baseline schedulers the paper
-//! contrasts against (§1), a fluid GPS reference for fairness ground
-//! truth, and the pFabric reference queue used by the §3.5
-//! inexpressibility demonstration.
+//! PIFO reproduction: traffic generators (CBR, Poisson, deterministic
+//! and Markov on/off bursts, incast, heavy-tailed flow workloads),
+//! output ports, the multi-port [`switch`] fabric with its batched
+//! line-rate drain loop, multi-hop paths, metric collectors, the
+//! fixed-function baseline schedulers the paper contrasts against (§1),
+//! a fluid GPS reference for fairness ground truth, and the pFabric
+//! reference queue used by the §3.5 inexpressibility demonstration.
 //!
 //! Everything is seeded and single-threaded: identical inputs produce
 //! identical outputs, bit for bit.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod baselines;
@@ -22,6 +25,7 @@ pub mod pfabric_ref;
 pub mod pipeline;
 pub mod port;
 pub mod scheduler;
+pub mod switch;
 pub mod traffic;
 
 pub use baselines::{DrrSched, FifoSched, SfqSched, ShapedFifo, StrictPrioritySched};
@@ -36,7 +40,8 @@ pub use pfabric_ref::PFabricQueue;
 pub use pipeline::{run_pipeline, Hop, PipelineResult};
 pub use port::{run_port, Departure, PortConfig};
 pub use scheduler::{PortScheduler, TreeScheduler};
+pub use switch::{DrainMode, PortClassifier, PortTrace, Switch, SwitchBuilder, SwitchRun};
 pub use traffic::{
-    flow_workload, merge, renumber, CbrSource, FlowSpec, OnOffSource, PoissonSource,
-    SizeDistribution, TrafficSource,
+    flow_workload, merge, renumber, CbrSource, FlowSpec, IncastSource, MarkovOnOffSource,
+    OnOffSource, PoissonSource, SizeDistribution, TrafficSource,
 };

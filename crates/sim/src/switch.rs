@@ -1,0 +1,536 @@
+//! A multi-port, shared-memory switch fabric: one classifier feeding N
+//! egress ports, each owning a [`ScheduleTree`] drained at line rate.
+//!
+//! The paper's hardware serves many ports from one PIFO mesh at line
+//! rate (§4–§5); single-queue microbenchmarks hide the behaviour that
+//! emerges when a classifier sprays bursty, incast-prone traffic across
+//! many queues. This module is the software analogue of that fabric:
+//!
+//! * a **shared classifier** ([`PortClassifier`]) maps every arriving
+//!   packet to its egress port;
+//! * each **port** owns one scheduling tree (any [`PifoBackend`], any
+//!   transaction program — ports may differ);
+//! * a **line-rate drain loop** transmits from every port at the
+//!   configured link rate, in scheduling rounds of up to
+//!   [`SwitchBuilder::with_burst`] packets.
+//!
+//! # Scheduling rounds and the batched hot path
+//!
+//! Ports make decisions at *round* granularity: at round time `t` the
+//! port admits everything that has arrived by `t` and then commits up to
+//! `burst` packets, all decided at `t`, transmitted back-to-back. The
+//! [`DrainMode`] chooses how each round talks to the tree:
+//!
+//! * [`DrainMode::PerPacket`] — one [`ScheduleTree::enqueue`] /
+//!   [`ScheduleTree::dequeue`] call per packet (the reference path);
+//! * [`DrainMode::Batched`] — [`ScheduleTree::enqueue_batch`] per
+//!   arrival instant and one [`ScheduleTree::dequeue_upto`] per round,
+//!   which reaches the engines' amortized
+//!   [`push_batch`](pifo_core::pifo::PifoQueue::push_batch)/
+//!   [`pop_batch`](pifo_core::pifo::PifoQueue::pop_batch)
+//!   implementations.
+//!
+//! Both modes make **exactly the same decisions**: the batched APIs are
+//! byte-identical to their sequential expansion at a fixed decision
+//! time, so per-port departure traces agree bit for bit — asserted for
+//! every backend by `batched_and_per_packet_traces_identical` below and
+//! by the `switch_fabric` bench's cross-check. The batch buys
+//! throughput, never different behaviour.
+
+use crate::port::Departure;
+use pifo_core::prelude::*;
+
+/// Maps a packet to the egress port that must transmit it — the shared
+/// classification step in front of the fabric. Out-of-range ports count
+/// as misroutes (the packet is dropped and tallied in
+/// [`SwitchRun::misrouted`]).
+pub type PortClassifier = Box<dyn Fn(&Packet) -> usize>;
+
+/// How a port's scheduling rounds talk to its tree (see the module docs;
+/// the two modes produce byte-identical departure traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainMode {
+    /// One `enqueue`/`dequeue` call per packet — the reference path.
+    #[default]
+    PerPacket,
+    /// `enqueue_batch` per arrival instant, `dequeue_upto` per round —
+    /// the amortized path.
+    Batched,
+}
+
+impl DrainMode {
+    /// Short stable label for reports (`per_packet` / `batched`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DrainMode::PerPacket => "per_packet",
+            DrainMode::Batched => "batched",
+        }
+    }
+}
+
+/// Builder for [`Switch`]: add one scheduling tree per egress port, then
+/// [`build`](Self::build) with the shared classifier.
+///
+/// ```
+/// use pifo_core::prelude::*;
+/// use pifo_sim::switch::{DrainMode, SwitchBuilder};
+///
+/// // Two FIFO ports behind a flow-hash classifier.
+/// let mut sb = SwitchBuilder::new(8_000_000_000); // 8 Gb/s per port
+/// for _ in 0..2 {
+///     let mut b = TreeBuilder::new();
+///     let root = b.add_root("fifo", Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+///         Rank(ctx.now.as_nanos())
+///     })));
+///     sb.add_port(b.build(Box::new(move |_| root)).unwrap());
+/// }
+/// let mut switch = sb.build(Box::new(|p: &Packet| p.flow.0 as usize % 2));
+///
+/// let arrivals: Vec<Packet> = (0..4)
+///     .map(|i| Packet::new(i, FlowId(i as u32), 1_000, Nanos(i)))
+///     .collect();
+/// let run = switch.run(&arrivals, DrainMode::Batched);
+/// assert_eq!(run.total_departures(), 4);
+/// assert_eq!(run.ports[0].departures.len(), 2); // flows 0, 2
+/// assert_eq!(run.ports[1].departures.len(), 2); // flows 1, 3
+/// ```
+pub struct SwitchBuilder {
+    trees: Vec<ScheduleTree>,
+    rate_bps: u64,
+    horizon: Nanos,
+    burst: usize,
+}
+
+impl SwitchBuilder {
+    /// A switch whose ports each transmit at `rate_bps`, with a long
+    /// horizon and the default scheduling round of 32 packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn new(rate_bps: u64) -> Self {
+        assert!(rate_bps > 0, "link rate must be positive");
+        SwitchBuilder {
+            trees: Vec::new(),
+            rate_bps,
+            horizon: Nanos::from_secs(3_600),
+            burst: 32,
+        }
+    }
+
+    /// Add an egress port owning `tree`; returns the port index the
+    /// classifier must use for it (assigned densely from 0).
+    pub fn add_port(&mut self, tree: ScheduleTree) -> usize {
+        self.trees.push(tree);
+        self.trees.len() - 1
+    }
+
+    /// Set the simulation horizon: no scheduling round *starts* at or
+    /// after it (a round in flight may finish past it).
+    pub fn with_horizon(&mut self, horizon: Nanos) -> &mut Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Packets committed per scheduling round (default 32). Both drain
+    /// modes use the same round size — it defines the decision epochs,
+    /// while [`DrainMode`] only chooses the API used inside a round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn with_burst(&mut self, burst: usize) -> &mut Self {
+        assert!(burst > 0, "a scheduling round must commit >= 1 packet");
+        self.burst = burst;
+        self
+    }
+
+    /// Finish construction with the shared classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no port was added.
+    pub fn build(self, classifier: PortClassifier) -> Switch {
+        assert!(!self.trees.is_empty(), "a switch needs at least one port");
+        Switch {
+            ports: self.trees,
+            classifier,
+            rate_bps: self.rate_bps,
+            horizon: self.horizon,
+            burst: self.burst,
+        }
+    }
+}
+
+/// The multi-port fabric (see the module docs). Built by
+/// [`SwitchBuilder`]; driven by [`run`](Self::run).
+pub struct Switch {
+    ports: Vec<ScheduleTree>,
+    classifier: PortClassifier,
+    rate_bps: u64,
+    horizon: Nanos,
+    burst: usize,
+}
+
+/// What one egress port did during a [`Switch::run`].
+#[derive(Debug, Clone, Default)]
+pub struct PortTrace {
+    /// Every transmitted packet with its timing, in transmission order.
+    pub departures: Vec<Departure>,
+    /// Packets this port's tree rejected (buffer full / unknown flow).
+    pub drops: u64,
+}
+
+/// The result of one [`Switch::run`]: per-port traces plus fabric-level
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchRun {
+    /// One trace per port, indexed like the builder's ports.
+    pub ports: Vec<PortTrace>,
+    /// Packets the classifier sent to a non-existent port.
+    pub misrouted: u64,
+}
+
+impl SwitchRun {
+    /// Total packets transmitted across every port.
+    pub fn total_departures(&self) -> usize {
+        self.ports.iter().map(|p| p.departures.len()).sum()
+    }
+
+    /// Total packets dropped by port trees (excluding misroutes).
+    pub fn total_drops(&self) -> u64 {
+        self.ports.iter().map(|p| p.drops).sum()
+    }
+
+    /// The instant the last bit left the fabric, across all ports.
+    pub fn last_finish(&self) -> Nanos {
+        self.ports
+            .iter()
+            .filter_map(|p| p.departures.last())
+            .map(|d| d.finish)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+}
+
+impl Switch {
+    /// Number of egress ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Read-only view of port `i`'s scheduling tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn port(&self, i: usize) -> &ScheduleTree {
+        &self.ports[i]
+    }
+
+    /// Run `arrivals` (time-sorted) through the fabric with the given
+    /// drain mode, returning the per-port departure traces.
+    ///
+    /// Ports are independent once classified (each owns its tree and
+    /// link), so the loop simulates them port by port; determinism is
+    /// total — identical inputs give bit-identical traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted by arrival time.
+    pub fn run(&mut self, arrivals: &[Packet], mode: DrainMode) -> SwitchRun {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "arrivals must be time-sorted"
+        );
+        // Shared classification: split the arrival stream per port,
+        // preserving arrival order (stable).
+        let mut per_port: Vec<Vec<Packet>> = (0..self.ports.len()).map(|_| Vec::new()).collect();
+        let mut misrouted = 0u64;
+        for p in arrivals {
+            let port = (self.classifier)(p);
+            match per_port.get_mut(port) {
+                Some(q) => q.push(p.clone()),
+                None => misrouted += 1,
+            }
+        }
+
+        let mut run = SwitchRun {
+            ports: Vec::with_capacity(self.ports.len()),
+            misrouted,
+        };
+        for (tree, arr) in self.ports.iter_mut().zip(per_port) {
+            run.ports.push(drain_port(
+                tree,
+                arr,
+                self.rate_bps,
+                self.horizon,
+                self.burst,
+                mode,
+            ));
+        }
+        run
+    }
+}
+
+/// The per-port line-rate drain loop shared by both drain modes: admit
+/// everything arrived by `t`, commit one scheduling round at `t`,
+/// transmit back-to-back, repeat; when idle, hop to the next arrival or
+/// shaping release.
+fn drain_port(
+    tree: &mut ScheduleTree,
+    arrivals: Vec<Packet>,
+    rate_bps: u64,
+    horizon: Nanos,
+    burst: usize,
+    mode: DrainMode,
+) -> PortTrace {
+    let mut trace = PortTrace::default();
+    let mut t = match arrivals.first() {
+        Some(p) => p.arrival,
+        None if tree.is_empty() && tree.shaped_len() == 0 => return trace,
+        None => Nanos::ZERO,
+    };
+    // The port owns its arrivals: packets move (never clone) from the
+    // classified stream into the tree.
+    let mut pending = arrivals.into_iter().peekable();
+    // Reused across rounds so the steady state allocates nothing.
+    let mut round: Vec<Packet> = Vec::with_capacity(burst);
+    let mut batch: Vec<Packet> = Vec::new();
+
+    loop {
+        if t >= horizon {
+            break;
+        }
+        // Admission: everything arrived by `t` enters at its own arrival
+        // instant, grouped per instant so the batched mode can hand the
+        // tree whole same-time batches.
+        while pending.peek().is_some_and(|p| p.arrival <= t) {
+            let at = pending.peek().expect("peeked above").arrival;
+            batch.clear();
+            while pending.peek().is_some_and(|p| p.arrival == at) {
+                batch.push(pending.next().expect("peeked"));
+            }
+            match mode {
+                DrainMode::PerPacket => {
+                    for p in batch.drain(..) {
+                        if tree.enqueue(p, at).is_err() {
+                            trace.drops += 1;
+                        }
+                    }
+                }
+                DrainMode::Batched => {
+                    trace.drops += tree.enqueue_batch(batch.drain(..), at).len() as u64;
+                }
+            }
+        }
+
+        // One scheduling round, decided at `t`.
+        round.clear();
+        match mode {
+            DrainMode::PerPacket => {
+                for _ in 0..burst {
+                    match tree.dequeue(t) {
+                        Some(p) => round.push(p),
+                        None => break,
+                    }
+                }
+            }
+            DrainMode::Batched => {
+                tree.dequeue_upto(t, burst, &mut round);
+            }
+        }
+
+        if round.is_empty() {
+            // Idle: hop to the next arrival or shaping release. The
+            // round already released everything due at `t`, so any
+            // pending shaping event is strictly in the future.
+            let next_arrival = pending.peek().map(|p| p.arrival);
+            let next_ready = tree.next_shaping_event();
+            let next = match (next_arrival, next_ready) {
+                (Some(a), Some(r)) => a.min(r),
+                (Some(a), None) => a,
+                (None, Some(r)) => r,
+                (None, None) => break, // drained for good
+            };
+            t = next.max(Nanos(t.as_nanos() + 1));
+        } else {
+            // Transmit the round back-to-back at line rate.
+            for p in round.drain(..) {
+                let finish = t + tx_time(p.length as u64, rate_bps);
+                trace.departures.push(Departure {
+                    wait: t.saturating_sub(p.arrival),
+                    start: t,
+                    finish,
+                    packet: p,
+                });
+                t = finish;
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{merge, renumber, CbrSource, IncastSource, TrafficSource};
+    use pifo_algos::{Stfq, TokenBucketFilter};
+    use pifo_core::transaction::FnTransaction;
+
+    fn fifo_tree(backend: PifoBackend, limit: Option<usize>) -> ScheduleTree {
+        let mut b = TreeBuilder::new();
+        b.with_backend(backend);
+        if let Some(l) = limit {
+            b.buffer_limit(l);
+        }
+        let root = b.add_root("stfq", Box::new(Stfq::unweighted()));
+        b.build(Box::new(move |_| root)).unwrap()
+    }
+
+    fn workload(flows: u32, end: Nanos) -> Vec<Packet> {
+        let mut sources: Vec<Box<dyn TrafficSource>> = Vec::new();
+        for f in 0..flows {
+            sources.push(Box::new(CbrSource::new(
+                FlowId(f),
+                1_000,
+                2_000_000_000,
+                Nanos(17 * f as u64),
+                end,
+            )));
+        }
+        sources.push(Box::new(IncastSource::new(
+            FlowId(flows),
+            32,
+            1_000,
+            4,
+            8_000_000_000,
+            Nanos::from_micros(50),
+            end,
+        )));
+        let mut arr = merge(sources);
+        renumber(&mut arr);
+        arr
+    }
+
+    /// The acceptance-criterion cross-check: batched and per-packet
+    /// drains produce byte-identical per-port departure traces, on every
+    /// backend, under mixed CBR + incast load with drops in play.
+    #[test]
+    fn batched_and_per_packet_traces_identical() {
+        let end = Nanos::from_micros(400);
+        let arrivals = workload(12, end);
+        assert!(arrivals.len() > 1_000, "workload must be non-trivial");
+
+        for backend in PifoBackend::ALL {
+            let build = || {
+                let mut sb = SwitchBuilder::new(1_000_000_000);
+                for _ in 0..4 {
+                    // Tight buffers so admission rejects are on the
+                    // compared path too.
+                    sb.add_port(fifo_tree(backend, Some(64)));
+                }
+                sb.with_horizon(end).with_burst(8);
+                sb.build(Box::new(|p: &Packet| p.flow.0 as usize % 4))
+            };
+            let per_packet = build().run(&arrivals, DrainMode::PerPacket);
+            let batched = build().run(&arrivals, DrainMode::Batched);
+
+            assert_eq!(per_packet.misrouted, batched.misrouted);
+            for (port, (a, b)) in per_packet.ports.iter().zip(&batched.ports).enumerate() {
+                assert_eq!(a.drops, b.drops, "[{backend}] port {port} drops diverge");
+                assert_eq!(
+                    a.departures.len(),
+                    b.departures.len(),
+                    "[{backend}] port {port} departure count diverges"
+                );
+                for (x, y) in a.departures.iter().zip(&b.departures) {
+                    assert_eq!(
+                        (&x.packet, x.start, x.finish, x.wait),
+                        (&y.packet, y.start, y.finish, y.wait),
+                        "[{backend}] port {port} departure diverges"
+                    );
+                }
+            }
+            assert!(per_packet.total_departures() > 0);
+        }
+    }
+
+    /// Ports are isolated: traffic for one port never shows up on, or
+    /// delays, another.
+    #[test]
+    fn ports_are_isolated() {
+        let mut sb = SwitchBuilder::new(8_000_000_000);
+        for _ in 0..3 {
+            sb.add_port(fifo_tree(PifoBackend::default(), None));
+        }
+        let mut sw = sb.build(Box::new(|p: &Packet| p.flow.0 as usize));
+        // Flood port 0; trickle port 2; nothing for port 1.
+        let mut arrivals: Vec<Packet> = (0..100)
+            .map(|i| Packet::new(i, FlowId(0), 1_000, Nanos(0)))
+            .collect();
+        arrivals.push(Packet::new(100, FlowId(2), 1_000, Nanos(5)));
+        let run = sw.run(&arrivals, DrainMode::Batched);
+        assert_eq!(run.ports[0].departures.len(), 100);
+        assert_eq!(run.ports[1].departures.len(), 0);
+        assert_eq!(run.ports[2].departures.len(), 1);
+        // The port-2 packet is not queued behind port 0's flood.
+        assert_eq!(run.ports[2].departures[0].start, Nanos(5));
+        assert_eq!(run.last_finish(), run.ports[0].departures[99].finish);
+    }
+
+    /// Misroutes are counted, not transmitted.
+    #[test]
+    fn misroutes_are_counted() {
+        let mut sb = SwitchBuilder::new(8_000_000_000);
+        sb.add_port(fifo_tree(PifoBackend::default(), None));
+        let mut sw = sb.build(Box::new(|p: &Packet| p.flow.0 as usize));
+        let arrivals = vec![
+            Packet::new(0, FlowId(0), 100, Nanos(0)),
+            Packet::new(1, FlowId(7), 100, Nanos(1)), // no port 7
+        ];
+        let run = sw.run(&arrivals, DrainMode::PerPacket);
+        assert_eq!(run.misrouted, 1);
+        assert_eq!(run.total_departures(), 1);
+    }
+
+    /// A shaped port sleeps across shaping gaps instead of spinning, and
+    /// both drain modes agree through the gap.
+    #[test]
+    fn shaped_port_hops_to_release_times() {
+        let build = || {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root(
+                "root",
+                Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+                    Rank(ctx.now.as_nanos())
+                })),
+            );
+            let leaf = b.add_child(
+                root,
+                "shaped",
+                Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+                    Rank(ctx.now.as_nanos())
+                })),
+            );
+            // 8 Gb/s = 1 B/ns, burst of one 1000 B packet.
+            b.set_shaper(leaf, Box::new(TokenBucketFilter::new(8_000_000_000, 1_000)));
+            let mut sb = SwitchBuilder::new(80_000_000_000);
+            sb.add_port(b.build(Box::new(move |_| leaf)).unwrap());
+            sb.build(Box::new(|_: &Packet| 0))
+        };
+        let arrivals: Vec<Packet> = (0..3)
+            .map(|i| Packet::new(i, FlowId(0), 1_000, Nanos(0)))
+            .collect();
+        let a = build().run(&arrivals, DrainMode::PerPacket);
+        let b = build().run(&arrivals, DrainMode::Batched);
+        for run in [&a, &b] {
+            assert_eq!(run.ports[0].departures.len(), 3);
+            // Token bucket meters one packet per microsecond after the
+            // initial burst.
+            assert_eq!(run.ports[0].departures[0].start, Nanos(0));
+            assert_eq!(run.ports[0].departures[1].start, Nanos(1_000));
+            assert_eq!(run.ports[0].departures[2].start, Nanos(2_000));
+        }
+    }
+}

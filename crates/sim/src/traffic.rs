@@ -235,6 +235,209 @@ impl TrafficSource for OnOffSource {
 }
 
 // ---------------------------------------------------------------------------
+// Incast
+// ---------------------------------------------------------------------------
+
+/// Incast: `fanin` synchronized senders all firing a burst at the same
+/// target at once, repeating every `period` — the partition/aggregate
+/// traffic that concentrates load on one egress port and stresses a
+/// switch far beyond what any single smooth flow can.
+///
+/// Each epoch, every sender emits `pkts_per_sender` back-to-back packets
+/// at its access line rate, and all `fanin` senders start simultaneously
+/// (their packets tie instant-for-instant; [`merge`]'s stable sort keeps
+/// per-sender order). Senders are flows `base_flow .. base_flow + fanin`.
+#[derive(Debug)]
+pub struct IncastSource {
+    base_flow: u32,
+    fanin: u32,
+    pkt_len: u32,
+    pkts_per_sender: u32,
+    line_gap: Nanos,
+    period: Nanos,
+    end: Nanos,
+    /// Iteration state: (epoch, packet-within-sender, sender).
+    epoch: u64,
+    k: u32,
+    sender: u32,
+    next_id: u64,
+}
+
+impl IncastSource {
+    /// `fanin` senders, each bursting `pkts_per_sender` packets of
+    /// `pkt_len` bytes at `line_rate_bps`, synchronized every `period`
+    /// until `end`. Flows are numbered from `base_flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing parameter is zero, or if a sender's burst
+    /// does not fit inside `period` — overlapping epochs would make the
+    /// emitted stream non-monotonic in time (and the exhaustion check
+    /// would silently drop the overlapped tail), breaking the documented
+    /// time-sorted contract.
+    pub fn new(
+        base_flow: FlowId,
+        fanin: u32,
+        pkt_len: u32,
+        pkts_per_sender: u32,
+        line_rate_bps: u64,
+        period: Nanos,
+        end: Nanos,
+    ) -> Self {
+        assert!(
+            fanin > 0 && pkt_len > 0 && pkts_per_sender > 0 && period > Nanos::ZERO,
+            "incast sizing parameters must be positive"
+        );
+        let line_gap = tx_time(pkt_len as u64, line_rate_bps);
+        assert!(
+            (pkts_per_sender as u64 - 1) * line_gap.as_nanos() < period.as_nanos(),
+            "incast burst ({pkts_per_sender} pkts x {line_gap} gap) must fit inside the \
+             {period} period, or epochs would overlap and emission order would not be \
+             time-sorted"
+        );
+        IncastSource {
+            base_flow: base_flow.0,
+            fanin,
+            pkt_len,
+            pkts_per_sender,
+            line_gap,
+            period,
+            end,
+            epoch: 0,
+            k: 0,
+            sender: 0,
+            next_id: 0,
+        }
+    }
+}
+
+impl TrafficSource for IncastSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        // Emission order (epoch, k, sender) is time-sorted: within an
+        // epoch, packet k of *every* sender shares one arrival instant.
+        let t =
+            Nanos(self.epoch * self.period.as_nanos() + self.k as u64 * self.line_gap.as_nanos());
+        if t >= self.end {
+            return None;
+        }
+        let p = Packet::new(
+            self.next_id,
+            FlowId(self.base_flow + self.sender),
+            self.pkt_len,
+            t,
+        )
+        .with_seq_in_flow((self.epoch * self.pkts_per_sender as u64) + self.k as u64);
+        self.next_id += 1;
+        self.sender += 1;
+        if self.sender == self.fanin {
+            self.sender = 0;
+            self.k += 1;
+            if self.k == self.pkts_per_sender {
+                self.k = 0;
+                self.epoch += 1;
+            }
+        }
+        Some(p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized (Markov-style) on/off bursts
+// ---------------------------------------------------------------------------
+
+/// On/off source with *randomized* burst and idle durations: burst
+/// lengths are 1 + Exp(mean_burst_pkts − 1) packets (rounded), idle gaps
+/// Exp(mean_idle) — the seeded, heavy-burst traffic that batching
+/// schedulers (Eiffel, NSDI'19) are built for, where the deterministic
+/// [`OnOffSource`] is too regular to expose queue-depth excursions.
+#[derive(Debug)]
+pub struct MarkovOnOffSource {
+    flow: FlowId,
+    pkt_len: u32,
+    mean_burst_pkts: f64,
+    mean_idle_ns: f64,
+    line_gap: Nanos,
+    rng: StdRng,
+    remaining_in_burst: u32,
+    next_time: Nanos,
+    end: Nanos,
+    next_id: u64,
+    seq: u64,
+}
+
+impl MarkovOnOffSource {
+    /// Bursts averaging `mean_burst_pkts` packets of `pkt_len` bytes at
+    /// `line_rate_bps`, separated by idle gaps averaging `mean_idle`,
+    /// until `end`; all randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst mean is below 1 or the length is zero.
+    pub fn new(
+        flow: FlowId,
+        pkt_len: u32,
+        mean_burst_pkts: f64,
+        line_rate_bps: u64,
+        mean_idle: Nanos,
+        end: Nanos,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            mean_burst_pkts >= 1.0 && pkt_len > 0,
+            "mean burst must be >= 1 packet and length positive"
+        );
+        let mut src = MarkovOnOffSource {
+            flow,
+            pkt_len,
+            mean_burst_pkts,
+            mean_idle_ns: mean_idle.as_nanos() as f64,
+            line_gap: tx_time(pkt_len as u64, line_rate_bps),
+            rng: StdRng::seed_from_u64(seed),
+            remaining_in_burst: 0,
+            next_time: Nanos::ZERO,
+            end,
+            next_id: 0,
+            seq: 0,
+        };
+        src.remaining_in_burst = src.sample_burst();
+        src
+    }
+
+    fn exp_sample(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() * mean
+    }
+
+    fn sample_burst(&mut self) -> u32 {
+        // 1 + Exp(mean - 1): strictly positive bursts with the requested
+        // mean, exponentially heavy tails.
+        let extra = self.exp_sample(self.mean_burst_pkts - 1.0);
+        1 + extra.round().min(u32::MAX as f64 / 2.0) as u32
+    }
+}
+
+impl TrafficSource for MarkovOnOffSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        if self.next_time >= self.end {
+            return None;
+        }
+        let p = Packet::new(self.next_id, self.flow, self.pkt_len, self.next_time)
+            .with_seq_in_flow(self.seq);
+        self.next_id += 1;
+        self.seq += 1;
+        self.remaining_in_burst -= 1;
+        if self.remaining_in_burst == 0 {
+            let idle = self.exp_sample(self.mean_idle_ns).round() as u64;
+            self.next_time += Nanos(self.line_gap.as_nanos() + idle);
+            self.remaining_in_burst = self.sample_burst();
+        } else {
+            self.next_time += self.line_gap;
+        }
+        Some(p)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Flow workloads (for FCT experiments)
 // ---------------------------------------------------------------------------
 
@@ -282,6 +485,51 @@ impl SizeDistribution {
             (6_667_000, 0.98),
             (20_000_000, 1.00),
         ])
+    }
+
+    /// A bounded Pareto distribution on `[min_bytes, max_bytes]` with
+    /// tail index `alpha` — the canonical heavy-tailed flow-size model
+    /// (small `alpha` ⇒ heavier tail; `alpha ≈ 1.1–1.3` matches measured
+    /// datacenter workloads). Discretized onto 32 log-spaced CDF points,
+    /// sampled with the same inverse-transform interpolation as the
+    /// empirical distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_bytes < max_bytes` and `alpha > 0`.
+    pub fn bounded_pareto(alpha: f64, min_bytes: u64, max_bytes: u64) -> Self {
+        assert!(
+            alpha > 0.0 && min_bytes > 0 && min_bytes < max_bytes,
+            "need alpha > 0 and 0 < min < max"
+        );
+        const POINTS: usize = 32;
+        let (xm, xmax) = (min_bytes as f64, max_bytes as f64);
+        // Bounded-Pareto CDF: F(x) = (1 - (xm/x)^a) / (1 - (xm/xM)^a).
+        let tail = (xm / xmax).powf(alpha);
+        let cdf = |x: f64| (1.0 - (xm / x).powf(alpha)) / (1.0 - tail);
+        let log_step = (xmax / xm).ln() / (POINTS - 1) as f64;
+        let mut points: Vec<(u64, f64)> = (0..POINTS)
+            .map(|i| {
+                let x = xm * (log_step * i as f64).exp();
+                (x.round() as u64, cdf(x).clamp(0.0, 1.0))
+            })
+            .collect();
+        // Pin the endpoints exactly (float round-off must not violate
+        // the CDF contract).
+        points.first_mut().expect("POINTS > 0").1 = 0.0;
+        let last = points.last_mut().expect("POINTS > 0");
+        last.0 = max_bytes;
+        last.1 = 1.0;
+        // Monotonicity can be dented by rounding at tiny ranges; repair.
+        for i in 1..points.len() {
+            if points[i].0 < points[i - 1].0 {
+                points[i].0 = points[i - 1].0;
+            }
+            if points[i].1 < points[i - 1].1 {
+                points[i].1 = points[i - 1].1;
+            }
+        }
+        SizeDistribution::new(points)
     }
 
     /// A data-mining-like distribution: even heavier tail, most flows tiny.
@@ -498,6 +746,94 @@ mod tests {
     #[should_panic(expected = "CDF must end at 1.0")]
     fn bad_cdf_rejected() {
         let _ = SizeDistribution::new(vec![(100, 0.5)]);
+    }
+
+    #[test]
+    fn incast_senders_fire_simultaneously() {
+        // 4 senders, 2 packets each, 1000 B at 1 B/ns, every 50 µs.
+        let mut s = IncastSource::new(
+            FlowId(10),
+            4,
+            1_000,
+            2,
+            8_000_000_000,
+            Nanos::from_micros(50),
+            Nanos::from_micros(120),
+        );
+        let pkts: Vec<Packet> = std::iter::from_fn(|| s.next_packet()).collect();
+        // 3 epochs fit (t = 0, 50 µs, 100 µs) × 4 senders × 2 packets.
+        assert_eq!(pkts.len(), 24);
+        // First wave: all 4 senders at t=0, then all 4 at t=1000.
+        let wave: Vec<(u64, u32)> = pkts[..8]
+            .iter()
+            .map(|p| (p.arrival.as_nanos(), p.flow.0))
+            .collect();
+        assert_eq!(
+            wave,
+            vec![
+                (0, 10),
+                (0, 11),
+                (0, 12),
+                (0, 13),
+                (1_000, 10),
+                (1_000, 11),
+                (1_000, 12),
+                (1_000, 13),
+            ]
+        );
+        // Epochs repeat at the period.
+        assert_eq!(pkts[8].arrival, Nanos::from_micros(50));
+        assert!(pkts.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Per-sender sequence numbers advance across epochs.
+        let f10: Vec<u64> = pkts
+            .iter()
+            .filter(|p| p.flow.0 == 10)
+            .map(|p| p.seq_in_flow)
+            .collect();
+        assert_eq!(f10, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn markov_onoff_is_bursty_and_deterministic() {
+        let gen = || {
+            let mut s = MarkovOnOffSource::new(
+                FlowId(0),
+                1_000,
+                8.0,
+                8_000_000_000,
+                Nanos::from_micros(20),
+                Nanos::from_millis(2),
+                99,
+            );
+            std::iter::from_fn(move || s.next_packet())
+                .map(|p| p.arrival.as_nanos())
+                .collect::<Vec<u64>>()
+        };
+        let a = gen();
+        assert_eq!(a, gen(), "same seed, same stream");
+        assert!(a.len() > 50, "got {}", a.len());
+        // Bursty: both back-to-back gaps (line gap = 1000 ns) and long
+        // idles must appear.
+        let gaps: Vec<u64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.contains(&1_000), "line-rate gaps inside bursts");
+        assert!(gaps.iter().any(|&g| g > 5_000), "idle gaps between bursts");
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed_within_support() {
+        let d = SizeDistribution::bounded_pareto(1.2, 1_000, 10_000_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (1..=10_000_000).contains(&s)));
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        // Heavy tail: the mean sits far above the median, and the top
+        // percentile reaches deep into the tail.
+        assert!(median < 3_000, "median {median} should be near the minimum");
+        assert!(mean > 2.0 * median as f64, "mean {mean} vs median {median}");
+        assert!(sorted[sorted.len() * 99 / 100] > 40_000);
     }
 
     #[test]

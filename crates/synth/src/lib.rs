@@ -16,6 +16,7 @@
 //! encode path) is structural, not fitted.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod model;

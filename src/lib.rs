@@ -15,15 +15,16 @@
 //! * [`compiler`] (`pifo-compiler`) — scheduling trees → mesh
 //!   configurations (§4.3, Figs 10–11);
 //! * [`sim`] (`pifo-sim`) — deterministic network simulation: traffic,
-//!   ports, baselines, metrics;
+//!   ports, the multi-port switch fabric, baselines, metrics;
 //! * [`synth`] (`pifo-synth`) — the calibrated 16 nm area/timing model
 //!   regenerating Tables 1–2 and the §5.4 wiring analysis.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, and
-//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
-//! figure.
+//! See `examples/quickstart.rs` for a five-minute tour, `ARCHITECTURE.md`
+//! for the crate map and data flow, and `cargo run -p pifo-bench --bin
+//! repro --release -- list` for the index of paper experiments.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub use domino_lite as domino;
@@ -43,8 +44,10 @@ pub mod prelude {
     };
     pub use pifo_core::prelude::*;
     pub use pifo_sim::{
-        flow_workload, jain_index, latency_stats, run_pipeline, run_port, throughput, CbrSource,
-        Departure, DrrSched, FifoSched, FluidGps, Hop, PFabricQueue, PoissonSource, PortConfig,
-        PortScheduler, SizeDistribution, StrictPrioritySched, TrafficSource, TreeScheduler,
+        flow_workload, jain_index, latency_stats, merge, renumber, run_pipeline, run_port,
+        throughput, CbrSource, Departure, DrainMode, DrrSched, FifoSched, FluidGps, Hop,
+        IncastSource, MarkovOnOffSource, PFabricQueue, PoissonSource, PortConfig, PortScheduler,
+        SizeDistribution, StrictPrioritySched, Switch, SwitchBuilder, SwitchRun, TrafficSource,
+        TreeScheduler,
     };
 }

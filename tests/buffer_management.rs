@@ -1,8 +1,8 @@
 //! §6.1 end-to-end: buffer management composes with (and is orthogonal
 //! to) programmable scheduling.
 //!
-//! The scenario is the tail-drop lockout documented in EXPERIMENTS.md's
-//! F1 note: with a small shared buffer and phase-aligned arrivals, the
+//! The scenario is the classic tail-drop lockout: with a small shared
+//! buffer and phase-aligned arrivals, the
 //! slowest-draining flow can monopolise freed buffer slots and starve
 //! the others *before the scheduler ever sees their packets*. The
 //! paper's answer (§6.1) is per-flow thresholds in front of the

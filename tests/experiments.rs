@@ -1,6 +1,6 @@
 //! Behavioural experiment assertions: run the `repro` experiment drivers
 //! and check the *claims*, not just that they print. These are the
-//! executable counterparts of the EXPERIMENTS.md table.
+//! executable counterparts of the `repro` experiment table.
 //!
 //! Kept at medium scale so `cargo test` stays fast; `repro` runs the
 //! full-scale versions.

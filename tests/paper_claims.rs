@@ -1,5 +1,6 @@
 //! The paper's quantitative claims, asserted end-to-end through the
-//! public API — a machine-checked version of EXPERIMENTS.md.
+//! public API — machine-checked versions of the paper-vs-measured
+//! record printed by `repro all`.
 
 use pifo_compiler::{compile, MeshLayout, TreeSpec};
 use pifo_hw::BlockConfig;
