@@ -67,6 +67,28 @@ pub fn build_cbq_with_backend(
     classes: &[CbqClass],
     backend: PifoBackend,
 ) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+    let (b, classifier, map) = cbq_builder_parts(classes, backend);
+    let tree = b.build(classifier).expect("valid CBQ tree");
+    (tree, map)
+}
+
+/// [`build_cbq`] buffering in one port of a fabric-wide shared packet
+/// pool (§5.1) instead of a private slab: admission is decided by the
+/// pool's capacity and [`AdmissionPolicy`].
+pub fn build_cbq_in_pool(
+    classes: &[CbqClass],
+    backend: PifoBackend,
+    pool: PoolHandle,
+) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+    let (b, classifier, map) = cbq_builder_parts(classes, backend);
+    let tree = b.build_in_pool(classifier, pool).expect("valid CBQ tree");
+    (tree, map)
+}
+
+fn cbq_builder_parts(
+    classes: &[CbqClass],
+    backend: PifoBackend,
+) -> (TreeBuilder, Classifier, HashMap<FlowId, NodeId>) {
     assert!(!classes.is_empty(), "CBQ needs at least one class");
     let mut prio_of_child = HashMap::new();
     let mut leaf_of: HashMap<FlowId, NodeId> = HashMap::new();
@@ -89,12 +111,9 @@ pub fn build_cbq_with_backend(
     }
 
     let map = leaf_of.clone();
-    let tree = b
-        .build(Box::new(move |p: &Packet| {
-            leaf_of.get(&p.flow).copied().unwrap_or(NodeId::INVALID)
-        }))
-        .expect("valid CBQ tree");
-    (tree, map)
+    let classifier: Classifier =
+        Box::new(move |p: &Packet| leaf_of.get(&p.flow).copied().unwrap_or(NodeId::INVALID));
+    (b, classifier, map)
 }
 
 #[cfg(test)]

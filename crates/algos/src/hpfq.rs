@@ -78,6 +78,36 @@ impl Hierarchy {
         &self,
         backend: PifoBackend,
     ) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+        let (b, classifier, map) = self.builder_parts(backend);
+        let tree = b
+            .build(classifier)
+            .expect("hierarchy produces a valid tree");
+        (tree, map)
+    }
+
+    /// [`build_with_backend`](Self::build_with_backend), buffering in one
+    /// port of a fabric-wide shared packet pool (§5.1) instead of a
+    /// private slab: admission is decided by the pool's capacity and
+    /// [`AdmissionPolicy`], shared with
+    /// every other tree built into the same pool.
+    pub fn build_in_pool(
+        &self,
+        backend: PifoBackend,
+        pool: PoolHandle,
+    ) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+        let (b, classifier, map) = self.builder_parts(backend);
+        let tree = b
+            .build_in_pool(classifier, pool)
+            .expect("hierarchy produces a valid tree");
+        (tree, map)
+    }
+
+    /// The common construction: a populated builder, the flow→leaf
+    /// classifier, and the flow→leaf map.
+    fn builder_parts(
+        &self,
+        backend: PifoBackend,
+    ) -> (TreeBuilder, Classifier, HashMap<FlowId, NodeId>) {
         let mut b = TreeBuilder::new();
         b.with_backend(backend);
         let mut leaf_of: HashMap<FlowId, NodeId> = HashMap::new();
@@ -168,12 +198,9 @@ impl Hierarchy {
         build_node(self, None, &mut b, &mut next, &mut leaf_of);
 
         let map = leaf_of.clone();
-        let tree = b
-            .build(Box::new(move |p: &Packet| {
-                leaf_of.get(&p.flow).copied().unwrap_or(NodeId::INVALID)
-            }))
-            .expect("hierarchy produces a valid tree");
-        (tree, map)
+        let classifier: Classifier =
+            Box::new(move |p: &Packet| leaf_of.get(&p.flow).copied().unwrap_or(NodeId::INVALID));
+        (b, classifier, map)
     }
 }
 
@@ -186,6 +213,19 @@ pub fn fig3_hpfq() -> (ScheduleTree, HashMap<FlowId, NodeId>) {
 
 /// [`fig3_hpfq`] with every node's PIFOs backed by the given engine.
 pub fn fig3_hpfq_with_backend(backend: PifoBackend) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+    fig3_hierarchy().build_with_backend(backend)
+}
+
+/// [`fig3_hpfq`] buffering in one port of a fabric-wide shared packet
+/// pool (see [`Hierarchy::build_in_pool`]).
+pub fn fig3_hpfq_in_pool(
+    backend: PifoBackend,
+    pool: PoolHandle,
+) -> (ScheduleTree, HashMap<FlowId, NodeId>) {
+    fig3_hierarchy().build_in_pool(backend, pool)
+}
+
+fn fig3_hierarchy() -> Hierarchy {
     Hierarchy::class(
         "WFQ_Root",
         vec![
@@ -199,7 +239,6 @@ pub fn fig3_hpfq_with_backend(backend: PifoBackend) -> (ScheduleTree, HashMap<Fl
             ),
         ],
     )
-    .build_with_backend(backend)
 }
 
 #[cfg(test)]
@@ -293,6 +332,35 @@ mod tests {
             ],
         );
         let _ = h.build();
+    }
+
+    /// Two hierarchies built into one shared pool compete for the same
+    /// slots: one tree's backlog can exhaust admission for its sibling,
+    /// and draining reopens it.
+    #[test]
+    fn hierarchies_in_one_pool_share_admission() {
+        use pifo_core::pool::{AdmissionPolicy, SharedPacketPool};
+        let pool = SharedPacketPool::new(4, AdmissionPolicy::Unlimited).into_shared();
+        let (mut a, _) = fig3_hpfq_in_pool(PifoBackend::default(), pool.register_port());
+        let (mut b, _) = fig3_hpfq_in_pool(PifoBackend::Bucket, pool.register_port());
+        for i in 0..4 {
+            a.enqueue(
+                Packet::new(i, FlowId((i % 4) as u32), 1_000, Nanos(i)),
+                Nanos(i),
+            )
+            .unwrap();
+        }
+        let err = b
+            .enqueue(Packet::new(9, FlowId(0), 1_000, Nanos(9)), Nanos(9))
+            .unwrap_err();
+        assert!(matches!(err, TreeError::BufferFull(_)));
+        assert_eq!(pool.stats().live, 4);
+        // Draining the sibling reopens admission.
+        a.dequeue(Nanos(10)).expect("backlogged");
+        b.enqueue(Packet::new(10, FlowId(0), 1_000, Nanos(10)), Nanos(10))
+            .unwrap();
+        assert_eq!(pool.borrow().port_occupancy(0), 3);
+        assert_eq!(pool.borrow().port_occupancy(1), 1);
     }
 
     #[test]

@@ -32,10 +32,13 @@ pub mod stop_and_go;
 pub mod tbf;
 pub mod weights;
 
-pub use cbq::{build_cbq, build_cbq_with_backend, CbqClass, ClassPriority};
-pub use hpfq::{fig3_hpfq, fig3_hpfq_with_backend, Hierarchy};
+pub use cbq::{build_cbq, build_cbq_in_pool, build_cbq_with_backend, CbqClass, ClassPriority};
+pub use hpfq::{fig3_hpfq, fig3_hpfq_in_pool, fig3_hpfq_with_backend, Hierarchy};
 pub use lstf::{charge_wait, Lstf};
-pub use min_rate::{build_min_rate_tree, build_min_rate_tree_with_backend, MinRateGuarantee};
+pub use min_rate::{
+    build_min_rate_tree, build_min_rate_tree_in_pool, build_min_rate_tree_with_backend,
+    MinRateGuarantee,
+};
 pub use prio::{Edf, Fifo, Las, Sjf, Srpt, StrictPriority};
 pub use rcsd::{HierarchicalRoundRobin, JitterEdd};
 pub use sced::{CurveSegment, ScEdf, ServiceCurve};

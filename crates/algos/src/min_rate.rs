@@ -132,6 +132,33 @@ pub fn build_min_rate_tree_with_backend(
     burst_bytes: u64,
     backend: PifoBackend,
 ) -> ScheduleTree {
+    let (b, classifier) = min_rate_builder_parts(flows, burst_bytes, backend);
+    b.build(classifier).expect("valid tree")
+}
+
+/// [`build_min_rate_tree`] buffering in one port of a fabric-wide shared
+/// packet pool (§5.1) instead of a private slab: admission is decided by
+/// the pool's capacity and
+/// [`AdmissionPolicy`].
+///
+/// # Panics
+///
+/// Panics if `flows` is empty.
+pub fn build_min_rate_tree_in_pool(
+    flows: &[(FlowId, u64)], // (flow, guaranteed rate in bits/s)
+    burst_bytes: u64,
+    backend: PifoBackend,
+    pool: PoolHandle,
+) -> ScheduleTree {
+    let (b, classifier) = min_rate_builder_parts(flows, burst_bytes, backend);
+    b.build_in_pool(classifier, pool).expect("valid tree")
+}
+
+fn min_rate_builder_parts(
+    flows: &[(FlowId, u64)],
+    burst_bytes: u64,
+    backend: PifoBackend,
+) -> (TreeBuilder, Classifier) {
     assert!(!flows.is_empty(), "need at least one flow");
     let mut b = TreeBuilder::new();
     b.with_backend(backend);
@@ -153,15 +180,15 @@ pub fn build_min_rate_tree_with_backend(
         debug_assert_eq!(leaf_of[flow], leaf);
     }
 
-    b.build(Box::new(move |p: &Packet| {
+    let classifier: Classifier = Box::new(move |p: &Packet| {
         leaf_of
             .get(&p.flow)
             .copied()
             // Route unknown flows to the sentinel node: enqueue reports
             // UnknownNode instead of silently misclassifying.
             .unwrap_or(NodeId::INVALID)
-    }))
-    .expect("valid tree")
+    });
+    (b, classifier)
 }
 
 #[cfg(test)]

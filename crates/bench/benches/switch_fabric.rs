@@ -144,8 +144,8 @@ fn run_switch_config(
                 "{pattern}/{backend} port {port} count"
             );
             for (dx, dy) in x.departures.iter().zip(&y.departures) {
-                assert!(
-                    dx.packet == dy.packet && dx.start == dy.start && dx.finish == dy.finish,
+                assert_eq!(
+                    dx, dy,
                     "{pattern}/{backend} port {port}: batched trace diverges"
                 );
             }

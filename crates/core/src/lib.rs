@@ -23,6 +23,10 @@
 //! * [`packet`], [`rank`], [`time`] — the vocabulary types.
 //! * [`buffer`] — the shared packet-buffer slab (§4): packets live once,
 //!   PIFOs circulate 4-byte [`buffer::PktHandle`]s.
+//! * [`pool`] — the fabric-wide shared memory system (§5.1, §6.1): one
+//!   [`pool::SharedPacketPool`] slab behind per-port
+//!   [`pool::PoolHandle`]s, with static / Choudhury–Hahne dynamic
+//!   threshold admission deciding drops before any enqueue.
 //! * [`transaction`] — scheduling & shaping transaction traits (§2.1, §2.3).
 //! * [`tree`] — trees of transactions with suspend/resume shaping (§2.2–2.3).
 //!
@@ -56,6 +60,7 @@
 pub mod buffer;
 pub mod packet;
 pub mod pifo;
+pub mod pool;
 pub mod rank;
 pub mod time;
 pub mod transaction;
@@ -68,6 +73,10 @@ pub mod prelude {
     pub use crate::pifo::{
         BoxedPifo, BucketPifo, EnumPifo, HeapPifo, PifoBackend, PifoEngine, PifoFull, PifoInspect,
         PifoQueue, SortedArrayPifo,
+    };
+    pub use crate::pool::{
+        AdmissionPolicy, PoolHandle, PoolStats, PortPoolStats, SharedPacketPool, SharedPool,
+        Threshold,
     };
     pub use crate::rank::{Rank, VT_SHIFT};
     pub use crate::time::{bytes_in, tx_time, Nanos};

@@ -155,8 +155,10 @@ pub trait PifoQueue<T> {
     /// Equivalent to `max` sequential [`pop`](Self::pop) calls; backends
     /// may amortize — [`BucketPifo`] drains whole calendar buckets with
     /// one find-first-set bitmap step per *bucket* instead of per
-    /// element, and [`SortedArrayPifo`] drains its sorted prefix in one
-    /// `memmove`.
+    /// element, [`SortedArrayPifo`] drains its sorted prefix in one
+    /// `memmove`, and [`HeapPifo`] replaces sift-downs with one sort (or
+    /// a select + prefix sort + heap rebuild) when the batch takes a
+    /// large enough bite of the heap.
     fn pop_batch(&mut self, max: usize, out: &mut Vec<(Rank, T)>) -> usize {
         let before = out.len();
         while out.len() - before < max {
@@ -636,6 +638,52 @@ impl<T> PifoQueue<T> for HeapPifo<T> {
 
     fn capacity(&self) -> Option<usize> {
         self.capacity
+    }
+
+    /// Amortized batch pop. Sequential pops pay one cache-hostile
+    /// sift-down per element; a batch that takes a large bite of the
+    /// heap does better by leaving heap order entirely:
+    ///
+    /// * `max >= len` — **sorted drain**: move the backing vector out,
+    ///   sort once by `(rank, seq)` (the exact pop order) and append —
+    ///   one cache-friendly sort instead of `len` sift-downs.
+    /// * `4 * max >= len` — **select + rebuild**: partition the `max`
+    ///   smallest entries to the front with `select_nth_unstable`
+    ///   (O(len) expected), sort only that prefix, and rebuild the heap
+    ///   from the remainder (`BinaryHeap::from`, O(len)).
+    /// * otherwise — per-element pops; for a small bite of a deep heap,
+    ///   `max log len` sift-downs beat an O(len) restructuring.
+    ///
+    /// All three produce byte-identical output — `(rank, seq)` is a
+    /// total order — enforced by the cross-backend differential suite.
+    fn pop_batch(&mut self, max: usize, out: &mut Vec<(Rank, T)>) -> usize {
+        let len = self.heap.len();
+        if max == 0 || len == 0 {
+            return 0;
+        }
+        if max >= len {
+            let mut v = std::mem::take(&mut self.heap).into_vec();
+            v.sort_unstable_by_key(|e| (e.rank, e.seq));
+            out.extend(v.into_iter().map(|e| (e.rank, e.item)));
+            return len;
+        }
+        if 4 * max >= len {
+            let mut v = std::mem::take(&mut self.heap).into_vec();
+            v.select_nth_unstable_by_key(max, |e| (e.rank, e.seq));
+            let rest = v.split_off(max);
+            v.sort_unstable_by_key(|e| (e.rank, e.seq));
+            out.extend(v.into_iter().map(|e| (e.rank, e.item)));
+            self.heap = BinaryHeap::from(rest);
+            return max;
+        }
+        let before = out.len();
+        while out.len() - before < max {
+            match self.pop() {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out.len() - before
     }
 }
 
@@ -1358,6 +1406,56 @@ mod tests {
             assert_eq!(q.pop(), Some((Rank(5), 1)), "{backend}");
             assert_eq!(q.pop(), Some((Rank(5), 3)), "{backend}");
         }
+    }
+
+    /// `HeapPifo::pop_batch` crosses all three regimes — sorted drain
+    /// (`max >= len`), select + rebuild (`4*max >= len`), per-element
+    /// fallback — and each one matches the sequential-pop oracle,
+    /// including FIFO ties and the state left behind for later pops.
+    #[test]
+    fn heap_pop_batch_regimes_match_sequential_pops() {
+        let ranks: Vec<u64> = (0..64u64).map(|i| (i * 37) % 16).collect();
+        // (max, len-at-call) pairs chosen to land in each regime.
+        for max in [1usize, 3, 9, 20, 63, 64, 100] {
+            let mut batched: HeapPifo<u64> = HeapPifo::new();
+            let mut reference: HeapPifo<u64> = HeapPifo::new();
+            for (i, r) in ranks.iter().enumerate() {
+                batched.push(Rank(*r), i as u64);
+                reference.push(Rank(*r), i as u64);
+            }
+            let mut via_batch = Vec::new();
+            let n = batched.pop_batch(max, &mut via_batch);
+            assert_eq!(n, max.min(ranks.len()), "max={max}");
+            let via_pops: Vec<(Rank, u64)> = (0..n).map(|_| reference.pop().unwrap()).collect();
+            assert_eq!(via_batch, via_pops, "max={max}: batch diverges");
+            // The remainders agree element for element too.
+            loop {
+                let (a, b) = (batched.pop(), reference.pop());
+                assert_eq!(a, b, "max={max}: remainder diverges");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Interleaving batch pops with fresh pushes keeps one coherent
+    /// FIFO-tie sequence across the heap's internal rebuilds.
+    #[test]
+    fn heap_pop_batch_then_push_keeps_tie_order() {
+        let mut q: HeapPifo<u32> = HeapPifo::new();
+        for i in 0..10u32 {
+            q.push(Rank(5), i);
+        }
+        let mut out = Vec::new();
+        q.pop_batch(4, &mut out); // select + rebuild regime
+        assert_eq!(
+            out.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        q.push(Rank(5), 100); // ties behind the survivors
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(rest, [4, 5, 6, 7, 8, 9, 100]);
     }
 
     // ---- BucketPifo-specific structure tests -----------------------------

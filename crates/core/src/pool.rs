@@ -1,0 +1,819 @@
+//! The fabric-wide shared packet pool with threshold admission (§5.1, §6.1).
+//!
+//! The paper's switch serves **all** ports from one shared packet buffer
+//! (~60 K packets on the reference chip, §5.1), with buffer management
+//! reduced to occupancy counters in front of the enqueue: "Before a
+//! packet is enqueued into the scheduler, if any of these counters
+//! exceeds a static or dynamic threshold, the packet is dropped" (§6.1).
+//!
+//! This module is that memory system in software:
+//!
+//! * [`SharedPacketPool`] owns the single [`PacketBuffer`] slab (free
+//!   list, refcounted slots, global capacity) **plus** the §6.1 counters:
+//!   per-port and per-flow occupancy, maintained O(1) on every
+//!   insert/release, and per-port admitted/rejected tallies.
+//! * [`AdmissionPolicy`] decides drops *before* any slab insert:
+//!   [`AdmissionPolicy::Unlimited`] (global capacity only — the naive
+//!   shared buffer whose lockout pathology motivates §6.1),
+//!   [`AdmissionPolicy::Static`] (a fixed per-port cap), and
+//!   [`AdmissionPolicy::DynamicThreshold`] (Choudhury–Hahne \[14\]: a
+//!   port may hold at most `alpha ×` the *remaining free* space, which
+//!   tightens automatically under pressure and guarantees no port can
+//!   lock the others out).
+//! * [`PoolHandle`] is one port's capability into the pool: the
+//!   scheduling tree holds a handle instead of owning a slab, so N trees
+//!   genuinely compete for — and are protected within — one memory.
+//! * [`Threshold`] is the reusable per-entity threshold arithmetic,
+//!   promoted from `pifo-sim`'s buffer-management module (which now
+//!   re-exports it); [`SharedBuffer`] is the counters-only §6.1 tracker
+//!   used by the simulator's scheduler wrappers.
+//!
+//! Sharing is single-threaded by design (`Rc<RefCell<..>>`): the fabric
+//! simulates ports in a deterministic global round interleaving, and the
+//! pool is the memory model that a later parallel-drain PR will lift to
+//! atomics. A sole-owner pool (what [`PoolHandle::sole_owner`] builds,
+//! and what `TreeBuilder::build` uses) behaves exactly like the private
+//! per-tree slab it replaced.
+
+use crate::buffer::{PacketBuffer, PktHandle};
+use crate::packet::{FlowId, Packet};
+use core::fmt;
+use std::cell::{Ref, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Per-entity admission threshold — the §6.1 counter comparison, shared
+/// by the pool's per-port policy and the simulator's per-flow
+/// [`SharedBuffer`] tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Threshold {
+    /// The entity may buffer at most this many packets.
+    Static(usize),
+    /// The entity may buffer at most `alpha × free_space` packets
+    /// (Choudhury–Hahne dynamic thresholds \[14\]; `alpha` as a ratio of
+    /// numerator/denominator to stay in integer arithmetic).
+    Dynamic {
+        /// Numerator of alpha.
+        num: usize,
+        /// Denominator of alpha.
+        den: usize,
+    },
+}
+
+impl Threshold {
+    /// Would an entity currently holding `used` packets be allowed one
+    /// more, given `free` unoccupied slots? (The global `free > 0` check
+    /// is the caller's — this is only the threshold comparison.)
+    pub fn admits(self, used: usize, free: usize) -> bool {
+        match self {
+            Threshold::Static(t) => used < t,
+            Threshold::Dynamic { num, den } => used < (free * num) / den,
+        }
+    }
+}
+
+/// Fabric-wide admission policy applied per **port** in front of the
+/// shared pool (§6.1). See the module docs for the three regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// No per-port threshold: only the pool's global capacity gates
+    /// admission. One incast port can occupy the entire buffer and lock
+    /// every other port out — the tail-drop pathology §6.1's thresholds
+    /// exist to prevent. Also the right policy for a sole-owner pool.
+    #[default]
+    Unlimited,
+    /// A fixed per-port cap: a port holding `per_port` packets is
+    /// rejected regardless of how empty the rest of the pool is.
+    Static {
+        /// Maximum packets any one port may hold.
+        per_port: usize,
+    },
+    /// Choudhury–Hahne dynamic thresholds: a port may hold at most
+    /// `(num/den) × free_space` packets. As the pool fills, every port's
+    /// threshold tightens; because a hog's own occupancy shrinks the free
+    /// space it is compared against, the pool converges with headroom
+    /// left over and lightly-loaded ports are always admitted.
+    DynamicThreshold {
+        /// Numerator of alpha.
+        num: usize,
+        /// Denominator of alpha.
+        den: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Would a port currently holding `used` packets be allowed one more,
+    /// given `free` unoccupied slots?
+    pub fn admits(self, used: usize, free: usize) -> bool {
+        match self {
+            AdmissionPolicy::Unlimited => true,
+            AdmissionPolicy::Static { per_port } => Threshold::Static(per_port).admits(used, free),
+            AdmissionPolicy::DynamicThreshold { num, den } => {
+                Threshold::Dynamic { num, den }.admits(used, free)
+            }
+        }
+    }
+
+    /// Short stable label for reports (`unlimited` / `static` /
+    /// `dynamic`).
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Unlimited => "unlimited",
+            AdmissionPolicy::Static { .. } => "static",
+            AdmissionPolicy::DynamicThreshold { .. } => "dynamic",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionPolicy::Unlimited => write!(f, "unlimited"),
+            AdmissionPolicy::Static { per_port } => write!(f, "static({per_port})"),
+            AdmissionPolicy::DynamicThreshold { num, den } => write!(f, "dynamic({num}/{den})"),
+        }
+    }
+}
+
+/// §6.1 counters for one port of the pool.
+#[derive(Debug, Clone, Copy, Default)]
+struct PortCounters {
+    /// Live slots currently attributed to this port.
+    occupancy: usize,
+    /// Packets ever admitted for this port.
+    admitted: u64,
+    /// Packets ever rejected (policy or capacity) for this port.
+    rejected: u64,
+}
+
+/// A snapshot of one port's pool counters (see [`SharedPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortPoolStats {
+    /// Live slots currently attributed to the port.
+    pub occupancy: usize,
+    /// Packets ever admitted for the port.
+    pub admitted: u64,
+    /// Packets ever rejected for the port.
+    pub rejected: u64,
+}
+
+/// A snapshot of the whole pool (see [`SharedPool::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Live packets across all ports.
+    pub live: usize,
+    /// The global capacity, if bounded.
+    pub capacity: Option<usize>,
+    /// One entry per registered port.
+    pub ports: Vec<PortPoolStats>,
+}
+
+/// The single shared packet slab plus its §6.1 admission counters.
+///
+/// All mutation goes through the pool so the counters can never drift
+/// from the slab: `try_insert` gates on the [`AdmissionPolicy`] *before*
+/// any slab write (a reject hands the caller's packet back by move,
+/// unchanged), and `release` settles the port/flow counters exactly when
+/// the slot's last reference drops. Every counter update is O(1).
+///
+/// Use [`SharedPacketPool::into_shared`] to start handing out per-port
+/// [`PoolHandle`]s.
+#[derive(Debug)]
+pub struct SharedPacketPool {
+    buffer: PacketBuffer,
+    policy: AdmissionPolicy,
+    ports: Vec<PortCounters>,
+    /// Live slots per flow (entries removed at zero, so the map stays
+    /// bounded by the instantaneous flow fan-in).
+    flows: HashMap<FlowId, usize>,
+    /// Which port each occupied slot is attributed to, indexed like the
+    /// slab's slots — release consults this, so a slot is always settled
+    /// against the port that inserted it.
+    slot_port: Vec<u32>,
+}
+
+impl SharedPacketPool {
+    /// A pool of `capacity` packets under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero or a dynamic denominator is zero.
+    pub fn new(capacity: usize, policy: AdmissionPolicy) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        if let AdmissionPolicy::DynamicThreshold { den, .. } = policy {
+            assert!(den > 0, "alpha denominator must be positive");
+        }
+        SharedPacketPool {
+            buffer: PacketBuffer::with_capacity(capacity),
+            policy,
+            ports: Vec::new(),
+            flows: HashMap::new(),
+            slot_port: Vec::new(),
+        }
+    }
+
+    /// An unbounded pool with no per-port threshold — the sole-owner
+    /// configuration `TreeBuilder::build` uses when no buffer limit is
+    /// set.
+    pub fn unbounded() -> Self {
+        SharedPacketPool {
+            buffer: PacketBuffer::new(),
+            policy: AdmissionPolicy::Unlimited,
+            ports: Vec::new(),
+            flows: HashMap::new(),
+            slot_port: Vec::new(),
+        }
+    }
+
+    /// Register a new port, returning its dense index (from 0).
+    pub fn register_port(&mut self) -> usize {
+        self.ports.push(PortCounters::default());
+        self.ports.len() - 1
+    }
+
+    /// Wrap the pool for sharing across ports.
+    pub fn into_shared(self) -> SharedPool {
+        SharedPool(Rc::new(RefCell::new(self)))
+    }
+
+    /// Would a packet for `port` be admitted right now? (The same
+    /// decision [`try_insert`](Self::try_insert) makes, without counting
+    /// a reject.)
+    pub fn would_admit(&self, port: usize) -> bool {
+        let live = self.buffer.live();
+        let free = match self.buffer.capacity() {
+            Some(cap) => {
+                if live >= cap {
+                    return false;
+                }
+                cap - live
+            }
+            None => usize::MAX,
+        };
+        self.policy.admits(self.ports[port].occupancy, free)
+    }
+
+    /// Insert `packet` on behalf of `port`, with one reference, returning
+    /// its handle — or the packet itself, unchanged, when the global
+    /// capacity or `port`'s admission threshold rejects it (the reject is
+    /// tallied against the port).
+    pub fn try_insert(&mut self, port: usize, packet: Packet) -> Result<PktHandle, Packet> {
+        if !self.would_admit(port) {
+            self.ports[port].rejected += 1;
+            return Err(packet);
+        }
+        let flow = packet.flow;
+        let handle = match self.buffer.try_insert(packet) {
+            Ok(h) => h,
+            Err(packet) => {
+                // Unreachable today (`would_admit` covers the capacity
+                // gate), kept so the counters stay honest if the slab
+                // ever grows another reject reason.
+                self.ports[port].rejected += 1;
+                return Err(packet);
+            }
+        };
+        let stats = &mut self.ports[port];
+        stats.occupancy += 1;
+        stats.admitted += 1;
+        *self.flows.entry(flow).or_insert(0) += 1;
+        if handle.index() >= self.slot_port.len() {
+            self.slot_port.resize(handle.index() + 1, 0);
+        }
+        self.slot_port[handle.index()] = port as u32;
+        Ok(handle)
+    }
+
+    /// Borrow the packet in `handle`'s slot (panics on a stale handle,
+    /// like [`PacketBuffer::get`]).
+    pub fn get(&self, handle: PktHandle) -> &Packet {
+        self.buffer.get(handle)
+    }
+
+    /// Add one reference to `handle`'s slot (the §6.1 counters track
+    /// *slots*, so this changes no counter).
+    pub fn retain(&mut self, handle: PktHandle) {
+        self.buffer.retain(handle);
+    }
+
+    /// Drop one reference to `handle`'s slot. When it was the last, the
+    /// packet moves out, the slot frees, and the owning port's and flow's
+    /// occupancy counters are decremented — in O(1).
+    pub fn release(&mut self, handle: PktHandle) -> Option<Packet> {
+        let port = self.slot_port[handle.index()] as usize;
+        let packet = self.buffer.release(handle)?;
+        self.ports[port].occupancy -= 1;
+        if let Some(c) = self.flows.get_mut(&packet.flow) {
+            *c -= 1;
+            if *c == 0 {
+                self.flows.remove(&packet.flow);
+            }
+        }
+        Some(packet)
+    }
+
+    /// The underlying slab (occupancy, coherence checks, slot count).
+    pub fn buffer(&self) -> &PacketBuffer {
+        &self.buffer
+    }
+
+    /// Pre-grow the slab for `additional` imminent inserts (see
+    /// [`PacketBuffer::reserve`]).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buffer.reserve(additional);
+    }
+
+    /// Live packets across all ports.
+    pub fn live(&self) -> usize {
+        self.buffer.live()
+    }
+
+    /// The global capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.buffer.capacity()
+    }
+
+    /// Unoccupied slots under the global capacity (`usize::MAX` when
+    /// unbounded) — the `free_space` the dynamic threshold compares
+    /// against.
+    pub fn free_space(&self) -> usize {
+        match self.buffer.capacity() {
+            Some(cap) => cap.saturating_sub(self.buffer.live()),
+            None => usize::MAX,
+        }
+    }
+
+    /// The admission policy in force.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Number of registered ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Live slots currently attributed to `port`.
+    pub fn port_occupancy(&self, port: usize) -> usize {
+        self.ports[port].occupancy
+    }
+
+    /// Packets ever admitted for `port`.
+    pub fn port_admitted(&self, port: usize) -> u64 {
+        self.ports[port].admitted
+    }
+
+    /// Packets ever rejected for `port` (threshold or capacity).
+    pub fn port_rejected(&self, port: usize) -> u64 {
+        self.ports[port].rejected
+    }
+
+    /// Live slots currently holding packets of `flow`.
+    pub fn flow_occupancy(&self, flow: FlowId) -> usize {
+        self.flows.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Check counter/slab coherence: per-port occupancies sum to the
+    /// slab's live count, per-flow occupancies too, and the slab itself
+    /// is coherent. O(slots); for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation found.
+    pub fn assert_coherent(&self) {
+        self.buffer.assert_coherent();
+        let by_port: usize = self.ports.iter().map(|p| p.occupancy).sum();
+        assert_eq!(
+            by_port,
+            self.buffer.live(),
+            "per-port occupancies diverged from the slab"
+        );
+        let by_flow: usize = self.flows.values().sum();
+        assert_eq!(
+            by_flow,
+            self.buffer.live(),
+            "per-flow occupancies diverged from the slab"
+        );
+        assert!(
+            !self.flows.values().any(|&c| c == 0),
+            "zero-count flow entry leaked"
+        );
+    }
+}
+
+/// A cloneable reference to one [`SharedPacketPool`], for registering
+/// ports and reading fabric-level statistics.
+///
+/// ```
+/// use pifo_core::pool::{AdmissionPolicy, SharedPacketPool};
+///
+/// let pool = SharedPacketPool::new(8, AdmissionPolicy::DynamicThreshold { num: 1, den: 1 })
+///     .into_shared();
+/// let port_a = pool.register_port();
+/// let port_b = pool.register_port();
+/// assert_eq!((port_a.port(), port_b.port()), (0, 1));
+/// assert_eq!(pool.stats().capacity, Some(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedPool(Rc<RefCell<SharedPacketPool>>);
+
+impl SharedPool {
+    /// Register a new port and return its handle.
+    pub fn register_port(&self) -> PoolHandle {
+        let port = self.0.borrow_mut().register_port() as u32;
+        PoolHandle {
+            pool: Rc::clone(&self.0),
+            port,
+        }
+    }
+
+    /// Borrow the pool for inspection (occupancies, coherence checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool operation is in flight on another borrow — only
+    /// possible by holding the returned guard across calls into a tree
+    /// that shares this pool.
+    pub fn borrow(&self) -> Ref<'_, SharedPacketPool> {
+        self.0.borrow()
+    }
+
+    /// A copyable snapshot of the pool-wide and per-port counters.
+    pub fn stats(&self) -> PoolStats {
+        let pool = self.0.borrow();
+        PoolStats {
+            live: pool.live(),
+            capacity: pool.capacity(),
+            ports: pool
+                .ports
+                .iter()
+                .map(|p| PortPoolStats {
+                    occupancy: p.occupancy,
+                    admitted: p.admitted,
+                    rejected: p.rejected,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One port's capability into a [`SharedPacketPool`] — what a
+/// `ScheduleTree` holds in place of a private slab.
+///
+/// All slab traffic flows through the handle, which supplies the port
+/// identity for the §6.1 counters. Handles may be cloned (e.g. to probe
+/// occupancy from outside the tree); the clone refers to the same port.
+#[derive(Debug, Clone)]
+pub struct PoolHandle {
+    pool: Rc<RefCell<SharedPacketPool>>,
+    port: u32,
+}
+
+impl PoolHandle {
+    /// A handle to a fresh single-port pool — the private-slab
+    /// configuration: `capacity` is the only admission gate, exactly like
+    /// the per-tree `PacketBuffer` this subsystem replaced.
+    pub fn sole_owner(capacity: Option<usize>) -> PoolHandle {
+        let pool = match capacity {
+            Some(cap) => SharedPacketPool::new(cap, AdmissionPolicy::Unlimited),
+            None => SharedPacketPool::unbounded(),
+        };
+        pool.into_shared().register_port()
+    }
+
+    /// This handle's port index within the pool.
+    pub fn port(&self) -> usize {
+        self.port as usize
+    }
+
+    /// The shared pool this handle belongs to (for fabric-level stats).
+    pub fn shared_pool(&self) -> SharedPool {
+        SharedPool(Rc::clone(&self.pool))
+    }
+
+    /// Insert `packet` for this port (see
+    /// [`SharedPacketPool::try_insert`]).
+    pub fn try_insert(&self, packet: Packet) -> Result<PktHandle, Packet> {
+        self.pool.borrow_mut().try_insert(self.port(), packet)
+    }
+
+    /// Would a packet for this port be admitted right now?
+    pub fn would_admit(&self) -> bool {
+        self.pool.borrow().would_admit(self.port())
+    }
+
+    /// Add one reference to `handle`'s slot.
+    pub fn retain(&self, handle: PktHandle) {
+        self.pool.borrow_mut().retain(handle);
+    }
+
+    /// Drop one reference to `handle`'s slot; the last release moves the
+    /// packet out and settles the counters.
+    pub fn release(&self, handle: PktHandle) -> Option<Packet> {
+        self.pool.borrow_mut().release(handle)
+    }
+
+    /// Borrow the underlying slab (packet reads via
+    /// [`PacketBuffer::get`], coherence checks). The guard must be
+    /// dropped before the next mutating pool call.
+    pub fn buffer(&self) -> Ref<'_, PacketBuffer> {
+        Ref::map(self.pool.borrow(), |p| p.buffer())
+    }
+
+    /// Pre-grow the slab for `additional` imminent inserts.
+    pub fn reserve(&self, additional: usize) {
+        self.pool.borrow_mut().reserve(additional);
+    }
+
+    /// Live packets across the whole pool (all ports).
+    pub fn pool_live(&self) -> usize {
+        self.pool.borrow().live()
+    }
+
+    /// Live slots currently attributed to this port.
+    pub fn occupancy(&self) -> usize {
+        self.pool.borrow().port_occupancy(self.port())
+    }
+
+    /// Packets ever rejected for this port.
+    pub fn rejected(&self) -> u64 {
+        self.pool.borrow().port_rejected(self.port())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SharedBuffer — the counters-only §6.1 tracker (promoted from pifo-sim)
+// ---------------------------------------------------------------------------
+
+/// Occupancy-tracking admission control over a shared buffer, counting
+/// **per flow** — the §6.1 mechanism in isolation, without a slab.
+///
+/// This is the counters-only tracker `pifo-sim`'s `ManagedScheduler`
+/// wraps around any port scheduler (the sim module re-exports it from
+/// here). The slab-owning [`SharedPacketPool`] applies the same
+/// [`Threshold`] arithmetic per port.
+#[derive(Debug)]
+pub struct SharedBuffer {
+    capacity: usize,
+    occupancy: usize,
+    per_flow: HashMap<FlowId, usize>,
+    threshold: Threshold,
+    drops: u64,
+}
+
+impl SharedBuffer {
+    /// A buffer of `capacity` packets with the given per-flow threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero or a dynamic denominator is zero.
+    pub fn new(capacity: usize, threshold: Threshold) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        if let Threshold::Dynamic { den, .. } = threshold {
+            assert!(den > 0, "alpha denominator must be positive");
+        }
+        SharedBuffer {
+            capacity,
+            occupancy: 0,
+            per_flow: HashMap::new(),
+            threshold,
+            drops: 0,
+        }
+    }
+
+    /// Would a packet of `flow` be admitted right now?
+    pub fn would_admit(&self, flow: FlowId) -> bool {
+        if self.occupancy >= self.capacity {
+            return false;
+        }
+        let used = self.per_flow.get(&flow).copied().unwrap_or(0);
+        self.threshold.admits(used, self.capacity - self.occupancy)
+    }
+
+    /// Record an admission.
+    pub fn on_enqueue(&mut self, flow: FlowId) {
+        self.occupancy += 1;
+        *self.per_flow.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Record a departure.
+    pub fn on_dequeue(&mut self, flow: FlowId) {
+        self.occupancy = self.occupancy.saturating_sub(1);
+        if let Some(c) = self.per_flow.get_mut(&flow) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.per_flow.remove(&flow);
+            }
+        }
+    }
+
+    /// Record a drop.
+    pub fn on_drop(&mut self) {
+        self.drops += 1;
+    }
+
+    /// Packets currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Packets of `flow` currently buffered.
+    pub fn flow_occupancy(&self, flow: FlowId) -> usize {
+        self.per_flow.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Admission-control drops so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Nanos;
+
+    fn pkt(id: u64, flow: u32) -> Packet {
+        Packet::new(id, FlowId(flow), 1_000, Nanos(id))
+    }
+
+    #[test]
+    fn sole_owner_pool_matches_private_slab_semantics() {
+        let h = PoolHandle::sole_owner(Some(2));
+        let a = h.try_insert(pkt(0, 1)).unwrap();
+        let _b = h.try_insert(pkt(1, 2)).unwrap();
+        // At capacity: the rejected packet comes back unchanged, by move.
+        let back = h.try_insert(pkt(2, 3)).unwrap_err();
+        assert_eq!(back.id.0, 2);
+        assert_eq!(h.rejected(), 1);
+        assert_eq!(h.occupancy(), 2);
+        let out = h.release(a).expect("sole reference");
+        assert_eq!(out.id.0, 0);
+        assert_eq!(h.occupancy(), 1);
+        assert!(h.would_admit());
+        h.shared_pool().borrow().assert_coherent();
+    }
+
+    #[test]
+    fn dynamic_threshold_caps_a_hog_but_admits_a_light_port() {
+        let pool = SharedPacketPool::new(8, AdmissionPolicy::DynamicThreshold { num: 1, den: 1 })
+            .into_shared();
+        let hog = pool.register_port();
+        let light = pool.register_port();
+        // The hog fills until its occupancy reaches the shrinking free
+        // space: with alpha = 1 it converges at half the buffer.
+        let mut admitted = 0;
+        let mut id = 0;
+        while hog.would_admit() {
+            hog.try_insert(pkt(id, 1)).unwrap();
+            id += 1;
+            admitted += 1;
+            assert!(admitted <= 8, "must converge");
+        }
+        assert_eq!(admitted, 4, "alpha=1 -> at most half the buffer");
+        // Lockout prevented: the light port still gets in.
+        assert!(light.would_admit());
+        light.try_insert(pkt(id, 2)).unwrap();
+        assert_eq!(pool.stats().live, 5);
+        pool.borrow().assert_coherent();
+    }
+
+    #[test]
+    fn unlimited_policy_allows_full_lockout() {
+        let pool = SharedPacketPool::new(4, AdmissionPolicy::Unlimited).into_shared();
+        let hog = pool.register_port();
+        let victim = pool.register_port();
+        for id in 0..4 {
+            hog.try_insert(pkt(id, 1)).unwrap();
+        }
+        // The naive shared cap lets the hog own every slot.
+        assert!(!victim.would_admit(), "victim locked out");
+        assert!(victim.try_insert(pkt(9, 2)).is_err());
+        assert_eq!(victim.rejected(), 1);
+    }
+
+    #[test]
+    fn static_policy_caps_each_port_independently() {
+        let pool =
+            SharedPacketPool::new(100, AdmissionPolicy::Static { per_port: 2 }).into_shared();
+        let a = pool.register_port();
+        let b = pool.register_port();
+        a.try_insert(pkt(0, 1)).unwrap();
+        a.try_insert(pkt(1, 1)).unwrap();
+        assert!(a.try_insert(pkt(2, 1)).is_err(), "third on port A dropped");
+        assert!(b.would_admit(), "port B unaffected");
+        b.try_insert(pkt(3, 2)).unwrap();
+        assert_eq!(pool.borrow().port_occupancy(0), 2);
+        assert_eq!(pool.borrow().port_occupancy(1), 1);
+    }
+
+    #[test]
+    fn release_settles_the_inserting_ports_counters() {
+        let pool = SharedPacketPool::new(8, AdmissionPolicy::Unlimited).into_shared();
+        let a = pool.register_port();
+        let b = pool.register_port();
+        let ha = a.try_insert(pkt(0, 7)).unwrap();
+        let _hb = b.try_insert(pkt(1, 7)).unwrap();
+        assert_eq!(pool.borrow().flow_occupancy(FlowId(7)), 2);
+        // Releasing through *either* handle settles against port A — the
+        // pool remembers which port owns the slot.
+        b.release(ha).expect("sole reference");
+        assert_eq!(pool.borrow().port_occupancy(0), 0);
+        assert_eq!(pool.borrow().port_occupancy(1), 1);
+        assert_eq!(pool.borrow().flow_occupancy(FlowId(7)), 1);
+        pool.borrow().assert_coherent();
+    }
+
+    #[test]
+    fn retained_slot_counts_until_last_release() {
+        let h = PoolHandle::sole_owner(Some(4));
+        let a = h.try_insert(pkt(0, 1)).unwrap();
+        h.retain(a);
+        assert!(h.release(a).is_none(), "one holder remains");
+        assert_eq!(h.occupancy(), 1, "slot still counted");
+        let p = h.release(a).expect("last reference");
+        assert_eq!(p.id.0, 0);
+        assert_eq!(h.occupancy(), 0);
+    }
+
+    #[test]
+    fn freed_space_reopens_a_dynamic_threshold() {
+        let pool = SharedPacketPool::new(8, AdmissionPolicy::DynamicThreshold { num: 1, den: 1 })
+            .into_shared();
+        let h = pool.register_port();
+        let mut handles = Vec::new();
+        let mut id = 0;
+        while h.would_admit() {
+            handles.push(h.try_insert(pkt(id, 1)).unwrap());
+            id += 1;
+        }
+        assert!(h.try_insert(pkt(99, 1)).is_err());
+        // Draining reopens the threshold (free space grows *and* own
+        // occupancy shrinks).
+        h.release(handles.pop().unwrap());
+        h.release(handles.pop().unwrap());
+        assert!(h.would_admit());
+        h.try_insert(pkt(100, 1)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_pool_rejected() {
+        let _ = SharedPacketPool::new(0, AdmissionPolicy::Unlimited);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn zero_alpha_denominator_rejected() {
+        let _ = SharedPacketPool::new(4, AdmissionPolicy::DynamicThreshold { num: 1, den: 0 });
+    }
+
+    // ---- SharedBuffer (promoted from pifo-sim) ---------------------------
+
+    #[test]
+    fn shared_buffer_static_threshold_caps_each_flow() {
+        let mut b = SharedBuffer::new(100, Threshold::Static(2));
+        assert!(b.would_admit(FlowId(1)));
+        b.on_enqueue(FlowId(1));
+        b.on_enqueue(FlowId(1));
+        assert!(!b.would_admit(FlowId(1)), "third of flow 1 dropped");
+        assert!(b.would_admit(FlowId(2)), "other flows unaffected");
+        assert_eq!(b.flow_occupancy(FlowId(1)), 2);
+    }
+
+    #[test]
+    fn shared_buffer_dynamic_threshold_tightens_under_pressure() {
+        // alpha = 1: a flow may hold at most the current free space.
+        let mut b = SharedBuffer::new(8, Threshold::Dynamic { num: 1, den: 1 });
+        let mut admitted = 0;
+        while b.would_admit(FlowId(1)) {
+            b.on_enqueue(FlowId(1));
+            admitted += 1;
+            assert!(admitted <= 8, "must converge");
+        }
+        assert_eq!(admitted, 4, "alpha=1 -> at most half the buffer");
+        // A *different* flow still gets in: lockout prevented.
+        assert!(b.would_admit(FlowId(2)));
+    }
+
+    #[test]
+    fn shared_buffer_capacity_is_hard_limit() {
+        let mut b = SharedBuffer::new(4, Threshold::Static(100));
+        for f in 0..4u32 {
+            assert!(b.would_admit(FlowId(f)));
+            b.on_enqueue(FlowId(f));
+        }
+        assert!(!b.would_admit(FlowId(9)), "buffer full");
+        b.on_dequeue(FlowId(0));
+        assert!(b.would_admit(FlowId(9)));
+        assert_eq!(b.occupancy(), 3);
+    }
+
+    #[test]
+    fn shared_buffer_counts_drops() {
+        let mut b = SharedBuffer::new(4, Threshold::Static(1));
+        b.on_drop();
+        b.on_drop();
+        assert_eq!(b.drops(), 2);
+    }
+}

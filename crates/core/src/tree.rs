@@ -55,10 +55,12 @@
 use crate::buffer::{PacketBuffer, PktHandle};
 use crate::packet::{FlowId, Packet};
 use crate::pifo::{EnumPifo, PifoBackend, PifoInspect, PifoQueue};
+use crate::pool::PoolHandle;
 use crate::rank::Rank;
 use crate::time::Nanos;
 use crate::transaction::{DeqCtx, EnqCtx, SchedulingTransaction, ShapingTransaction};
 use core::fmt;
+use std::cell::Ref;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -373,7 +375,65 @@ impl TreeBuilder {
     /// Finish construction. `classifier` maps each packet to its leaf.
     /// The selected PIFO backend(s) are instantiated here, so the
     /// resulting tree never names a concrete queue type.
+    ///
+    /// The tree gets a **sole-owner** packet pool: a fresh single-port
+    /// [`SharedPacketPool`](crate::pool::SharedPacketPool) whose only
+    /// admission gate is the builder's [`buffer_limit`](
+    /// Self::buffer_limit) — exactly the private per-tree slab semantics
+    /// this constructor has always had. Use
+    /// [`build_in_pool`](Self::build_in_pool) to share one pool (and its
+    /// §6.1 admission thresholds) across many trees.
     pub fn build(self, classifier: Classifier) -> Result<ScheduleTree, TreeError> {
+        let pool = PoolHandle::sole_owner(self.buffer_limit);
+        self.finish(classifier, pool)
+    }
+
+    /// Finish construction against a port handle of a shared packet pool
+    /// (§5.1's one-buffer-for-all-ports memory system): the tree buffers
+    /// every packet in the pool's slab, and the pool's
+    /// [`AdmissionPolicy`](crate::pool::AdmissionPolicy) — not a private
+    /// capacity — decides [`TreeError::BufferFull`] rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`buffer_limit`](Self::buffer_limit) was also set: a
+    /// pooled tree's admission belongs to the pool, and silently ignoring
+    /// the limit would mask a configuration bug.
+    ///
+    /// ```
+    /// use pifo_core::pool::{AdmissionPolicy, SharedPacketPool};
+    /// use pifo_core::prelude::*;
+    ///
+    /// let pool = SharedPacketPool::new(4, AdmissionPolicy::DynamicThreshold { num: 1, den: 1 })
+    ///     .into_shared();
+    /// let mut trees: Vec<ScheduleTree> = (0..2)
+    ///     .map(|_| {
+    ///         let mut b = TreeBuilder::new();
+    ///         let root = b.add_root("fifo", Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+    ///             Rank(ctx.now.as_nanos())
+    ///         })));
+    ///         b.build_in_pool(Box::new(move |_| root), pool.register_port()).unwrap()
+    ///     })
+    ///     .collect();
+    ///
+    /// trees[0].enqueue(Packet::new(0, FlowId(1), 100, Nanos(0)), Nanos(0)).unwrap();
+    /// trees[1].enqueue(Packet::new(1, FlowId(2), 100, Nanos(0)), Nanos(0)).unwrap();
+    /// assert_eq!(pool.stats().live, 2, "both trees buffer in one slab");
+    /// ```
+    pub fn build_in_pool(
+        self,
+        classifier: Classifier,
+        pool: PoolHandle,
+    ) -> Result<ScheduleTree, TreeError> {
+        assert!(
+            self.buffer_limit.is_none(),
+            "buffer_limit is a sole-owner setting; a pooled tree's admission \
+             is governed by the shared pool's capacity and policy"
+        );
+        self.finish(classifier, pool)
+    }
+
+    fn finish(self, classifier: Classifier, pool: PoolHandle) -> Result<ScheduleTree, TreeError> {
         let root = self.root.ok_or(TreeError::Empty)?;
         if self.nodes[root.index()].shaper.is_some() {
             return Err(TreeError::ShaperOnRoot);
@@ -397,16 +457,12 @@ impl TreeBuilder {
                 }
             })
             .collect();
-        let slab = match self.buffer_limit {
-            Some(limit) => PacketBuffer::with_capacity(limit),
-            None => PacketBuffer::new(),
-        };
         let has_shapers = nodes.iter().any(|n: &Node| n.shaper.is_some());
         Ok(ScheduleTree {
             nodes,
             root,
             classifier,
-            slab,
+            pool,
             agenda: BinaryHeap::new(),
             agenda_seq: 0,
             buffered: 0,
@@ -415,6 +471,7 @@ impl TreeBuilder {
             shaping_inspections: 0,
             has_shapers,
             scratch: Vec::new(),
+            run_scratch: Vec::new(),
         })
     }
 }
@@ -425,9 +482,11 @@ pub struct ScheduleTree {
     nodes: Vec<Node>,
     root: NodeId,
     classifier: Classifier,
-    /// The shared packet-buffer slab; its capacity is the builder's
-    /// `buffer_limit`.
-    slab: PacketBuffer,
+    /// This tree's port into its packet pool — a sole-owner pool for
+    /// trees built with [`TreeBuilder::build`] (whose capacity is the
+    /// builder's `buffer_limit`), or one port of a fabric-wide shared
+    /// pool for [`TreeBuilder::build_in_pool`].
+    pool: PoolHandle,
     /// Tree-wide shaping agenda: every parked walk, globally min-ordered
     /// by `(release, node, seq)`.
     agenda: BinaryHeap<Reverse<AgendaEntry>>,
@@ -445,6 +504,9 @@ pub struct ScheduleTree {
     /// Reusable buffer for [`ScheduleTree::dequeue_upto`]'s single-node
     /// fast path, so steady-state batch drains allocate nothing.
     scratch: Vec<(Rank, Element)>,
+    /// Reusable buffer for [`ScheduleTree::enqueue_batch`]'s same-leaf
+    /// run accumulation.
+    run_scratch: Vec<(Rank, PktHandle)>,
 }
 
 impl fmt::Debug for ScheduleTree {
@@ -531,10 +593,21 @@ impl ScheduleTree {
         self.nodes[node.index()].shaping_len
     }
 
-    /// Read-only view of the shared packet-buffer slab (occupancy,
-    /// capacity, coherence checks — see [`PacketBuffer`]).
-    pub fn packet_buffer(&self) -> &PacketBuffer {
-        &self.slab
+    /// Read-only view of the packet-buffer slab this tree buffers into
+    /// (occupancy, capacity, coherence checks — see [`PacketBuffer`]).
+    ///
+    /// For a pooled tree this is the **shared** slab, so `live()` counts
+    /// every port's packets; use [`pool_handle`](Self::pool_handle) for
+    /// this tree's own occupancy. The returned guard is a dynamic borrow
+    /// of the pool — drop it before the next tree operation.
+    pub fn packet_buffer(&self) -> Ref<'_, PacketBuffer> {
+        self.pool.buffer()
+    }
+
+    /// This tree's port handle into its packet pool (port index,
+    /// per-port occupancy and reject counters, the shared pool itself).
+    pub fn pool_handle(&self) -> &PoolHandle {
+        &self.pool
     }
 
     /// Parked shaping entries that are the sole owner of their buffer
@@ -576,10 +649,10 @@ impl ScheduleTree {
         if !self.nodes[leaf.index()].children.is_empty() {
             return Err(TreeError::NotALeaf(leaf));
         }
-        // Admission is the slab insert itself, before any other state
-        // changes: a reject hands the caller's packet back unchanged
-        // (moved, never cloned).
-        let handle = match self.slab.try_insert(packet) {
+        // Admission is the pool insert itself, before any other state
+        // changes: a policy or capacity reject hands the caller's packet
+        // back unchanged (moved, never cloned).
+        let handle = match self.pool.try_insert(packet) {
             Ok(h) => h,
             Err(packet) => return Err(TreeError::BufferFull(packet)),
         };
@@ -587,7 +660,8 @@ impl ScheduleTree {
         // Leaf: the element is a handle to the buffered packet.
         {
             let node = &mut self.nodes[leaf.index()];
-            let p = self.slab.get(handle);
+            let buf = self.pool.buffer();
+            let p = buf.get(handle);
             let flow = flow_of(&node.flow_fn, p);
             let ctx = EnqCtx {
                 packet: p,
@@ -615,7 +689,8 @@ impl ScheduleTree {
             let release;
             {
                 let n = &mut self.nodes[node.index()];
-                let p = self.slab.get(handle);
+                let buf = self.pool.buffer();
+                let p = buf.get(handle);
                 let flow = flow_of(&n.flow_fn, p);
                 let ctx = EnqCtx {
                     packet: p,
@@ -627,7 +702,7 @@ impl ScheduleTree {
             if !owns_ref {
                 // The parked entry keeps the packet's fields alive even if
                 // the packet departs through an earlier reference first.
-                self.slab.retain(handle);
+                self.pool.retain(handle);
             }
             self.agenda.push(Reverse(AgendaEntry {
                 release: release.as_nanos(),
@@ -650,14 +725,15 @@ impl ScheduleTree {
             // Reached the root: walk complete. A resumption drops the
             // agenda entry's buffer reference; if the packet already
             // departed, that frees the slot.
-            if owns_ref && self.slab.release(handle).is_some() {
+            if owns_ref && self.pool.release(handle).is_some() {
                 self.dangling_shaped -= 1;
             }
             return;
         };
         {
             let pnode = &mut self.nodes[parent.index()];
-            let p = self.slab.get(handle);
+            let buf = self.pool.buffer();
+            let p = buf.get(handle);
             let ctx = EnqCtx {
                 packet: p,
                 now,
@@ -722,8 +798,8 @@ impl ScheduleTree {
                 Element::Packet(h) => {
                     let flow = {
                         let n = &self.nodes[node.index()];
-                        let p = self.slab.get(h);
-                        flow_of(&n.flow_fn, p)
+                        let buf = self.pool.buffer();
+                        flow_of(&n.flow_fn, buf.get(h))
                     };
                     self.nodes[node.index()]
                         .sched
@@ -734,11 +810,11 @@ impl ScheduleTree {
                     // case: a parked shaping entry still needs the fields
                     // (this packet overtook its own suspended reference),
                     // so the slot stays live until that entry resumes.
-                    return Some(match self.slab.release(h) {
+                    return Some(match self.pool.release(h) {
                         Some(p) => p,
                         None => {
                             self.dangling_shaped += 1;
-                            self.slab.get(h).clone()
+                            self.pool.buffer().get(h).clone()
                         }
                     });
                 }
@@ -767,10 +843,27 @@ impl ScheduleTree {
     /// exactly as one [`enqueue`](Self::enqueue) call per packet, in
     /// order — including the release of shaped elements that become due
     /// *mid-batch* (a shaper may park an element due at `now` itself).
-    /// What the batch amortizes is slab growth (one
-    /// [`PacketBuffer::reserve`] for the whole batch) and, for
-    /// work-conserving trees, the per-packet agenda check collapses to a
-    /// single always-false branch.
+    ///
+    /// What the batch amortizes: slab growth (one
+    /// [`PacketBuffer::reserve`] for the whole batch), and on
+    /// **work-conserving** trees the batch is additionally *run-ranked*:
+    /// consecutive arrivals classified to the same leaf (exactly what
+    /// incast fan-in produces) are ranked in arrival order but pushed
+    /// with one [`PifoQueue::push_batch`] per tree level — one leaf
+    /// batch of packet handles, then one batch of child references per
+    /// ancestor — instead of one full leaf→root walk per packet. Each
+    /// *node* still observes the exact per-packet rank-call sequence,
+    /// and `push_batch` keeps FIFO tie order; what run-ranking changes
+    /// is the interleaving of rank calls *across* nodes (all leaf ranks
+    /// of a run, then each ancestor's). Byte-identity therefore
+    /// requires what every transaction in this workspace already
+    /// satisfies: a node's rank may depend on its own state and on
+    /// `(packet, now, flow)`, but **not** on mutable state shared with
+    /// another node's transaction. A tree whose transactions covertly
+    /// share state (e.g. two `FnTransaction`s over one
+    /// `Rc<RefCell<..>>`) must use per-packet [`enqueue`](Self::enqueue)
+    /// instead. Trees with shapers always take the per-packet path (a
+    /// mid-batch release must interleave exactly).
     ///
     /// ```
     /// use pifo_core::prelude::*;
@@ -794,14 +887,133 @@ impl ScheduleTree {
         now: Nanos,
     ) -> Vec<TreeError> {
         let packets = packets.into_iter();
-        self.slab.reserve(packets.size_hint().0);
+        self.pool.reserve(packets.size_hint().0);
         let mut errors = Vec::new();
-        for p in packets {
-            if let Err(e) = self.enqueue(p, now) {
-                errors.push(e);
+        if self.has_shapers {
+            // Reference path: a shaped element parked by one packet can
+            // become due for the next at the same `now`; the per-packet
+            // loop keeps that interleaving byte-exact.
+            for p in packets {
+                if let Err(e) = self.enqueue(p, now) {
+                    errors.push(e);
+                }
             }
+            return errors;
+        }
+        // Work-conserving fast path: rank in arrival order, but push each
+        // consecutive same-leaf run with one `push_batch` per tree level.
+        debug_assert_eq!(self.shaped, 0, "work-conserving trees never park");
+        let mut run_leaf = NodeId::INVALID;
+        for packet in packets {
+            let leaf = (self.classifier)(&packet);
+            if leaf.index() >= self.nodes.len() {
+                // Invalid packets touch no state, so the open run — if
+                // any — continues across them, exactly as sequentially.
+                errors.push(TreeError::UnknownNode(leaf));
+                continue;
+            }
+            if !self.nodes[leaf.index()].children.is_empty() {
+                errors.push(TreeError::NotALeaf(leaf));
+                continue;
+            }
+            if leaf != run_leaf && !self.run_scratch.is_empty() {
+                self.flush_run(run_leaf, now);
+            }
+            run_leaf = leaf;
+            // Admission in arrival order: the pool's occupancy counters
+            // see every insert at the same point the sequential path
+            // would (pushes never change occupancy, so deferring them to
+            // the flush cannot change an admission decision).
+            let handle = match self.pool.try_insert(packet) {
+                Ok(h) => h,
+                Err(p) => {
+                    errors.push(TreeError::BufferFull(p));
+                    continue;
+                }
+            };
+            // Leaf rank now — transactions are stateful, so the rank-call
+            // order must be arrival order — but the push is deferred.
+            let rank = {
+                let node = &mut self.nodes[leaf.index()];
+                let buf = self.pool.buffer();
+                let p = buf.get(handle);
+                let flow = flow_of(&node.flow_fn, p);
+                node.sched.rank(&EnqCtx {
+                    packet: p,
+                    now,
+                    flow,
+                })
+            };
+            self.run_scratch.push((rank, handle));
+        }
+        if !self.run_scratch.is_empty() {
+            self.flush_run(run_leaf, now);
         }
         errors
+    }
+
+    /// Flush an accumulated same-leaf run (see
+    /// [`enqueue_batch`](Self::enqueue_batch)): one leaf `push_batch` of
+    /// the pre-computed `(rank, handle)` pairs, then — walking toward the
+    /// root — one per-packet rank pass and one `push_batch` of child
+    /// references per ancestor. Only reachable on work-conserving trees,
+    /// so no walk can suspend mid-run.
+    fn flush_run(&mut self, leaf: NodeId, now: Nanos) {
+        let run = std::mem::take(&mut self.run_scratch);
+        self.buffered += run.len();
+        if let [(rank, handle)] = run[..] {
+            // A run of one (arrivals alternating between leaves): the
+            // batch machinery would only add `Vec` traffic, so finish
+            // with plain pushes — allocation-free, like `enqueue`.
+            self.nodes[leaf.index()]
+                .sched_pifo
+                .push(rank, Element::Packet(handle));
+            let mut node = leaf;
+            while let Some(parent) = self.nodes[node.index()].parent {
+                let rank = {
+                    let pnode = &mut self.nodes[parent.index()];
+                    let buf = self.pool.buffer();
+                    pnode.sched.rank(&EnqCtx {
+                        packet: buf.get(handle),
+                        now,
+                        flow: node.as_flow(),
+                    })
+                };
+                self.nodes[parent.index()]
+                    .sched_pifo
+                    .push(rank, Element::Ref(node));
+                node = parent;
+            }
+        } else {
+            let elems: Vec<(Rank, Element)> = run
+                .iter()
+                .map(|&(rank, h)| (rank, Element::Packet(h)))
+                .collect();
+            let rejected = self.nodes[leaf.index()].sched_pifo.push_batch(elems);
+            debug_assert!(rejected.is_empty(), "node PIFOs are unbounded");
+            let mut node = leaf;
+            while let Some(parent) = self.nodes[node.index()].parent {
+                let mut elems: Vec<(Rank, Element)> = Vec::with_capacity(run.len());
+                {
+                    let pnode = &mut self.nodes[parent.index()];
+                    let buf = self.pool.buffer();
+                    for &(_, h) in &run {
+                        let ctx = EnqCtx {
+                            packet: buf.get(h),
+                            now,
+                            flow: node.as_flow(),
+                        };
+                        elems.push((pnode.sched.rank(&ctx), Element::Ref(node)));
+                    }
+                }
+                let rejected = self.nodes[parent.index()].sched_pifo.push_batch(elems);
+                debug_assert!(rejected.is_empty(), "node PIFOs are unbounded");
+                node = parent;
+            }
+        }
+        // Hand the allocation back for the next run.
+        self.run_scratch = run;
+        self.run_scratch.clear();
     }
 
     /// Dequeue up to `max` packets at wall-clock time `now`, appending
@@ -853,7 +1065,7 @@ impl ScheduleTree {
             // sole-owner packet handle.
             let Self {
                 nodes,
-                slab,
+                pool,
                 buffered,
                 scratch,
                 ..
@@ -871,7 +1083,7 @@ impl ScheduleTree {
                 // tree cannot park shaping refs), then feed `on_dequeue`
                 // from the moved copy: one slab access per packet instead
                 // of a borrow + a release.
-                let p = slab
+                let p = pool
                     .release(h)
                     .expect("single-node slots have exactly one holder");
                 let flow = flow_of(&node.flow_fn, &p);
@@ -899,7 +1111,8 @@ impl ScheduleTree {
     }
 
     /// Peek the packet that `dequeue` would return *right now*, without
-    /// mutating any state.
+    /// mutating any state. The returned guard borrows the packet in
+    /// place in the pool's slab; drop it before the next tree operation.
     ///
     /// **No time passes**: due-but-unreleased shaped elements are *not*
     /// released first, so with shapers `peek()` can disagree with
@@ -907,15 +1120,16 @@ impl ScheduleTree {
     /// releases everything due at `now` before walking. Use
     /// [`peek_at`](Self::peek_at) to preview what `dequeue(now)` would
     /// return.
-    pub fn peek(&self) -> Option<&Packet> {
+    pub fn peek(&self) -> Option<Ref<'_, Packet>> {
         let mut node = self.root;
-        loop {
+        let handle = loop {
             let (_, elem) = self.nodes[node.index()].sched_pifo.peek()?;
             match elem {
-                Element::Packet(h) => return Some(self.slab.get(*h)),
+                Element::Packet(h) => break *h,
                 Element::Ref(child) => node = *child,
             }
-        }
+        };
+        Some(Ref::map(self.pool.buffer(), |b| b.get(handle)))
     }
 
     /// Peek the packet that [`dequeue`](Self::dequeue)`(now)` would
@@ -923,7 +1137,7 @@ impl ScheduleTree {
     /// why this takes `&mut self`), then walks the root path without
     /// popping. The same non-decreasing time contract as
     /// `enqueue`/`dequeue` applies.
-    pub fn peek_at(&mut self, now: Nanos) -> Option<&Packet> {
+    pub fn peek_at(&mut self, now: Nanos) -> Option<Ref<'_, Packet>> {
         self.release_due(now);
         self.peek()
     }
@@ -931,11 +1145,12 @@ impl ScheduleTree {
     /// Render the instantaneous scheduling order of a node's PIFO as a
     /// debug string, e.g. `"[L@3, R@5, L@7]"` — used by the Fig 2 tests.
     pub fn debug_pifo(&self, node: NodeId) -> String {
+        let buf = self.pool.buffer();
         let items: Vec<String> = self.nodes[node.index()]
             .sched_pifo
             .iter_in_order()
             .map(|(r, e)| match e {
-                Element::Packet(h) => format!("{}@{}", self.slab.get(*h).id, r),
+                Element::Packet(h) => format!("{}@{}", buf.get(*h).id, r),
                 Element::Ref(c) => format!("{}@{}", self.node_name(*c), r),
             })
             .collect();

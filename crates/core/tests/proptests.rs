@@ -579,8 +579,10 @@ proptest! {
 
     /// `ScheduleTree::enqueue_batch` + `dequeue_upto` produce a departure
     /// trace byte-identical to the per-packet `enqueue`/`dequeue` path —
-    /// on every backend, for both a single-node tree (the `pop_batch`
-    /// fast path) and a two-level *shaped* tree (where releases due
+    /// on every backend, for a single-node tree (the `pop_batch` fast
+    /// path), a two-level **work-conserving** tree (the same-leaf
+    /// run-batched enqueue path, with runs splitting across leaf
+    /// changes), and a two-level *shaped* tree (where releases due
     /// mid-batch must still interleave exactly as the sequential path).
     #[test]
     fn tree_batch_paths_match_per_packet(
@@ -612,29 +614,34 @@ proptest! {
             Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| Rank(ctx.now.as_nanos())))
         };
 
-        // shaped = false: single node (exercises the batch fast path).
-        // shaped = true: two-level tree with cyclic-delay shapers.
-        let build = |backend: PifoBackend, shaped: bool| -> ScheduleTree {
+        // shape 0: single node (exercises the dequeue batch fast path).
+        // shape 1: two-level work-conserving (exercises the run-batched
+        //          enqueue path across leaf changes).
+        // shape 2: two-level tree with cyclic-delay shapers.
+        let build = |backend: PifoBackend, shape: u8| -> ScheduleTree {
             let mut b = TreeBuilder::new();
             b.with_backend(backend);
-            if shaped {
+            if shape == 0 {
+                let root = b.add_root("prio", by_class());
+                b.build(Box::new(move |_| root)).unwrap()
+            } else {
                 let root = b.add_root("root", fifo());
                 let l = b.add_child(root, "L", by_class());
                 let r = b.add_child(root, "R", by_class());
-                b.set_shaper(l, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
-                b.set_shaper(r, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
+                if shape == 2 {
+                    b.set_shaper(l, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
+                    b.set_shaper(r, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
+                }
                 b.build(Box::new(move |p: &Packet| if p.flow.0 < 2 { l } else { r }))
                     .unwrap()
-            } else {
-                let root = b.add_root("prio", by_class());
-                b.build(Box::new(move |_| root)).unwrap()
             }
         };
 
         for backend in PifoBackend::ALL {
-            for shaped in [false, true] {
-                let mut batch_tree = build(backend, shaped);
-                let mut ref_tree = build(backend, shaped);
+            for shape in 0..3u8 {
+                let shaped = shape == 2;
+                let mut batch_tree = build(backend, shape);
+                let mut ref_tree = build(backend, shape);
                 prop_assert_eq!(batch_tree.has_shapers(), shaped);
 
                 let mut now = 0u64;
@@ -693,6 +700,147 @@ proptest! {
                 prop_assert_eq!(batch_tree.packet_buffer().live(), 0);
                 batch_tree.packet_buffer().assert_coherent();
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-pool accounting across ports (§5.1/§6.1 memory system)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Pool accounting is exact across a multi-tree fabric: after every
+    /// operation on any port, `pool.live == Σ per-port (len +
+    /// shaped_refs_holding_packets)` — and the pool's per-port occupancy
+    /// counters agree with each tree individually, under arbitrary
+    /// interleavings of enqueues (some rejected by the shared admission),
+    /// dequeues and clock advances, with a shaped port parking dangling
+    /// refs. Once everything drains, the pool is empty and coherent.
+    #[test]
+    fn shared_pool_accounting_is_exact_across_ports(
+        ops in proptest::collection::vec((0usize..3, tree_op_strategy()), 1..150),
+        delays in proptest::collection::vec(0u64..200, 1..8),
+        capacity in 4usize..40,
+        dynamic in any::<bool>(),
+    ) {
+        use pifo_core::pool::{AdmissionPolicy, SharedPacketPool};
+        use pifo_core::transaction::FnTransaction;
+
+        struct CyclicDelay { delays: Vec<u64>, i: usize }
+        impl ShapingTransaction for CyclicDelay {
+            fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos {
+                let d = self.delays[self.i % self.delays.len()];
+                self.i += 1;
+                Nanos(ctx.now.as_nanos() + d)
+            }
+        }
+        let by_class = || -> Box<dyn SchedulingTransaction> {
+            Box::new(FnTransaction::new("class", |ctx: &EnqCtx| Rank(ctx.packet.class as u64)))
+        };
+        let fifo = || -> Box<dyn SchedulingTransaction> {
+            Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| Rank(ctx.now.as_nanos())))
+        };
+
+        let policy = if dynamic {
+            AdmissionPolicy::DynamicThreshold { num: 1, den: 1 }
+        } else {
+            AdmissionPolicy::Unlimited
+        };
+        let pool = SharedPacketPool::new(capacity, policy).into_shared();
+
+        // Port 0: flat FIFO. Port 1: two work-conserving leaves.
+        // Port 2: two *shaped* leaves (parks dangling refs).
+        let mut trees: Vec<ScheduleTree> = Vec::new();
+        {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root("p0", fifo());
+            trees.push(b.build_in_pool(Box::new(move |_| root), pool.register_port()).unwrap());
+        }
+        for shaped in [false, true] {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root("root", fifo());
+            let l = b.add_child(root, "L", by_class());
+            let r = b.add_child(root, "R", by_class());
+            if shaped {
+                b.set_shaper(l, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
+                b.set_shaper(r, Box::new(CyclicDelay { delays: delays.clone(), i: 0 }));
+            }
+            trees.push(
+                b.build_in_pool(
+                    Box::new(move |p: &Packet| if p.flow.0 < 2 { l } else { r }),
+                    pool.register_port(),
+                )
+                .unwrap(),
+            );
+        }
+
+        let mut now = 0u64;
+        let mut id = 0u64;
+        let mut offered = [0u64; 3];
+        for (port, op) in &ops {
+            let t = &mut trees[*port];
+            match op {
+                TreeOp::Enq(f, c) => {
+                    let p = Packet::new(id, FlowId(*f), 100, Nanos(now)).with_class(*c);
+                    id += 1;
+                    offered[*port] += 1;
+                    match t.enqueue(p, Nanos(now)) {
+                        Ok(()) => {}
+                        Err(TreeError::BufferFull(_)) => {} // shared admission said no
+                        Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                    }
+                }
+                TreeOp::Deq => { let _ = t.dequeue(Nanos(now)); }
+                TreeOp::Advance(dt) => {
+                    now += dt;
+                    t.release_due(Nanos(now));
+                }
+            }
+            // The tentpole invariant, after *every* op.
+            let sum: usize = trees
+                .iter()
+                .map(|t| t.len() + t.shaped_refs_holding_packets())
+                .sum();
+            prop_assert_eq!(pool.stats().live, sum, "pool.live diverged after {:?}", op);
+            for (i, t) in trees.iter().enumerate() {
+                prop_assert_eq!(
+                    pool.borrow().port_occupancy(i),
+                    t.len() + t.shaped_refs_holding_packets(),
+                    "port {} occupancy counter diverged", i
+                );
+            }
+            prop_assert!(pool.stats().live <= capacity, "capacity breached");
+        }
+
+        // Drain every port, hopping across shaping gaps.
+        loop {
+            let mut progressed = false;
+            for t in trees.iter_mut() {
+                while t.dequeue(Nanos(now)).is_some() {
+                    progressed = true;
+                }
+            }
+            let horizon = trees.iter().filter_map(|t| t.next_shaping_event()).min();
+            match horizon {
+                Some(h) => now = now.max(h.as_nanos()),
+                None => if !progressed { break },
+            }
+            if trees.iter().all(|t| t.is_empty() && t.shaped_len() == 0) {
+                break;
+            }
+        }
+        prop_assert_eq!(pool.stats().live, 0, "drained fabric leaks pool slots");
+        pool.borrow().assert_coherent();
+        // Conservation per port: offered == admitted + rejected, and
+        // everything admitted departed.
+        let stats = pool.stats();
+        for (i, port) in stats.ports.iter().enumerate() {
+            prop_assert_eq!(
+                port.admitted + port.rejected,
+                offered[i],
+                "port {} offered-packet conservation", i
+            );
+            prop_assert_eq!(port.occupancy, 0);
         }
     }
 }

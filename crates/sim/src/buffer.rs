@@ -6,7 +6,11 @@
 //! any of these counters exceeds a static or dynamic threshold, the
 //! packet is dropped."
 //!
-//! Two admission policies are provided, exactly as the paper sketches:
+//! The threshold arithmetic and the counters-only tracker now live in
+//! `pifo-core`'s [`pool`](pifo_core::pool) subsystem — alongside the
+//! slab-owning [`pifo_core::pool::SharedPacketPool`] that applies the
+//! same §6.1 logic **per port** across a whole switch fabric — and are
+//! re-exported here unchanged:
 //!
 //! * [`Threshold::Static`] — a fixed per-flow cap;
 //! * [`Threshold::Dynamic`] — the Choudhury–Hahne scheme the paper cites
@@ -14,113 +18,16 @@
 //!   buffer, which automatically tightens under pressure and prevents a
 //!   single flow from locking everyone else out.
 //!
-//! [`ManagedScheduler`] wraps any [`PortScheduler`] with such a policy,
-//! and [`Red`] implements the other §6.1 option — Random Early Detection
-//! \[18\]: probabilistic drops driven by an EWMA of the queue length,
-//! seeded for deterministic simulation.
+//! This module keeps the simulator-side compositions: a
+//! [`ManagedScheduler`] wraps any [`PortScheduler`] behind a
+//! [`SharedBuffer`], and [`Red`] implements the other §6.1 option —
+//! Random Early Detection \[18\]: probabilistic drops driven by an EWMA
+//! of the queue length, seeded for deterministic simulation.
 
 use crate::scheduler::PortScheduler;
 use pifo_core::prelude::*;
-use std::collections::HashMap;
 
-/// Per-flow admission threshold.
-#[derive(Debug, Clone, Copy)]
-pub enum Threshold {
-    /// A flow may buffer at most this many packets.
-    Static(usize),
-    /// A flow may buffer at most `alpha × free_space` packets
-    /// (Choudhury–Hahne dynamic thresholds \[14\]; `alpha` as a ratio of
-    /// numerator/denominator to stay in integer arithmetic).
-    Dynamic {
-        /// Numerator of alpha.
-        num: usize,
-        /// Denominator of alpha.
-        den: usize,
-    },
-}
-
-/// Occupancy-tracking admission control over a shared buffer.
-#[derive(Debug)]
-pub struct SharedBuffer {
-    capacity: usize,
-    occupancy: usize,
-    per_flow: HashMap<FlowId, usize>,
-    threshold: Threshold,
-    drops: u64,
-}
-
-impl SharedBuffer {
-    /// A buffer of `capacity` packets with the given per-flow threshold.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the capacity is zero or a dynamic denominator is zero.
-    pub fn new(capacity: usize, threshold: Threshold) -> Self {
-        assert!(capacity > 0, "buffer capacity must be positive");
-        if let Threshold::Dynamic { den, .. } = threshold {
-            assert!(den > 0, "alpha denominator must be positive");
-        }
-        SharedBuffer {
-            capacity,
-            occupancy: 0,
-            per_flow: HashMap::new(),
-            threshold,
-            drops: 0,
-        }
-    }
-
-    /// Would a packet of `flow` be admitted right now?
-    pub fn would_admit(&self, flow: FlowId) -> bool {
-        if self.occupancy >= self.capacity {
-            return false;
-        }
-        let used = self.per_flow.get(&flow).copied().unwrap_or(0);
-        match self.threshold {
-            Threshold::Static(t) => used < t,
-            Threshold::Dynamic { num, den } => {
-                let free = self.capacity - self.occupancy;
-                used < (free * num) / den
-            }
-        }
-    }
-
-    /// Record an admission.
-    pub fn on_enqueue(&mut self, flow: FlowId) {
-        self.occupancy += 1;
-        *self.per_flow.entry(flow).or_insert(0) += 1;
-    }
-
-    /// Record a departure.
-    pub fn on_dequeue(&mut self, flow: FlowId) {
-        self.occupancy = self.occupancy.saturating_sub(1);
-        if let Some(c) = self.per_flow.get_mut(&flow) {
-            *c = c.saturating_sub(1);
-            if *c == 0 {
-                self.per_flow.remove(&flow);
-            }
-        }
-    }
-
-    /// Record a drop.
-    pub fn on_drop(&mut self) {
-        self.drops += 1;
-    }
-
-    /// Packets currently buffered.
-    pub fn occupancy(&self) -> usize {
-        self.occupancy
-    }
-
-    /// Packets of `flow` currently buffered.
-    pub fn flow_occupancy(&self, flow: FlowId) -> usize {
-        self.per_flow.get(&flow).copied().unwrap_or(0)
-    }
-
-    /// Admission-control drops so far.
-    pub fn drops(&self) -> u64 {
-        self.drops
-    }
-}
+pub use pifo_core::pool::{SharedBuffer, Threshold};
 
 /// A [`PortScheduler`] with buffer-management admission control in front
 /// of it — the §6.1 composition: thresholds gate the enqueue, the
@@ -341,23 +248,6 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_threshold_tightens_under_pressure() {
-        // alpha = 1: a flow may hold at most the current free space.
-        let mut b = SharedBuffer::new(8, Threshold::Dynamic { num: 1, den: 1 });
-        // Flow 1 fills: each admission shrinks the free space; it
-        // converges to half the buffer (used < free).
-        let mut admitted = 0;
-        while b.would_admit(FlowId(1)) {
-            b.on_enqueue(FlowId(1));
-            admitted += 1;
-            assert!(admitted <= 8, "must converge");
-        }
-        assert_eq!(admitted, 4, "alpha=1 -> at most half the buffer");
-        // A *different* flow still gets in: lockout prevented.
-        assert!(b.would_admit(FlowId(2)));
-    }
-
-    #[test]
     fn dynamic_threshold_prevents_monopoly_lockout() {
         // The classic tail-drop pathology: one flow owning the whole
         // buffer. With dynamic thresholds a second flow always finds
@@ -376,19 +266,6 @@ mod tests {
             "hog capped at half"
         );
         assert!(s.enqueue(pkt(id, 2), Nanos(id)), "victim admitted");
-    }
-
-    #[test]
-    fn shared_capacity_is_hard_limit() {
-        let mut b = SharedBuffer::new(4, Threshold::Static(100));
-        for f in 0..4u32 {
-            assert!(b.would_admit(FlowId(f)));
-            b.on_enqueue(FlowId(f));
-        }
-        assert!(!b.would_admit(FlowId(9)), "buffer full");
-        b.on_dequeue(FlowId(0));
-        assert!(b.would_admit(FlowId(9)));
-        assert_eq!(b.occupancy(), 3);
     }
 
     #[test]

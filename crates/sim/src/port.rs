@@ -10,7 +10,10 @@ use crate::scheduler::PortScheduler;
 use pifo_core::prelude::*;
 
 /// One transmitted packet with its port-level timing.
-#[derive(Debug, Clone)]
+///
+/// Equality is full-struct (packet, start, finish, wait) — what the
+/// trace bit-identity tests compare departure for departure.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Departure {
     /// The packet as it left (fields may have been updated, e.g. LSTF
     /// slack charging).

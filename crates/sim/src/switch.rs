@@ -36,6 +36,28 @@
 //! every backend by `batched_and_per_packet_traces_identical` below and
 //! by the `switch_fabric` bench's cross-check. The batch buys
 //! throughput, never different behaviour.
+//!
+//! # One buffer for all ports
+//!
+//! The paper's switch serves every port from **one** shared packet
+//! buffer (§5.1), with §6.1 threshold counters deciding drops before any
+//! enqueue. [`SwitchBuilder::with_shared_pool`] builds the fabric that
+//! way: each [`SwitchBuilder::add_shared_port`] tree holds a
+//! [`PoolHandle`] into one [`SharedPacketPool`], so incast pressure on
+//! one port genuinely consumes — and, under
+//! [`AdmissionPolicy::DynamicThreshold`], is fenced away from — the
+//! memory every other port draws on. Ports with private slabs
+//! ([`SwitchBuilder::add_port`]) remain embarrassingly independent.
+//!
+//! Because ports contend for shared state, [`Switch::run`] executes
+//! scheduling rounds in **global `(time, port)` order** — the earliest
+//! pending round across the fabric runs first, ties broken by port
+//! index — rather than simulating each port to completion in turn.
+//! For private-slab fabrics the interleaving is unobservable (ports
+//! share nothing), so traces are unchanged; for shared-pool fabrics it
+//! is what makes cross-port admission coupling real and deterministic:
+//! identical inputs give bit-identical traces, on every backend, in
+//! both drain modes.
 
 use crate::port::Departure;
 use pifo_core::prelude::*;
@@ -99,6 +121,7 @@ pub struct SwitchBuilder {
     rate_bps: u64,
     horizon: Nanos,
     burst: usize,
+    pool: Option<SharedPool>,
 }
 
 impl SwitchBuilder {
@@ -115,14 +138,72 @@ impl SwitchBuilder {
             rate_bps,
             horizon: Nanos::from_secs(3_600),
             burst: 32,
+            pool: None,
         }
     }
 
     /// Add an egress port owning `tree`; returns the port index the
     /// classifier must use for it (assigned densely from 0).
+    ///
+    /// A tree built with `TreeBuilder::build` keeps its **private** slab
+    /// — this port shares memory with nobody. Use
+    /// [`add_shared_port`](Self::add_shared_port) for ports drawing on
+    /// the fabric-wide pool.
     pub fn add_port(&mut self, tree: ScheduleTree) -> usize {
         self.trees.push(tree);
         self.trees.len() - 1
+    }
+
+    /// Attach the fabric-wide shared packet pool (§5.1's one buffer for
+    /// all ports): `capacity` packets, admission decided per port by
+    /// `policy` (§6.1). Returns the [`SharedPool`] so the caller can
+    /// read occupancies and per-port admitted/rejected counters after a
+    /// run; the switch keeps its own reference (see
+    /// [`Switch::shared_pool`]).
+    ///
+    /// Call before [`add_shared_port`](Self::add_shared_port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared pool was already attached — a second pool
+    /// would silently split the fabric's "shared" memory in two.
+    pub fn with_shared_pool(&mut self, capacity: usize, policy: AdmissionPolicy) -> SharedPool {
+        assert!(
+            self.pool.is_none(),
+            "the fabric already has a shared pool; one switch shares one memory"
+        );
+        let pool = SharedPacketPool::new(capacity, policy).into_shared();
+        self.pool = Some(pool.clone());
+        pool
+    }
+
+    /// Add an egress port whose tree buffers in the fabric's shared
+    /// pool: registers a pool port and hands its [`PoolHandle`] to
+    /// `build` (which typically finishes with
+    /// `TreeBuilder::build_in_pool`). Returns the port index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`with_shared_pool`](Self::with_shared_pool) was not
+    /// called first, or if the new pool port's index would not match
+    /// the switch port's (mixing [`add_port`](Self::add_port) and
+    /// `add_shared_port`, or registering extra pool ports by hand,
+    /// would silently misalign the pool's per-port counters with the
+    /// run's port traces — for a heterogeneous layout, register pool
+    /// handles yourself and use `add_port`).
+    pub fn add_shared_port(&mut self, build: impl FnOnce(PoolHandle) -> ScheduleTree) -> usize {
+        let handle = self
+            .pool
+            .as_ref()
+            .expect("call with_shared_pool before add_shared_port")
+            .register_port();
+        assert_eq!(
+            handle.port(),
+            self.trees.len(),
+            "pool port index diverged from switch port index: keep add_shared_port \
+             fabrics homogeneous (or wire PoolHandles to add_port manually)"
+        );
+        self.add_port(build(handle))
     }
 
     /// Set the simulation horizon: no scheduling round *starts* at or
@@ -158,6 +239,7 @@ impl SwitchBuilder {
             rate_bps: self.rate_bps,
             horizon: self.horizon,
             burst: self.burst,
+            pool: self.pool,
         }
     }
 }
@@ -170,6 +252,7 @@ pub struct Switch {
     rate_bps: u64,
     horizon: Nanos,
     burst: usize,
+    pool: Option<SharedPool>,
 }
 
 /// What one egress port did during a [`Switch::run`].
@@ -228,12 +311,22 @@ impl Switch {
         &self.ports[i]
     }
 
+    /// The fabric-wide shared packet pool, when one was attached with
+    /// [`SwitchBuilder::with_shared_pool`].
+    pub fn shared_pool(&self) -> Option<&SharedPool> {
+        self.pool.as_ref()
+    }
+
     /// Run `arrivals` (time-sorted) through the fabric with the given
     /// drain mode, returning the per-port departure traces.
     ///
-    /// Ports are independent once classified (each owns its tree and
-    /// link), so the loop simulates them port by port; determinism is
-    /// total — identical inputs give bit-identical traces.
+    /// Scheduling rounds execute in global `(time, port)` order — the
+    /// earliest pending round anywhere in the fabric runs next, ties
+    /// broken by port index — so ports sharing a packet pool observe
+    /// each other's occupancy exactly as of their own decision instants.
+    /// For private-slab ports the interleaving is unobservable.
+    /// Determinism is total — identical inputs give bit-identical
+    /// traces.
     ///
     /// # Panics
     ///
@@ -255,120 +348,156 @@ impl Switch {
             }
         }
 
-        let mut run = SwitchRun {
-            ports: Vec::with_capacity(self.ports.len()),
-            misrouted,
-        };
-        for (tree, arr) in self.ports.iter_mut().zip(per_port) {
-            run.ports.push(drain_port(
-                tree,
-                arr,
+        let mut sims: Vec<PortSim> = per_port
+            .into_iter()
+            .zip(&self.ports)
+            .map(|(arr, tree)| PortSim::new(arr, tree, self.burst))
+            .collect();
+
+        // Global round interleaving: always advance the port whose next
+        // scheduling round is earliest (ties → lowest port index).
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, s) in sims.iter().enumerate() {
+                if !s.done && best.map_or(true, |b| s.t < sims[b].t) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            sims[i].step_round(
+                &mut self.ports[i],
                 self.rate_bps,
                 self.horizon,
                 self.burst,
                 mode,
-            ));
+            );
         }
-        run
+
+        SwitchRun {
+            ports: sims.into_iter().map(|s| s.trace).collect(),
+            misrouted,
+        }
     }
 }
 
-/// The per-port line-rate drain loop shared by both drain modes: admit
-/// everything arrived by `t`, commit one scheduling round at `t`,
-/// transmit back-to-back, repeat; when idle, hop to the next arrival or
-/// shaping release.
-fn drain_port(
-    tree: &mut ScheduleTree,
-    arrivals: Vec<Packet>,
-    rate_bps: u64,
-    horizon: Nanos,
-    burst: usize,
-    mode: DrainMode,
-) -> PortTrace {
-    let mut trace = PortTrace::default();
-    let mut t = match arrivals.first() {
-        Some(p) => p.arrival,
-        None if tree.is_empty() && tree.shaped_len() == 0 => return trace,
-        None => Nanos::ZERO,
-    };
-    // The port owns its arrivals: packets move (never clone) from the
-    // classified stream into the tree.
-    let mut pending = arrivals.into_iter().peekable();
-    // Reused across rounds so the steady state allocates nothing.
-    let mut round: Vec<Packet> = Vec::with_capacity(burst);
-    let mut batch: Vec<Packet> = Vec::new();
+/// One port's progress through [`Switch::run`]: its pending classified
+/// arrivals, the time its next scheduling round is decided at, and the
+/// trace accumulated so far. The tree itself stays in `Switch::ports`
+/// (borrowed per round) so shared-pool borrows never overlap.
+struct PortSim {
+    /// The port owns its arrivals: packets move (never clone) from the
+    /// classified stream into the tree.
+    pending: std::iter::Peekable<std::vec::IntoIter<Packet>>,
+    /// Decision time of the next scheduling round.
+    t: Nanos,
+    done: bool,
+    trace: PortTrace,
+    /// Reused across rounds so the steady state allocates nothing.
+    round: Vec<Packet>,
+    batch: Vec<Packet>,
+}
 
-    loop {
-        if t >= horizon {
-            break;
+impl PortSim {
+    fn new(arrivals: Vec<Packet>, tree: &ScheduleTree, burst: usize) -> PortSim {
+        let (t, done) = match arrivals.first() {
+            Some(p) => (p.arrival, false),
+            None if tree.is_empty() && tree.shaped_len() == 0 => (Nanos::ZERO, true),
+            None => (Nanos::ZERO, false),
+        };
+        PortSim {
+            pending: arrivals.into_iter().peekable(),
+            t,
+            done,
+            trace: PortTrace::default(),
+            round: Vec::with_capacity(burst),
+            batch: Vec::new(),
         }
-        // Admission: everything arrived by `t` enters at its own arrival
-        // instant, grouped per instant so the batched mode can hand the
-        // tree whole same-time batches.
-        while pending.peek().is_some_and(|p| p.arrival <= t) {
-            let at = pending.peek().expect("peeked above").arrival;
-            batch.clear();
-            while pending.peek().is_some_and(|p| p.arrival == at) {
-                batch.push(pending.next().expect("peeked"));
+    }
+
+    /// Execute one scheduling round at `self.t`: admit everything
+    /// arrived by then (each packet at its own arrival instant, grouped
+    /// per instant so the batched mode hands the tree whole same-time
+    /// batches), commit up to `burst` packets decided at `t`, transmit
+    /// back-to-back; when idle, hop to the next arrival or shaping
+    /// release, or finish.
+    fn step_round(
+        &mut self,
+        tree: &mut ScheduleTree,
+        rate_bps: u64,
+        horizon: Nanos,
+        burst: usize,
+        mode: DrainMode,
+    ) {
+        if self.t >= horizon {
+            self.done = true;
+            return;
+        }
+        while self.pending.peek().is_some_and(|p| p.arrival <= self.t) {
+            let at = self.pending.peek().expect("peeked above").arrival;
+            self.batch.clear();
+            while self.pending.peek().is_some_and(|p| p.arrival == at) {
+                self.batch.push(self.pending.next().expect("peeked"));
             }
             match mode {
                 DrainMode::PerPacket => {
-                    for p in batch.drain(..) {
+                    for p in self.batch.drain(..) {
                         if tree.enqueue(p, at).is_err() {
-                            trace.drops += 1;
+                            self.trace.drops += 1;
                         }
                     }
                 }
                 DrainMode::Batched => {
-                    trace.drops += tree.enqueue_batch(batch.drain(..), at).len() as u64;
+                    self.trace.drops += tree.enqueue_batch(self.batch.drain(..), at).len() as u64;
                 }
             }
         }
 
         // One scheduling round, decided at `t`.
-        round.clear();
+        self.round.clear();
         match mode {
             DrainMode::PerPacket => {
                 for _ in 0..burst {
-                    match tree.dequeue(t) {
-                        Some(p) => round.push(p),
+                    match tree.dequeue(self.t) {
+                        Some(p) => self.round.push(p),
                         None => break,
                     }
                 }
             }
             DrainMode::Batched => {
-                tree.dequeue_upto(t, burst, &mut round);
+                tree.dequeue_upto(self.t, burst, &mut self.round);
             }
         }
 
-        if round.is_empty() {
+        if self.round.is_empty() {
             // Idle: hop to the next arrival or shaping release. The
             // round already released everything due at `t`, so any
             // pending shaping event is strictly in the future.
-            let next_arrival = pending.peek().map(|p| p.arrival);
+            let next_arrival = self.pending.peek().map(|p| p.arrival);
             let next_ready = tree.next_shaping_event();
             let next = match (next_arrival, next_ready) {
                 (Some(a), Some(r)) => a.min(r),
                 (Some(a), None) => a,
                 (None, Some(r)) => r,
-                (None, None) => break, // drained for good
+                (None, None) => {
+                    self.done = true; // drained for good
+                    return;
+                }
             };
-            t = next.max(Nanos(t.as_nanos() + 1));
+            self.t = next.max(Nanos(self.t.as_nanos() + 1));
         } else {
             // Transmit the round back-to-back at line rate.
-            for p in round.drain(..) {
-                let finish = t + tx_time(p.length as u64, rate_bps);
-                trace.departures.push(Departure {
-                    wait: t.saturating_sub(p.arrival),
-                    start: t,
+            for p in self.round.drain(..) {
+                let finish = self.t + tx_time(p.length as u64, rate_bps);
+                self.trace.departures.push(Departure {
+                    wait: self.t.saturating_sub(p.arrival),
+                    start: self.t,
                     finish,
                     packet: p,
                 });
-                t = finish;
+                self.t = finish;
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
@@ -445,11 +574,7 @@ mod tests {
                     "[{backend}] port {port} departure count diverges"
                 );
                 for (x, y) in a.departures.iter().zip(&b.departures) {
-                    assert_eq!(
-                        (&x.packet, x.start, x.finish, x.wait),
-                        (&y.packet, y.start, y.finish, y.wait),
-                        "[{backend}] port {port} departure diverges"
-                    );
+                    assert_eq!(x, y, "[{backend}] port {port} departure diverges");
                 }
             }
             assert!(per_packet.total_departures() > 0);
@@ -492,6 +617,141 @@ mod tests {
         let run = sw.run(&arrivals, DrainMode::PerPacket);
         assert_eq!(run.misrouted, 1);
         assert_eq!(run.total_departures(), 1);
+    }
+
+    /// Build a flat STFQ port tree inside a shared pool.
+    fn pooled_fifo_tree(backend: PifoBackend, pool: PoolHandle) -> ScheduleTree {
+        let mut b = TreeBuilder::new();
+        b.with_backend(backend);
+        let root = b.add_root("stfq", Box::new(Stfq::unweighted()));
+        b.build_in_pool(Box::new(move |_| root), pool).unwrap()
+    }
+
+    /// One hog port floods a tight shared pool while a victim port
+    /// trickles: under the naive shared cap the victim is locked out;
+    /// under Choudhury–Hahne dynamic thresholds the hog is fenced and
+    /// the victim transmits everything.
+    #[test]
+    fn shared_pool_dynamic_thresholds_prevent_lockout() {
+        let run = |policy: AdmissionPolicy| -> SwitchRun {
+            let mut sb = SwitchBuilder::new(1_000_000_000);
+            sb.with_shared_pool(64, policy);
+            sb.with_burst(4);
+            for _ in 0..2 {
+                sb.add_shared_port(|pool| pooled_fifo_tree(PifoBackend::default(), pool));
+            }
+            let mut sw = sb.build(Box::new(|p: &Packet| p.flow.0 as usize % 2));
+            // The hog (flow 0 → port 0): 8x oversubscribed CBR — one
+            // 1000 B packet per 500 ns against an 8000 ns service time —
+            // pins the shared pool at capacity for the whole storm. The
+            // victim (flow 1 → port 1) sends a 12-packet burst mid-storm.
+            let mut arrivals: Vec<Packet> = (0..400)
+                .map(|i| Packet::new(i, FlowId(0), 1_000, Nanos(i * 500)))
+                .collect();
+            for i in 0..12u64 {
+                arrivals.push(Packet::new(400 + i, FlowId(1), 1_000, Nanos(100_000)));
+            }
+            arrivals.sort_by_key(|p| p.arrival);
+            sw.run(&arrivals, DrainMode::Batched)
+        };
+
+        let naive = run(AdmissionPolicy::Unlimited);
+        assert!(
+            naive.ports[1].drops > 0,
+            "naive shared cap must lock the victim out (got {} drops)",
+            naive.ports[1].drops
+        );
+
+        let fenced = run(AdmissionPolicy::DynamicThreshold { num: 1, den: 1 });
+        assert_eq!(
+            fenced.ports[1].drops, 0,
+            "dynamic thresholds admit the victim"
+        );
+        assert_eq!(fenced.ports[1].departures.len(), 12);
+        assert!(
+            fenced.ports[0].drops > 0,
+            "the hog still pays for its oversubscription"
+        );
+        // Every offered packet is accounted: transmitted or dropped.
+        assert_eq!(fenced.total_departures() as u64 + fenced.total_drops(), 412);
+        assert_eq!(naive.total_departures() as u64 + naive.total_drops(), 412);
+    }
+
+    /// Shared-pool fabrics keep the bit-identity guarantee: per-port
+    /// traces agree across drain modes and across backends.
+    #[test]
+    fn shared_pool_traces_identical_across_modes_and_backends() {
+        let end = Nanos::from_micros(200);
+        let arrivals = workload(12, end);
+        let build = |backend: PifoBackend| {
+            let mut sb = SwitchBuilder::new(1_000_000_000);
+            sb.with_shared_pool(256, AdmissionPolicy::DynamicThreshold { num: 1, den: 1 });
+            for _ in 0..4 {
+                sb.add_shared_port(|pool| pooled_fifo_tree(backend, pool));
+            }
+            sb.with_horizon(end).with_burst(8);
+            sb.build(Box::new(|p: &Packet| p.flow.0 as usize % 4))
+        };
+        let reference = build(PifoBackend::SortedArray).run(&arrivals, DrainMode::PerPacket);
+        assert!(reference.total_drops() > 0, "pool pressure must be real");
+        for backend in PifoBackend::ALL {
+            for mode in [DrainMode::PerPacket, DrainMode::Batched] {
+                let run = build(backend).run(&arrivals, mode);
+                for (port, (a, b)) in reference.ports.iter().zip(&run.ports).enumerate() {
+                    assert_eq!(
+                        a.drops,
+                        b.drops,
+                        "[{backend}/{}] port {port} drops diverge",
+                        mode.label()
+                    );
+                    assert_eq!(
+                        a.departures.len(),
+                        b.departures.len(),
+                        "[{backend}/{}] port {port} departure count diverges",
+                        mode.label()
+                    );
+                    for (x, y) in a.departures.iter().zip(&b.departures) {
+                        assert_eq!(
+                            x,
+                            y,
+                            "[{backend}/{}] port {port} trace diverges",
+                            mode.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pool's per-port counters agree with the port traces after a
+    /// run, and the pool drains clean.
+    #[test]
+    fn shared_pool_counters_reconcile_with_traces() {
+        let mut sb = SwitchBuilder::new(8_000_000_000);
+        let pool = sb.with_shared_pool(32, AdmissionPolicy::DynamicThreshold { num: 1, den: 1 });
+        for _ in 0..3 {
+            sb.add_shared_port(|h| pooled_fifo_tree(PifoBackend::Bucket, h));
+        }
+        let mut sw = sb.build(Box::new(|p: &Packet| p.flow.0 as usize % 3));
+        let arrivals: Vec<Packet> = (0..300)
+            .map(|i| Packet::new(i, FlowId((i % 5) as u32), 1_000, Nanos(i / 5)))
+            .collect();
+        let run = sw.run(&arrivals, DrainMode::Batched);
+
+        let stats = pool.stats();
+        assert_eq!(stats.live, 0, "fabric drained: pool must be empty");
+        for (port, trace) in run.ports.iter().enumerate() {
+            assert_eq!(
+                stats.ports[port].rejected, trace.drops,
+                "port {port}: pool reject counter vs trace drops"
+            );
+            assert_eq!(
+                stats.ports[port].admitted,
+                trace.departures.len() as u64,
+                "port {port}: everything admitted eventually departed"
+            );
+        }
+        pool.borrow().assert_coherent();
     }
 
     /// A shaped port sleeps across shaping gaps instead of spinning, and
