@@ -222,7 +222,9 @@ fn run_drain_pair(backend: PifoBackend, occupancy: usize) -> [Record; 2] {
                         drained += 1;
                     }
                 }
-                DrainMode::Batched => loop {
+                // A single tree has no port fan-out to parallelise, so
+                // the Parallel mode degenerates to the batched drain.
+                DrainMode::Batched | DrainMode::Parallel { .. } => loop {
                     out.clear();
                     let n = tree.dequeue_upto(now, 64, &mut out);
                     if n == 0 {

@@ -29,6 +29,13 @@ impl PktHandle {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Mint a handle from a raw slot index — only the slab implementations
+    /// in this crate ([`PacketBuffer`] and the atomic
+    /// [`SharedPacketPool`](crate::pool::SharedPacketPool)) may do this.
+    pub(crate) fn from_raw(idx: u32) -> PktHandle {
+        PktHandle(idx)
+    }
 }
 
 impl fmt::Display for PktHandle {

@@ -8,10 +8,11 @@
 //!
 //! This module is that memory system in software:
 //!
-//! * [`SharedPacketPool`] owns the single [`PacketBuffer`] slab (free
-//!   list, refcounted slots, global capacity) **plus** the §6.1 counters:
-//!   per-port and per-flow occupancy, maintained O(1) on every
-//!   insert/release, and per-port admitted/rejected tallies.
+//! * [`SharedPacketPool`] owns the single packet slab (a chunked,
+//!   lock-free slot store with a tagged free list and per-slot generation
+//!   counters) **plus** the §6.1 counters: per-port and per-flow
+//!   occupancy, maintained O(1) on every insert/release, and per-port
+//!   admitted/rejected tallies.
 //! * [`AdmissionPolicy`] decides drops *before* any slab insert:
 //!   [`AdmissionPolicy::Unlimited`] (global capacity only — the naive
 //!   shared buffer whose lockout pathology motivates §6.1),
@@ -28,19 +29,43 @@
 //!   re-exports it); [`SharedBuffer`] is the counters-only §6.1 tracker
 //!   used by the simulator's scheduler wrappers.
 //!
-//! Sharing is single-threaded by design (`Rc<RefCell<..>>`): the fabric
-//! simulates ports in a deterministic global round interleaving, and the
-//! pool is the memory model that a later parallel-drain PR will lift to
-//! atomics. A sole-owner pool (what [`PoolHandle::sole_owner`] builds,
-//! and what `TreeBuilder::build` uses) behaves exactly like the private
-//! per-tree slab it replaced.
+//! # Threading model
+//!
+//! The pool is `Arc`-shared and safe to use from many threads at once:
+//! occupancy and admitted/rejected counters are atomics, the free list is
+//! a tagged (ABA-safe) Treiber stack, and slot lifecycle is tracked by a
+//! per-slot generation counter (even = free, odd = occupied) so stale
+//! handles are detected on access. A `ScheduleTree` therefore reads
+//! packet fields straight from the slab — no `RefCell` borrow per access
+//! — and whole trees (each holding a [`PoolHandle`]) can migrate to
+//! worker threads for the parallel fabric drain.
+//!
+//! Two disciplines make this sound, both unchanged from the
+//! single-threaded slab this design replaces:
+//!
+//! * a handle may only be dereferenced by a caller that holds (at least)
+//!   one of the slot's references — the scheduling tree maintains this
+//!   internally and never exposes a dangling handle;
+//! * **admission decisions** under concurrency are linearizable but not
+//!   externally ordered: two ports racing `try_insert` may observe
+//!   either interleaving. The fabric keeps its departure traces
+//!   deterministic by making shared-pool admission decisions in the
+//!   global `(time, port)` round order (see `pifo-sim`'s `Switch::run`);
+//!   the atomics make the *accounting* exact under any interleaving.
+//!
+//! Accounting is **checked**: decrementing an occupancy counter that is
+//! already zero (a double release) panics in debug builds and increments
+//! the visible [`SharedPacketPool::accounting_errors`] counter in release
+//! builds, instead of silently saturating.
 
-use crate::buffer::{PacketBuffer, PktHandle};
+use crate::buffer::PktHandle;
 use crate::packet::{FlowId, Packet};
 use core::fmt;
-use std::cell::{Ref, RefCell};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Per-entity admission threshold — the §6.1 counter comparison, shared
 /// by the pool's per-port policy and the simulator's per-flow
@@ -135,15 +160,44 @@ impl fmt::Display for AdmissionPolicy {
     }
 }
 
-/// §6.1 counters for one port of the pool.
-#[derive(Debug, Clone, Copy, Default)]
+/// The most ports one pool will register. Port indices are stored per
+/// slot as a `u32`, and fabric layouts beyond this are configuration
+/// bugs, not workloads — registration returns
+/// [`PoolError::TooManyPorts`] instead of silently truncating the index.
+pub const MAX_PORTS: usize = 65_536;
+
+/// Errors surfaced by pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// `register_port` would exceed [`MAX_PORTS`].
+    TooManyPorts {
+        /// The configured limit ([`MAX_PORTS`]).
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::TooManyPorts { limit } => {
+                write!(f, "pool already has {limit} ports (the maximum)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// §6.1 counters for one port of the pool (all atomics — updated
+/// lock-free from any thread).
+#[derive(Debug, Default)]
 struct PortCounters {
     /// Live slots currently attributed to this port.
-    occupancy: usize,
+    occupancy: AtomicUsize,
     /// Packets ever admitted for this port.
-    admitted: u64,
+    admitted: AtomicU64,
     /// Packets ever rejected (policy or capacity) for this port.
-    rejected: u64,
+    rejected: AtomicU64,
 }
 
 /// A snapshot of one port's pool counters (see [`SharedPool::stats`]).
@@ -168,31 +222,176 @@ pub struct PoolStats {
     pub ports: Vec<PortPoolStats>,
 }
 
+// ---------------------------------------------------------------------------
+// The lock-free slot store
+// ---------------------------------------------------------------------------
+
+/// Sentinel terminating the free list.
+const FREE_END: u32 = u32::MAX;
+
+/// log2 of the first chunk's slot count.
+const CHUNK0_BITS: u32 = 6;
+
+/// Chunk `k` holds `64 << k` slots; 26 chunks cover the whole `u32`
+/// handle space.
+const NUM_CHUNKS: usize = 26;
+
+/// Number of flow-occupancy shards (power of two).
+const FLOW_SHARDS: usize = 16;
+
+/// One slot of the slab. The packet bytes live in an [`UnsafeCell`];
+/// exclusive access is guaranteed by the slot lifecycle: a slot is
+/// written only by the thread that just popped it off the free list (or
+/// claimed it fresh), and moved out only by the thread that dropped its
+/// last reference.
+struct SlotCell {
+    /// Lifecycle generation: even = free, odd = occupied. Incremented on
+    /// every transition, so access to a freed slot is detected (and, in
+    /// debug builds, a reused slot trips the coherence checks).
+    gen: AtomicU32,
+    /// Reference count; 0 for free slots.
+    refs: AtomicU32,
+    /// The port the §6.1 counters attribute this slot to.
+    port: AtomicU32,
+    /// Intrusive free-list link.
+    next_free: AtomicU32,
+    packet: UnsafeCell<MaybeUninit<Packet>>,
+}
+
+impl SlotCell {
+    fn new_free() -> SlotCell {
+        SlotCell {
+            gen: AtomicU32::new(0),
+            refs: AtomicU32::new(0),
+            port: AtomicU32::new(0),
+            next_free: AtomicU32::new(FREE_END),
+            packet: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+/// Map a slot index to its (chunk, offset) pair. Chunk `k` covers
+/// indices `[64·(2^k − 1), 64·(2^(k+1) − 1))`.
+#[inline]
+fn chunk_of(idx: u32) -> (usize, usize) {
+    let shifted = (idx as u64) + (1 << CHUNK0_BITS);
+    let k = (63 - shifted.leading_zeros() - CHUNK0_BITS) as usize;
+    let base = ((1u64 << CHUNK0_BITS) << k) - (1 << CHUNK0_BITS);
+    (k, (idx as u64 - base) as usize)
+}
+
 /// The single shared packet slab plus its §6.1 admission counters.
 ///
 /// All mutation goes through the pool so the counters can never drift
 /// from the slab: `try_insert` gates on the [`AdmissionPolicy`] *before*
 /// any slab write (a reject hands the caller's packet back by move,
 /// unchanged), and `release` settles the port/flow counters exactly when
-/// the slot's last reference drops. Every counter update is O(1).
+/// the slot's last reference drops. Every counter update is O(1) and
+/// atomic, so the pool may be driven from many threads at once (see the
+/// module docs for the threading model).
 ///
 /// Use [`SharedPacketPool::into_shared`] to start handing out per-port
 /// [`PoolHandle`]s.
-#[derive(Debug)]
 pub struct SharedPacketPool {
-    buffer: PacketBuffer,
+    /// Chunked slot storage: chunk `k` is a leaked `Box<[SlotCell]>` of
+    /// `64 << k` slots, allocated on first use under [`Self::grow`] and
+    /// freed in `Drop`. Published with `Release` so slot claimers see
+    /// initialized cells.
+    chunks: [AtomicPtr<SlotCell>; NUM_CHUNKS],
+    /// Serializes chunk allocation (not slot claiming).
+    grow: Mutex<()>,
+    /// Slots ever claimed; indices below this are valid chunk storage.
+    next_slot: AtomicU32,
+    /// Tagged Treiber-stack head: `(aba_tag << 32) | slot_index`.
+    free_head: AtomicU64,
+    /// Live packets (occupied slots).
+    live: AtomicUsize,
+    capacity: Option<usize>,
     policy: AdmissionPolicy,
-    ports: Vec<PortCounters>,
-    /// Live slots per flow (entries removed at zero, so the map stays
-    /// bounded by the instantaneous flow fan-in).
-    flows: HashMap<FlowId, usize>,
-    /// Which port each occupied slot is attributed to, indexed like the
-    /// slab's slots — release consults this, so a slot is always settled
-    /// against the port that inserted it.
-    slot_port: Vec<u32>,
+    /// Registered ports. The `RwLock` guards registration (rare, setup
+    /// time); hot-path reads take the uncontended read lock, and
+    /// [`PoolHandle`]s bypass it entirely for their own port.
+    ports: RwLock<Vec<Arc<PortCounters>>>,
+    /// Live slots per flow, sharded by flow id (entries removed at zero,
+    /// so each map stays bounded by the instantaneous flow fan-in).
+    flows: [Mutex<HashMap<FlowId, usize>>; FLOW_SHARDS],
+    /// Accounting violations detected in release builds (debug builds
+    /// panic instead) — see [`Self::accounting_errors`].
+    accounting_errors: AtomicU64,
+}
+
+// SAFETY: the raw chunk pointers are owned by the pool (allocated under
+// `grow`, freed only in `Drop`) and the `UnsafeCell` packet slots are
+// accessed exclusively through the slot lifecycle protocol documented on
+// `SlotCell` — insert writes only to a slot it just claimed, release
+// moves out only on the last reference, and readers must hold a
+// reference (the same discipline the single-threaded slab required).
+unsafe impl Send for SharedPacketPool {}
+// SAFETY: see above; all shared mutation goes through atomics or locks.
+unsafe impl Sync for SharedPacketPool {}
+
+impl fmt::Debug for SharedPacketPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedPacketPool")
+            .field("live", &self.live())
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .field("ports", &self.num_ports())
+            .field("slots", &self.slot_count())
+            .finish()
+    }
+}
+
+impl Drop for SharedPacketPool {
+    fn drop(&mut self) {
+        for (k, chunk) in self.chunks.iter().enumerate() {
+            let ptr = chunk.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                let len = (1usize << CHUNK0_BITS) << k;
+                // SAFETY: the pointer came from `Box::into_raw` on a
+                // boxed slice of exactly `len` cells, and is freed only
+                // here. `Packet` has no `Drop`, so reconstructing the
+                // box (whatever the occupancy) frees everything.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)));
+                }
+            }
+        }
+    }
+}
+
+/// Decrement an occupancy counter, refusing to go below zero: a double
+/// release panics in debug builds and bumps `errors` in release builds
+/// (the §6.1 counters must never silently saturate — a dynamic threshold
+/// computed from a clamped counter admits traffic it should drop).
+fn checked_dec(counter: &AtomicUsize, errors: &AtomicU64, what: &str) {
+    if counter
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+        .is_err()
+    {
+        if cfg!(debug_assertions) {
+            panic!("pool accounting underflow: {what} decremented below zero (double release)");
+        }
+        errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl SharedPacketPool {
+    fn with_capacity_and_policy(capacity: Option<usize>, policy: AdmissionPolicy) -> Self {
+        SharedPacketPool {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            grow: Mutex::new(()),
+            next_slot: AtomicU32::new(0),
+            free_head: AtomicU64::new(FREE_END as u64),
+            live: AtomicUsize::new(0),
+            capacity,
+            policy,
+            ports: RwLock::new(Vec::new()),
+            flows: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            accounting_errors: AtomicU64::new(0),
+        }
+    }
+
     /// A pool of `capacity` packets under `policy`.
     ///
     /// # Panics
@@ -203,45 +402,139 @@ impl SharedPacketPool {
         if let AdmissionPolicy::DynamicThreshold { den, .. } = policy {
             assert!(den > 0, "alpha denominator must be positive");
         }
-        SharedPacketPool {
-            buffer: PacketBuffer::with_capacity(capacity),
-            policy,
-            ports: Vec::new(),
-            flows: HashMap::new(),
-            slot_port: Vec::new(),
-        }
+        Self::with_capacity_and_policy(Some(capacity), policy)
     }
 
     /// An unbounded pool with no per-port threshold — the sole-owner
     /// configuration `TreeBuilder::build` uses when no buffer limit is
     /// set.
     pub fn unbounded() -> Self {
-        SharedPacketPool {
-            buffer: PacketBuffer::new(),
-            policy: AdmissionPolicy::Unlimited,
-            ports: Vec::new(),
-            flows: HashMap::new(),
-            slot_port: Vec::new(),
-        }
+        Self::with_capacity_and_policy(None, AdmissionPolicy::Unlimited)
     }
 
     /// Register a new port, returning its dense index (from 0).
-    pub fn register_port(&mut self) -> usize {
-        self.ports.push(PortCounters::default());
-        self.ports.len() - 1
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already has [`MAX_PORTS`] ports; use
+    /// [`try_register_port`](Self::try_register_port) to handle the
+    /// overflow as a typed error.
+    pub fn register_port(&self) -> usize {
+        self.try_register_port()
+            .unwrap_or_else(|e| panic!("register_port: {e}"))
+    }
+
+    /// Register a new port, returning its dense index — or
+    /// [`PoolError::TooManyPorts`] when the pool is at [`MAX_PORTS`]
+    /// (port indices are stored per slot as `u32`; validation happens
+    /// here, at registration, so no later cast can truncate).
+    pub fn try_register_port(&self) -> Result<usize, PoolError> {
+        let mut ports = self.ports.write().expect("pool port table poisoned");
+        if ports.len() >= MAX_PORTS {
+            return Err(PoolError::TooManyPorts { limit: MAX_PORTS });
+        }
+        ports.push(Arc::new(PortCounters::default()));
+        Ok(ports.len() - 1)
     }
 
     /// Wrap the pool for sharing across ports.
     pub fn into_shared(self) -> SharedPool {
-        SharedPool(Rc::new(RefCell::new(self)))
+        SharedPool(Arc::new(self))
+    }
+
+    fn port_counters(&self, port: usize) -> Arc<PortCounters> {
+        Arc::clone(&self.ports.read().expect("pool port table poisoned")[port])
+    }
+
+    /// The slot for a claimed index. Callers must pass `idx <
+    /// next_slot` (handles only name claimed slots).
+    #[inline]
+    fn slot(&self, idx: u32) -> &SlotCell {
+        debug_assert!(idx < self.next_slot.load(Ordering::Acquire));
+        let (k, off) = chunk_of(idx);
+        let ptr = self.chunks[k].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null(), "claimed slot in unallocated chunk");
+        // SAFETY: chunk `k` was allocated with `64 << k` cells before any
+        // index inside it was published (see `ensure_chunk`), and chunks
+        // are never freed while the pool is alive.
+        unsafe { &*ptr.add(off) }
+    }
+
+    /// Make sure the chunk holding `idx` is allocated.
+    fn ensure_chunk(&self, idx: u32) {
+        let (k, _) = chunk_of(idx);
+        if !self.chunks[k].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let _g = self.grow.lock().expect("pool grow lock poisoned");
+        if !self.chunks[k].load(Ordering::Acquire).is_null() {
+            return; // lost the race; the winner allocated it
+        }
+        let len = (1usize << CHUNK0_BITS) << k;
+        let chunk: Box<[SlotCell]> = (0..len).map(|_| SlotCell::new_free()).collect();
+        self.chunks[k].store(Box::into_raw(chunk) as *mut SlotCell, Ordering::Release);
+    }
+
+    /// Pop a freed slot index, if any.
+    fn pop_free(&self) -> Option<u32> {
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let idx = head as u32;
+            if idx == FREE_END {
+                return None;
+            }
+            let tag = head >> 32;
+            // Reading a stale `next_free` is benign: the tagged CAS
+            // below fails if anyone else touched the head since.
+            let next = self.slot(idx).next_free.load(Ordering::Acquire);
+            let new = ((tag + 1) << 32) | next as u64;
+            match self.free_head.compare_exchange_weak(
+                head,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(idx),
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Push a freed slot index onto the free list.
+    fn push_free(&self, idx: u32) {
+        let slot = self.slot(idx);
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            slot.next_free.store(head as u32, Ordering::Release);
+            let tag = head >> 32;
+            let new = ((tag + 1) << 32) | idx as u64;
+            match self.free_head.compare_exchange_weak(
+                head,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Claim a never-used slot index, growing the slab.
+    fn fresh_slot(&self) -> u32 {
+        let idx = self.next_slot.fetch_add(1, Ordering::AcqRel);
+        assert!(idx != u32::MAX, "packet pool exceeds u32 slots");
+        self.ensure_chunk(idx);
+        idx
     }
 
     /// Would a packet for `port` be admitted right now? (The same
     /// decision [`try_insert`](Self::try_insert) makes, without counting
-    /// a reject.)
+    /// a reject. Under concurrent mutation this is advisory — another
+    /// thread may change the answer before you act on it.)
     pub fn would_admit(&self, port: usize) -> bool {
-        let live = self.buffer.live();
-        let free = match self.buffer.capacity() {
+        let live = self.live.load(Ordering::Acquire);
+        let free = match self.capacity {
             Some(cap) => {
                 if live >= cap {
                     return false;
@@ -250,95 +543,253 @@ impl SharedPacketPool {
             }
             None => usize::MAX,
         };
-        self.policy.admits(self.ports[port].occupancy, free)
+        let used = self.port_counters(port).occupancy.load(Ordering::Acquire);
+        self.policy.admits(used, free)
     }
 
     /// Insert `packet` on behalf of `port`, with one reference, returning
     /// its handle — or the packet itself, unchanged, when the global
     /// capacity or `port`'s admission threshold rejects it (the reject is
     /// tallied against the port).
-    pub fn try_insert(&mut self, port: usize, packet: Packet) -> Result<PktHandle, Packet> {
-        if !self.would_admit(port) {
-            self.ports[port].rejected += 1;
-            return Err(packet);
-        }
-        let flow = packet.flow;
-        let handle = match self.buffer.try_insert(packet) {
-            Ok(h) => h,
-            Err(packet) => {
-                // Unreachable today (`would_admit` covers the capacity
-                // gate), kept so the counters stay honest if the slab
-                // ever grows another reject reason.
-                self.ports[port].rejected += 1;
-                return Err(packet);
-            }
-        };
-        let stats = &mut self.ports[port];
-        stats.occupancy += 1;
-        stats.admitted += 1;
-        *self.flows.entry(flow).or_insert(0) += 1;
-        if handle.index() >= self.slot_port.len() {
-            self.slot_port.resize(handle.index() + 1, 0);
-        }
-        self.slot_port[handle.index()] = port as u32;
-        Ok(handle)
+    pub fn try_insert(&self, port: usize, packet: Packet) -> Result<PktHandle, Packet> {
+        let counters = self.port_counters(port);
+        self.try_insert_with(&counters, port as u32, packet)
     }
 
-    /// Borrow the packet in `handle`'s slot (panics on a stale handle,
-    /// like [`PacketBuffer::get`]).
+    /// The insert hot path, with the port's counters already resolved
+    /// (what [`PoolHandle::try_insert`] uses to skip the port-table
+    /// lock).
+    fn try_insert_with(
+        &self,
+        counters: &PortCounters,
+        port: u32,
+        packet: Packet,
+    ) -> Result<PktHandle, Packet> {
+        // Phase 1: reserve global capacity, so `live <= capacity` holds
+        // at every instant even under concurrent inserts.
+        let free = match self.capacity {
+            Some(cap) => {
+                match self
+                    .live
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |l| {
+                        if l < cap {
+                            Some(l + 1)
+                        } else {
+                            None
+                        }
+                    }) {
+                    // The §6.1 free space as of the decision instant.
+                    Ok(prev) => cap - prev,
+                    Err(_) => {
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Err(packet);
+                    }
+                }
+            }
+            None => {
+                self.live.fetch_add(1, Ordering::AcqRel);
+                usize::MAX
+            }
+        };
+        // Phase 2: the per-port threshold (§6.1), against the free space
+        // observed at reservation — exactly the sequential decision.
+        let used = counters.occupancy.load(Ordering::Acquire);
+        if !self.policy.admits(used, free) {
+            checked_dec(&self.live, &self.accounting_errors, "pool live");
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(packet);
+        }
+        // Phase 3: claim a slot and publish the packet.
+        let flow = packet.flow;
+        let idx = self.pop_free().unwrap_or_else(|| self.fresh_slot());
+        let slot = self.slot(idx);
+        debug_assert_eq!(
+            slot.gen.load(Ordering::Acquire) & 1,
+            0,
+            "claimed occupied slot"
+        );
+        debug_assert_eq!(slot.refs.load(Ordering::Acquire), 0);
+        // SAFETY: the slot was just popped off the free list (or claimed
+        // fresh), so this thread has exclusive access until the `gen`
+        // store below publishes it.
+        unsafe { (*slot.packet.get()).write(packet) };
+        slot.port.store(port, Ordering::Relaxed);
+        slot.refs.store(1, Ordering::Relaxed);
+        slot.gen.fetch_add(1, Ordering::Release); // even -> odd: occupied
+        counters.occupancy.fetch_add(1, Ordering::AcqRel);
+        counters.admitted.fetch_add(1, Ordering::Relaxed);
+        *self.flow_shard(flow).entry(flow).or_insert(0) += 1;
+        Ok(PktHandle::from_raw(idx))
+    }
+
+    fn flow_shard(&self, flow: FlowId) -> std::sync::MutexGuard<'_, HashMap<FlowId, usize>> {
+        self.flows[flow.0 as usize & (FLOW_SHARDS - 1)]
+            .lock()
+            .expect("pool flow shard poisoned")
+    }
+
+    /// Borrow the packet in `handle`'s slot (panics on a stale handle).
+    ///
+    /// The borrow is generation-checked: accessing a slot whose packet
+    /// was fully released panics. Callers must hold one of the slot's
+    /// references for the duration of the borrow (the scheduling tree's
+    /// standing discipline), which is what keeps the slot from being
+    /// freed or reused underneath the returned reference.
     pub fn get(&self, handle: PktHandle) -> &Packet {
-        self.buffer.get(handle)
+        let idx = handle.index() as u32;
+        assert!(
+            handle.index() < self.next_slot.load(Ordering::Acquire) as usize,
+            "stale packet handle {handle} (never claimed)"
+        );
+        let slot = self.slot(idx);
+        assert_eq!(
+            slot.gen.load(Ordering::Acquire) & 1,
+            1,
+            "stale packet handle {handle}"
+        );
+        // SAFETY: the slot is occupied and the caller holds a reference,
+        // so no thread can free (and therefore rewrite) it while the
+        // returned borrow lives.
+        unsafe { (*slot.packet.get()).assume_init_ref() }
     }
 
     /// Add one reference to `handle`'s slot (the §6.1 counters track
     /// *slots*, so this changes no counter).
-    pub fn retain(&mut self, handle: PktHandle) {
-        self.buffer.retain(handle);
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free.
+    pub fn retain(&self, handle: PktHandle) {
+        let slot = self.slot(handle.index() as u32);
+        assert_eq!(
+            slot.gen.load(Ordering::Acquire) & 1,
+            1,
+            "retain of stale packet handle {handle}"
+        );
+        slot.refs.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Drop one reference to `handle`'s slot. When it was the last, the
     /// packet moves out, the slot frees, and the owning port's and flow's
     /// occupancy counters are decremented — in O(1).
-    pub fn release(&mut self, handle: PktHandle) -> Option<Packet> {
-        let port = self.slot_port[handle.index()] as usize;
-        let packet = self.buffer.release(handle)?;
-        self.ports[port].occupancy -= 1;
-        if let Some(c) = self.flows.get_mut(&packet.flow) {
-            *c -= 1;
-            if *c == 0 {
-                self.flows.remove(&packet.flow);
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already free (a stale handle), and — in
+    /// debug builds — on any accounting underflow the release would
+    /// cause; release builds tally underflows in
+    /// [`accounting_errors`](Self::accounting_errors) instead.
+    pub fn release(&self, handle: PktHandle) -> Option<Packet> {
+        let idx = handle.index() as u32;
+        let slot = self.slot(idx);
+        assert_eq!(
+            slot.gen.load(Ordering::Acquire) & 1,
+            1,
+            "release of stale packet handle {handle}"
+        );
+        // Checked decrement: a reference count already at zero means a
+        // double release raced the slot's teardown.
+        let prev = match slot
+            .refs
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| r.checked_sub(1))
+        {
+            Ok(prev) => prev,
+            Err(_) => {
+                if cfg!(debug_assertions) {
+                    panic!("double release of packet handle {handle}");
+                }
+                self.accounting_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if prev > 1 {
+            return None; // other holders remain
+        }
+        // Last reference: move the packet out, free the slot, settle the
+        // counters against the inserting port.
+        // SAFETY: we observed the count go 1 -> 0, so this thread is the
+        // sole owner of the slot until `push_free` republishes it.
+        let packet = unsafe { (*slot.packet.get()).assume_init_read() };
+        let port = slot.port.load(Ordering::Relaxed) as usize;
+        slot.gen.fetch_add(1, Ordering::Release); // odd -> even: free
+        self.push_free(idx);
+        checked_dec(&self.live, &self.accounting_errors, "pool live");
+        let counters = self.port_counters(port);
+        checked_dec(
+            &counters.occupancy,
+            &self.accounting_errors,
+            "port occupancy",
+        );
+        {
+            let mut shard = self.flow_shard(packet.flow);
+            match shard.get_mut(&packet.flow) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    if *c == 0 {
+                        shard.remove(&packet.flow);
+                    }
+                }
+                _ => {
+                    drop(shard);
+                    if cfg!(debug_assertions) {
+                        panic!("pool accounting underflow: flow occupancy (double release)");
+                    }
+                    self.accounting_errors.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         Some(packet)
     }
 
-    /// The underlying slab (occupancy, coherence checks, slot count).
-    pub fn buffer(&self) -> &PacketBuffer {
-        &self.buffer
+    /// Number of references currently held on `handle`'s slot (0 for a
+    /// free slot). For tests and diagnostics.
+    pub fn ref_count(&self, handle: PktHandle) -> usize {
+        let slot = self.slot(handle.index() as u32);
+        if slot.gen.load(Ordering::Acquire) & 1 == 0 {
+            0
+        } else {
+            slot.refs.load(Ordering::Acquire) as usize
+        }
     }
 
-    /// Pre-grow the slab for `additional` imminent inserts (see
-    /// [`PacketBuffer::reserve`]).
-    pub fn reserve(&mut self, additional: usize) {
-        self.buffer.reserve(additional);
+    /// Pre-grow the slab so the next `additional` inserts allocate no
+    /// chunks mid-burst; a no-op once the working set has warmed up
+    /// (freed slots are always reused first).
+    pub fn reserve(&self, additional: usize) {
+        let target = self.next_slot.load(Ordering::Acquire) as u64 + additional as u64;
+        if target == 0 {
+            return;
+        }
+        let last = u32::try_from(target - 1).unwrap_or(u32::MAX - 1);
+        let (k_last, _) = chunk_of(last);
+        for k in 0..=k_last {
+            // Ensure via the first index of each chunk.
+            let first = ((1u64 << CHUNK0_BITS) << k) - (1 << CHUNK0_BITS);
+            self.ensure_chunk(first as u32);
+        }
     }
 
     /// Live packets across all ports.
     pub fn live(&self) -> usize {
-        self.buffer.live()
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// True when no packet is resident.
+    pub fn is_empty(&self) -> bool {
+        self.live() == 0
     }
 
     /// The global capacity, if bounded.
     pub fn capacity(&self) -> Option<usize> {
-        self.buffer.capacity()
+        self.capacity
     }
 
     /// Unoccupied slots under the global capacity (`usize::MAX` when
     /// unbounded) — the `free_space` the dynamic threshold compares
     /// against.
     pub fn free_space(&self) -> usize {
-        match self.buffer.capacity() {
-            Some(cap) => cap.saturating_sub(self.buffer.live()),
+        match self.capacity {
+            Some(cap) => cap.saturating_sub(self.live()),
             None => usize::MAX,
         }
     }
@@ -350,53 +801,128 @@ impl SharedPacketPool {
 
     /// Number of registered ports.
     pub fn num_ports(&self) -> usize {
-        self.ports.len()
+        self.ports.read().expect("pool port table poisoned").len()
+    }
+
+    /// Total slots ever claimed (high-water mark of the working set).
+    pub fn slot_count(&self) -> usize {
+        self.next_slot.load(Ordering::Acquire) as usize
     }
 
     /// Live slots currently attributed to `port`.
     pub fn port_occupancy(&self, port: usize) -> usize {
-        self.ports[port].occupancy
+        self.port_counters(port).occupancy.load(Ordering::Acquire)
     }
 
     /// Packets ever admitted for `port`.
     pub fn port_admitted(&self, port: usize) -> u64 {
-        self.ports[port].admitted
+        self.port_counters(port).admitted.load(Ordering::Relaxed)
     }
 
     /// Packets ever rejected for `port` (threshold or capacity).
     pub fn port_rejected(&self, port: usize) -> u64 {
-        self.ports[port].rejected
+        self.port_counters(port).rejected.load(Ordering::Relaxed)
     }
 
     /// Live slots currently holding packets of `flow`.
     pub fn flow_occupancy(&self, flow: FlowId) -> usize {
-        self.flows.get(&flow).copied().unwrap_or(0)
+        self.flow_shard(flow).get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Accounting violations detected so far (double releases and other
+    /// counter underflows). Debug builds panic at the violation site
+    /// instead, so this is only ever non-zero in release builds; a
+    /// healthy pool reports 0 forever.
+    pub fn accounting_errors(&self) -> u64 {
+        self.accounting_errors.load(Ordering::Relaxed)
     }
 
     /// Check counter/slab coherence: per-port occupancies sum to the
-    /// slab's live count, per-flow occupancies too, and the slab itself
-    /// is coherent. O(slots); for tests.
+    /// slab's live count, per-flow occupancies too, the free list visits
+    /// exactly the free slots, and no accounting errors were recorded.
+    /// O(slots); for tests, and **quiescent only** — concurrent mutation
+    /// during the walk yields false positives.
     ///
     /// # Panics
     ///
     /// Panics with a description of the first violation found.
     pub fn assert_coherent(&self) {
-        self.buffer.assert_coherent();
-        let by_port: usize = self.ports.iter().map(|p| p.occupancy).sum();
+        let claimed = self.next_slot.load(Ordering::Acquire);
+        let mut occupied = 0usize;
+        for idx in 0..claimed {
+            let slot = self.slot(idx);
+            if slot.gen.load(Ordering::Acquire) & 1 == 1 {
+                occupied += 1;
+                assert!(
+                    slot.refs.load(Ordering::Acquire) > 0,
+                    "occupied slot {idx} has zero references"
+                );
+                assert!(
+                    (slot.port.load(Ordering::Relaxed) as usize) < self.num_ports().max(1),
+                    "occupied slot {idx} attributed to unregistered port"
+                );
+            } else {
+                assert_eq!(
+                    slot.refs.load(Ordering::Acquire),
+                    0,
+                    "free slot {idx} holds references"
+                );
+            }
+        }
+        assert_eq!(self.live(), occupied, "live counter diverged from slots");
+        // Walk the free list: it must visit every free slot exactly once.
+        let mut seen = vec![false; claimed as usize];
+        let mut cursor = self.free_head.load(Ordering::Acquire) as u32;
+        let mut free_len = 0usize;
+        while cursor != FREE_END {
+            let idx = cursor as usize;
+            assert!(idx < claimed as usize, "free list points out of range");
+            assert!(!seen[idx], "free list cycles through slot {idx}");
+            seen[idx] = true;
+            free_len += 1;
+            let slot = self.slot(cursor);
+            assert_eq!(
+                slot.gen.load(Ordering::Acquire) & 1,
+                0,
+                "free list visits occupied slot {idx}"
+            );
+            cursor = slot.next_free.load(Ordering::Acquire);
+        }
+        assert_eq!(
+            free_len + occupied,
+            claimed as usize,
+            "free list misses some free slots"
+        );
+        let by_port: usize = {
+            let ports = self.ports.read().expect("pool port table poisoned");
+            ports
+                .iter()
+                .map(|p| p.occupancy.load(Ordering::Acquire))
+                .sum()
+        };
         assert_eq!(
             by_port,
-            self.buffer.live(),
+            self.live(),
             "per-port occupancies diverged from the slab"
         );
-        let by_flow: usize = self.flows.values().sum();
+        let mut by_flow = 0usize;
+        for shard in &self.flows {
+            let shard = shard.lock().expect("pool flow shard poisoned");
+            assert!(
+                !shard.values().any(|&c| c == 0),
+                "zero-count flow entry leaked"
+            );
+            by_flow += shard.values().sum::<usize>();
+        }
         assert_eq!(
             by_flow,
-            self.buffer.live(),
+            self.live(),
             "per-flow occupancies diverged from the slab"
         );
-        assert!(
-            !self.flows.values().any(|&c| c == 0),
-            "zero-count flow entry leaked"
+        assert_eq!(
+            self.accounting_errors(),
+            0,
+            "pool recorded accounting errors"
         );
     }
 }
@@ -415,42 +941,51 @@ impl SharedPacketPool {
 /// assert_eq!(pool.stats().capacity, Some(8));
 /// ```
 #[derive(Debug, Clone)]
-pub struct SharedPool(Rc<RefCell<SharedPacketPool>>);
+pub struct SharedPool(Arc<SharedPacketPool>);
 
 impl SharedPool {
     /// Register a new port and return its handle.
-    pub fn register_port(&self) -> PoolHandle {
-        let port = self.0.borrow_mut().register_port() as u32;
-        PoolHandle {
-            pool: Rc::clone(&self.0),
-            port,
-        }
-    }
-
-    /// Borrow the pool for inspection (occupancies, coherence checks).
     ///
     /// # Panics
     ///
-    /// Panics if a pool operation is in flight on another borrow — only
-    /// possible by holding the returned guard across calls into a tree
-    /// that shares this pool.
-    pub fn borrow(&self) -> Ref<'_, SharedPacketPool> {
-        self.0.borrow()
+    /// Panics past [`MAX_PORTS`]; see
+    /// [`try_register_port`](Self::try_register_port).
+    pub fn register_port(&self) -> PoolHandle {
+        self.try_register_port()
+            .unwrap_or_else(|e| panic!("register_port: {e}"))
+    }
+
+    /// Register a new port and return its handle, or a typed error when
+    /// the pool is at [`MAX_PORTS`].
+    pub fn try_register_port(&self) -> Result<PoolHandle, PoolError> {
+        let port = self.0.try_register_port()? as u32;
+        Ok(PoolHandle {
+            counters: self.0.port_counters(port as usize),
+            pool: Arc::clone(&self.0),
+            port,
+        })
+    }
+
+    /// Access the pool for inspection (occupancies, coherence checks).
+    /// Kept under the historical name from the `RefCell` era; the
+    /// returned reference is a plain borrow — nothing can panic.
+    #[allow(clippy::should_implement_trait)] // historical API name, not the Borrow trait
+    pub fn borrow(&self) -> &SharedPacketPool {
+        &self.0
     }
 
     /// A copyable snapshot of the pool-wide and per-port counters.
     pub fn stats(&self) -> PoolStats {
-        let pool = self.0.borrow();
+        let ports = self.0.ports.read().expect("pool port table poisoned");
         PoolStats {
-            live: pool.live(),
-            capacity: pool.capacity(),
-            ports: pool
-                .ports
+            live: self.0.live(),
+            capacity: self.0.capacity(),
+            ports: ports
                 .iter()
                 .map(|p| PortPoolStats {
-                    occupancy: p.occupancy,
-                    admitted: p.admitted,
-                    rejected: p.rejected,
+                    occupancy: p.occupancy.load(Ordering::Acquire),
+                    admitted: p.admitted.load(Ordering::Relaxed),
+                    rejected: p.rejected.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -461,18 +996,24 @@ impl SharedPool {
 /// `ScheduleTree` holds in place of a private slab.
 ///
 /// All slab traffic flows through the handle, which supplies the port
-/// identity for the §6.1 counters. Handles may be cloned (e.g. to probe
-/// occupancy from outside the tree); the clone refers to the same port.
+/// identity for the §6.1 counters (and caches the port's counter block,
+/// so the hot path never touches the port-table lock). Handles may be
+/// cloned (e.g. to probe occupancy from outside the tree); the clone
+/// refers to the same port. Handles are `Send` — a tree and its handle
+/// can migrate to a worker thread together.
 #[derive(Debug, Clone)]
 pub struct PoolHandle {
-    pool: Rc<RefCell<SharedPacketPool>>,
+    pool: Arc<SharedPacketPool>,
+    /// This port's counter block (the same `Arc` the pool's table
+    /// holds).
+    counters: Arc<PortCounters>,
     port: u32,
 }
 
 impl PoolHandle {
     /// A handle to a fresh single-port pool — the private-slab
     /// configuration: `capacity` is the only admission gate, exactly like
-    /// the per-tree `PacketBuffer` this subsystem replaced.
+    /// the per-tree slab it replaced.
     pub fn sole_owner(capacity: Option<usize>) -> PoolHandle {
         let pool = match capacity {
             Some(cap) => SharedPacketPool::new(cap, AdmissionPolicy::Unlimited),
@@ -488,56 +1029,71 @@ impl PoolHandle {
 
     /// The shared pool this handle belongs to (for fabric-level stats).
     pub fn shared_pool(&self) -> SharedPool {
-        SharedPool(Rc::clone(&self.pool))
+        SharedPool(Arc::clone(&self.pool))
+    }
+
+    /// The pool itself (slab occupancy, coherence checks, counters).
+    pub fn pool(&self) -> &SharedPacketPool {
+        &self.pool
     }
 
     /// Insert `packet` for this port (see
     /// [`SharedPacketPool::try_insert`]).
     pub fn try_insert(&self, packet: Packet) -> Result<PktHandle, Packet> {
-        self.pool.borrow_mut().try_insert(self.port(), packet)
+        self.pool.try_insert_with(&self.counters, self.port, packet)
     }
 
     /// Would a packet for this port be admitted right now?
     pub fn would_admit(&self) -> bool {
-        self.pool.borrow().would_admit(self.port())
+        let live = self.pool.live.load(Ordering::Acquire);
+        let free = match self.pool.capacity {
+            Some(cap) => {
+                if live >= cap {
+                    return false;
+                }
+                cap - live
+            }
+            None => usize::MAX,
+        };
+        let used = self.counters.occupancy.load(Ordering::Acquire);
+        self.pool.policy.admits(used, free)
+    }
+
+    /// Borrow the packet in `handle`'s slot (generation-checked; see
+    /// [`SharedPacketPool::get`]).
+    pub fn get(&self, handle: PktHandle) -> &Packet {
+        self.pool.get(handle)
     }
 
     /// Add one reference to `handle`'s slot.
     pub fn retain(&self, handle: PktHandle) {
-        self.pool.borrow_mut().retain(handle);
+        self.pool.retain(handle);
     }
 
     /// Drop one reference to `handle`'s slot; the last release moves the
     /// packet out and settles the counters.
     pub fn release(&self, handle: PktHandle) -> Option<Packet> {
-        self.pool.borrow_mut().release(handle)
-    }
-
-    /// Borrow the underlying slab (packet reads via
-    /// [`PacketBuffer::get`], coherence checks). The guard must be
-    /// dropped before the next mutating pool call.
-    pub fn buffer(&self) -> Ref<'_, PacketBuffer> {
-        Ref::map(self.pool.borrow(), |p| p.buffer())
+        self.pool.release(handle)
     }
 
     /// Pre-grow the slab for `additional` imminent inserts.
     pub fn reserve(&self, additional: usize) {
-        self.pool.borrow_mut().reserve(additional);
+        self.pool.reserve(additional);
     }
 
     /// Live packets across the whole pool (all ports).
     pub fn pool_live(&self) -> usize {
-        self.pool.borrow().live()
+        self.pool.live()
     }
 
     /// Live slots currently attributed to this port.
     pub fn occupancy(&self) -> usize {
-        self.pool.borrow().port_occupancy(self.port())
+        self.counters.occupancy.load(Ordering::Acquire)
     }
 
     /// Packets ever rejected for this port.
     pub fn rejected(&self) -> u64 {
-        self.pool.borrow().port_rejected(self.port())
+        self.counters.rejected.load(Ordering::Relaxed)
     }
 }
 
@@ -552,6 +1108,13 @@ impl PoolHandle {
 /// wraps around any port scheduler (the sim module re-exports it from
 /// here). The slab-owning [`SharedPacketPool`] applies the same
 /// [`Threshold`] arithmetic per port.
+///
+/// Like the pool, its accounting is **checked**: a dequeue that would
+/// drive a counter below zero (a double dequeue, or a dequeue of a
+/// packet that was never admitted) panics in debug builds and bumps
+/// [`accounting_errors`](Self::accounting_errors) in release builds —
+/// the old behaviour of silently saturating at zero masked exactly the
+/// bugs that corrupt dynamic-threshold decisions.
 #[derive(Debug)]
 pub struct SharedBuffer {
     capacity: usize,
@@ -559,6 +1122,7 @@ pub struct SharedBuffer {
     per_flow: HashMap<FlowId, usize>,
     threshold: Threshold,
     drops: u64,
+    accounting_errors: u64,
 }
 
 impl SharedBuffer {
@@ -578,6 +1142,7 @@ impl SharedBuffer {
             per_flow: HashMap::new(),
             threshold,
             drops: 0,
+            accounting_errors: 0,
         }
     }
 
@@ -596,14 +1161,35 @@ impl SharedBuffer {
         *self.per_flow.entry(flow).or_insert(0) += 1;
     }
 
+    fn accounting_error(&mut self, what: &str) {
+        if cfg!(debug_assertions) {
+            panic!("shared-buffer accounting underflow: {what} (double dequeue)");
+        }
+        self.accounting_errors += 1;
+    }
+
     /// Record a departure.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the buffer (or the flow) has no
+    /// recorded occupancy to release — a double dequeue. Release builds
+    /// bump [`accounting_errors`](Self::accounting_errors) instead of
+    /// silently clamping at zero.
     pub fn on_dequeue(&mut self, flow: FlowId) {
-        self.occupancy = self.occupancy.saturating_sub(1);
-        if let Some(c) = self.per_flow.get_mut(&flow) {
-            *c = c.saturating_sub(1);
-            if *c == 0 {
-                self.per_flow.remove(&flow);
+        if self.occupancy == 0 {
+            self.accounting_error("buffer occupancy below zero");
+        } else {
+            self.occupancy -= 1;
+        }
+        match self.per_flow.get_mut(&flow) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.per_flow.remove(&flow);
+                }
             }
+            _ => self.accounting_error("flow occupancy below zero"),
         }
     }
 
@@ -625,6 +1211,12 @@ impl SharedBuffer {
     /// Admission-control drops so far.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Accounting violations detected so far (release builds only; debug
+    /// builds panic at the violation site). A healthy buffer reports 0.
+    pub fn accounting_errors(&self) -> u64 {
+        self.accounting_errors
     }
 }
 
@@ -757,6 +1349,76 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_reused_after_release() {
+        let h = PoolHandle::sole_owner(None);
+        let a = h.try_insert(pkt(0, 1)).unwrap();
+        let _b = h.try_insert(pkt(1, 1)).unwrap();
+        h.release(a);
+        let c = h.try_insert(pkt(2, 1)).unwrap();
+        assert_eq!(c.index(), a.index(), "freed slot is reused first");
+        assert_eq!(h.pool().slot_count(), 2, "no growth while free slots exist");
+        h.pool().assert_coherent();
+    }
+
+    #[test]
+    fn slab_grows_across_chunk_boundaries() {
+        // Chunk 0 holds 64 slots; pushing past it exercises chunk
+        // allocation and the index → (chunk, offset) mapping.
+        let h = PoolHandle::sole_owner(None);
+        let handles: Vec<_> = (0..200)
+            .map(|i| h.try_insert(pkt(i, (i % 7) as u32)).unwrap())
+            .collect();
+        assert_eq!(h.pool_live(), 200);
+        for (i, &hd) in handles.iter().enumerate() {
+            assert_eq!(h.get(hd).id.0, i as u64);
+        }
+        h.pool().assert_coherent();
+        for hd in handles {
+            h.release(hd);
+        }
+        assert_eq!(h.pool_live(), 0);
+        h.pool().assert_coherent();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn stale_handle_panics() {
+        let h = PoolHandle::sole_owner(None);
+        let a = h.try_insert(pkt(0, 1)).unwrap();
+        h.release(a);
+        let _ = h.get(a);
+    }
+
+    #[test]
+    fn double_release_of_freed_slot_is_detected() {
+        // First release frees the slot; the second must be detected as a
+        // stale handle, not silently clamp any counter.
+        let h = PoolHandle::sole_owner(Some(4));
+        let a = h.try_insert(pkt(0, 1)).unwrap();
+        h.release(a).expect("sole reference");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.release(a)));
+        assert!(err.is_err(), "double release must not be silent");
+        assert_eq!(h.occupancy(), 0, "counters unaffected by the bad release");
+        h.pool().assert_coherent();
+    }
+
+    #[test]
+    fn port_registration_has_a_typed_overflow_error() {
+        let pool = SharedPacketPool::new(4, AdmissionPolicy::Unlimited).into_shared();
+        for _ in 0..MAX_PORTS {
+            pool.try_register_port().expect("below the limit");
+        }
+        assert_eq!(pool.borrow().num_ports(), MAX_PORTS);
+        // The boundary: one more is a typed error, not a truncated index.
+        assert_eq!(
+            pool.try_register_port().unwrap_err(),
+            PoolError::TooManyPorts { limit: MAX_PORTS }
+        );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.register_port()));
+        assert!(err.is_err(), "the panicking variant reports it too");
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_pool_rejected() {
         let _ = SharedPacketPool::new(0, AdmissionPolicy::Unlimited);
@@ -815,5 +1477,29 @@ mod tests {
         b.on_drop();
         b.on_drop();
         assert_eq!(b.drops(), 2);
+    }
+
+    /// The satellite regression: a double dequeue used to be silently
+    /// clamped by `saturating_sub`, leaving the §6.1 counters wrong but
+    /// plausible. It must now be *detected* — a panic in debug builds, a
+    /// visible `accounting_errors` bump in release builds.
+    #[test]
+    fn shared_buffer_double_dequeue_is_detected_not_clamped() {
+        let mut b = SharedBuffer::new(8, Threshold::Static(4));
+        b.on_enqueue(FlowId(1));
+        b.on_dequeue(FlowId(1));
+        if cfg!(debug_assertions) {
+            let err =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.on_dequeue(FlowId(1))));
+            assert!(err.is_err(), "debug builds panic on the double dequeue");
+        } else {
+            b.on_dequeue(FlowId(1));
+            assert_eq!(
+                b.accounting_errors(),
+                2,
+                "release builds record both underflows (buffer + flow)"
+            );
+            assert_eq!(b.occupancy(), 0, "counter did not wrap");
+        }
     }
 }

@@ -47,7 +47,13 @@ pub struct DeqCtx {
 
 /// A scheduling transaction: computes the rank for every element enqueued
 /// into one PIFO (§2.1).
-pub trait SchedulingTransaction {
+///
+/// `Send` is a supertrait so a whole `ScheduleTree` (which owns its
+/// transactions) can migrate to a worker thread for the parallel fabric
+/// drain. Transactions never run concurrently — `&mut self` still
+/// serialises them per node — so state needs no synchronisation, just no
+/// thread-pinned types (`Rc`, `Cell` of `!Send` data).
+pub trait SchedulingTransaction: Send {
     /// Compute the rank for the element described by `ctx`, updating any
     /// internal state atomically.
     fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank;
@@ -67,7 +73,9 @@ pub trait SchedulingTransaction {
 
 /// A shaping transaction: computes the wall-clock time at which the shaped
 /// element may be released to the parent node (§2.3).
-pub trait ShapingTransaction {
+///
+/// `Send` for the same reason as [`SchedulingTransaction`].
+pub trait ShapingTransaction: Send {
     /// Compute the send (release) time for the element described by `ctx`,
     /// updating internal state (e.g. token bucket level) atomically.
     fn send_time(&mut self, ctx: &EnqCtx<'_>) -> Nanos;
@@ -93,7 +101,7 @@ impl<F: FnMut(&EnqCtx<'_>) -> Rank> FnTransaction<F> {
     }
 }
 
-impl<F: FnMut(&EnqCtx<'_>) -> Rank> SchedulingTransaction for FnTransaction<F> {
+impl<F: FnMut(&EnqCtx<'_>) -> Rank + Send> SchedulingTransaction for FnTransaction<F> {
     fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
         (self.f)(ctx)
     }

@@ -15,14 +15,18 @@
 //!
 //! # Zero-copy hot path
 //!
-//! Packets live **once** in a shared [`PacketBuffer`] slab, exactly as in
-//! the paper's hardware (§4): the PIFOs circulate 8-byte [`Element`]s — a
-//! [`PktHandle`] at leaves, a [`NodeId`] reference at interior nodes —
-//! instead of full packet clones, and `dequeue` returns the packet by
+//! Packets live **once** in a shared
+//! [`SharedPacketPool`] slab, exactly as
+//! in the paper's hardware (§4): the PIFOs circulate 8-byte [`Element`]s
+//! — a [`PktHandle`] at leaves, a [`NodeId`] reference at interior nodes
+//! — instead of full packet clones, and `dequeue` returns the packet by
 //! moving it out of its slot. Suspended shaping entries hold a
 //! reference-counted handle to the same slot (the hardware equivalently
 //! carries element metadata, §4.2), so the whole enqueue→dequeue walk is
 //! allocation-free and copies each packet exactly once, on admission.
+//! Packet-field reads go straight to the slab's generation-checked slots
+//! (lock-free — no interior-mutability borrow per access), and whole
+//! trees are `Send`: a fabric can drain its ports on worker threads.
 //!
 //! Shaping releases are driven by a single tree-wide min-ordered *agenda*
 //! (`(release_time, node, seq)` heap): work-conserving trees pay an O(1)
@@ -52,15 +56,14 @@
 //!   shaped_refs_holding_packets()`, and the slab's free list is whole
 //!   again once the tree fully drains (no leaked slots).
 
-use crate::buffer::{PacketBuffer, PktHandle};
+use crate::buffer::PktHandle;
 use crate::packet::{FlowId, Packet};
 use crate::pifo::{EnumPifo, PifoBackend, PifoInspect, PifoQueue};
-use crate::pool::PoolHandle;
+use crate::pool::{PoolHandle, SharedPacketPool};
 use crate::rank::Rank;
 use crate::time::Nanos;
 use crate::transaction::{DeqCtx, EnqCtx, SchedulingTransaction, ShapingTransaction};
 use core::fmt;
-use std::cell::Ref;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -136,7 +139,7 @@ impl fmt::Display for NodeId {
 /// to a child PIFO at an interior node (Fig 2).
 ///
 /// Mirrors the hardware's small PIFO entries (§4, Fig 6): the packet
-/// itself lives in the tree's shared [`PacketBuffer`], so this is a
+/// itself lives in the tree's shared [`SharedPacketPool`], so this is a
 /// `Copy` type two words wide and PIFO pushes never move packet bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Element {
@@ -197,13 +200,14 @@ impl fmt::Display for TreeError {
 impl std::error::Error for TreeError {}
 
 /// A function mapping a packet to the flow it belongs to at a leaf node.
-/// Defaults to `packet.flow` when not overridden.
-pub type FlowFn = Box<dyn Fn(&Packet) -> FlowId>;
+/// Defaults to `packet.flow` when not overridden. `Send` so trees can
+/// migrate to worker threads (see `pifo-sim`'s parallel fabric drain).
+pub type FlowFn = Box<dyn Fn(&Packet) -> FlowId + Send>;
 
 /// A function mapping a packet to the leaf node that should buffer it —
 /// the composition of all packet predicates down one root-to-leaf path
-/// (Fig 3b's `p.class == Left` etc.).
-pub type Classifier = Box<dyn Fn(&Packet) -> NodeId>;
+/// (Fig 3b's `p.class == Left` etc.). `Send` like [`FlowFn`].
+pub type Classifier = Box<dyn Fn(&Packet) -> NodeId + Send>;
 
 /// A node as accumulated by the builder: no queues yet — the backend
 /// choice is resolved when [`TreeBuilder::build`] instantiates them.
@@ -294,7 +298,7 @@ impl TreeBuilder {
     }
 
     /// Limit the number of packets resident in the tree's shared
-    /// [`PacketBuffer`] slab — the model of §5.1's shared packet buffer
+    /// [`SharedPacketPool`] slab — the model of §5.1's shared packet buffer
     /// (60 K packets); beyond it, [`ScheduleTree::enqueue`] returns
     /// [`TreeError::BufferFull`].
     ///
@@ -377,7 +381,7 @@ impl TreeBuilder {
     /// resulting tree never names a concrete queue type.
     ///
     /// The tree gets a **sole-owner** packet pool: a fresh single-port
-    /// [`SharedPacketPool`](crate::pool::SharedPacketPool) whose only
+    /// [`SharedPacketPool`] whose only
     /// admission gate is the builder's [`buffer_limit`](
     /// Self::buffer_limit) — exactly the private per-tree slab semantics
     /// this constructor has always had. Use
@@ -593,15 +597,14 @@ impl ScheduleTree {
         self.nodes[node.index()].shaping_len
     }
 
-    /// Read-only view of the packet-buffer slab this tree buffers into
-    /// (occupancy, capacity, coherence checks — see [`PacketBuffer`]).
+    /// Read-only view of the packet-pool slab this tree buffers into
+    /// (occupancy, capacity, coherence checks — see [`SharedPacketPool`]).
     ///
     /// For a pooled tree this is the **shared** slab, so `live()` counts
     /// every port's packets; use [`pool_handle`](Self::pool_handle) for
-    /// this tree's own occupancy. The returned guard is a dynamic borrow
-    /// of the pool — drop it before the next tree operation.
-    pub fn packet_buffer(&self) -> Ref<'_, PacketBuffer> {
-        self.pool.buffer()
+    /// this tree's own occupancy.
+    pub fn packet_buffer(&self) -> &SharedPacketPool {
+        self.pool.pool()
     }
 
     /// This tree's port handle into its packet pool (port index,
@@ -660,8 +663,7 @@ impl ScheduleTree {
         // Leaf: the element is a handle to the buffered packet.
         {
             let node = &mut self.nodes[leaf.index()];
-            let buf = self.pool.buffer();
-            let p = buf.get(handle);
+            let p = self.pool.get(handle);
             let flow = flow_of(&node.flow_fn, p);
             let ctx = EnqCtx {
                 packet: p,
@@ -689,8 +691,7 @@ impl ScheduleTree {
             let release;
             {
                 let n = &mut self.nodes[node.index()];
-                let buf = self.pool.buffer();
-                let p = buf.get(handle);
+                let p = self.pool.get(handle);
                 let flow = flow_of(&n.flow_fn, p);
                 let ctx = EnqCtx {
                     packet: p,
@@ -732,8 +733,7 @@ impl ScheduleTree {
         };
         {
             let pnode = &mut self.nodes[parent.index()];
-            let buf = self.pool.buffer();
-            let p = buf.get(handle);
+            let p = self.pool.get(handle);
             let ctx = EnqCtx {
                 packet: p,
                 now,
@@ -798,8 +798,7 @@ impl ScheduleTree {
                 Element::Packet(h) => {
                     let flow = {
                         let n = &self.nodes[node.index()];
-                        let buf = self.pool.buffer();
-                        flow_of(&n.flow_fn, buf.get(h))
+                        flow_of(&n.flow_fn, self.pool.get(h))
                     };
                     self.nodes[node.index()]
                         .sched
@@ -814,7 +813,7 @@ impl ScheduleTree {
                         Some(p) => p,
                         None => {
                             self.dangling_shaped += 1;
-                            self.pool.buffer().get(h).clone()
+                            self.pool.get(h).clone()
                         }
                     });
                 }
@@ -845,7 +844,7 @@ impl ScheduleTree {
     /// *mid-batch* (a shaper may park an element due at `now` itself).
     ///
     /// What the batch amortizes: slab growth (one
-    /// [`PacketBuffer::reserve`] for the whole batch), and on
+    /// [`SharedPacketPool::reserve`] for the whole batch), and on
     /// **work-conserving** trees the batch is additionally *run-ranked*:
     /// consecutive arrivals classified to the same leaf (exactly what
     /// incast fan-in produces) are ranked in arrival order but pushed
@@ -935,8 +934,7 @@ impl ScheduleTree {
             // order must be arrival order — but the push is deferred.
             let rank = {
                 let node = &mut self.nodes[leaf.index()];
-                let buf = self.pool.buffer();
-                let p = buf.get(handle);
+                let p = self.pool.get(handle);
                 let flow = flow_of(&node.flow_fn, p);
                 node.sched.rank(&EnqCtx {
                     packet: p,
@@ -972,9 +970,8 @@ impl ScheduleTree {
             while let Some(parent) = self.nodes[node.index()].parent {
                 let rank = {
                     let pnode = &mut self.nodes[parent.index()];
-                    let buf = self.pool.buffer();
                     pnode.sched.rank(&EnqCtx {
-                        packet: buf.get(handle),
+                        packet: self.pool.get(handle),
                         now,
                         flow: node.as_flow(),
                     })
@@ -996,10 +993,9 @@ impl ScheduleTree {
                 let mut elems: Vec<(Rank, Element)> = Vec::with_capacity(run.len());
                 {
                     let pnode = &mut self.nodes[parent.index()];
-                    let buf = self.pool.buffer();
                     for &(_, h) in &run {
                         let ctx = EnqCtx {
-                            packet: buf.get(h),
+                            packet: self.pool.get(h),
                             now,
                             flow: node.as_flow(),
                         };
@@ -1111,8 +1107,8 @@ impl ScheduleTree {
     }
 
     /// Peek the packet that `dequeue` would return *right now*, without
-    /// mutating any state. The returned guard borrows the packet in
-    /// place in the pool's slab; drop it before the next tree operation.
+    /// mutating any state. The returned reference borrows the packet in
+    /// place in the pool's slab.
     ///
     /// **No time passes**: due-but-unreleased shaped elements are *not*
     /// released first, so with shapers `peek()` can disagree with
@@ -1120,7 +1116,7 @@ impl ScheduleTree {
     /// releases everything due at `now` before walking. Use
     /// [`peek_at`](Self::peek_at) to preview what `dequeue(now)` would
     /// return.
-    pub fn peek(&self) -> Option<Ref<'_, Packet>> {
+    pub fn peek(&self) -> Option<&Packet> {
         let mut node = self.root;
         let handle = loop {
             let (_, elem) = self.nodes[node.index()].sched_pifo.peek()?;
@@ -1129,7 +1125,7 @@ impl ScheduleTree {
                 Element::Ref(child) => node = *child,
             }
         };
-        Some(Ref::map(self.pool.buffer(), |b| b.get(handle)))
+        Some(self.pool.get(handle))
     }
 
     /// Peek the packet that [`dequeue`](Self::dequeue)`(now)` would
@@ -1137,7 +1133,7 @@ impl ScheduleTree {
     /// why this takes `&mut self`), then walks the root path without
     /// popping. The same non-decreasing time contract as
     /// `enqueue`/`dequeue` applies.
-    pub fn peek_at(&mut self, now: Nanos) -> Option<Ref<'_, Packet>> {
+    pub fn peek_at(&mut self, now: Nanos) -> Option<&Packet> {
         self.release_due(now);
         self.peek()
     }
@@ -1145,12 +1141,11 @@ impl ScheduleTree {
     /// Render the instantaneous scheduling order of a node's PIFO as a
     /// debug string, e.g. `"[L@3, R@5, L@7]"` — used by the Fig 2 tests.
     pub fn debug_pifo(&self, node: NodeId) -> String {
-        let buf = self.pool.buffer();
         let items: Vec<String> = self.nodes[node.index()]
             .sched_pifo
             .iter_in_order()
             .map(|(r, e)| match e {
-                Element::Packet(h) => format!("{}@{}", buf.get(*h).id, r),
+                Element::Packet(h) => format!("{}@{}", self.pool.get(*h).id, r),
                 Element::Ref(c) => format!("{}@{}", self.node_name(*c), r),
             })
             .collect();
@@ -1716,18 +1711,17 @@ mod tests {
     /// override and feeds `on_dequeue` exactly like the per-packet path.
     #[test]
     fn dequeue_upto_fast_path_matches_per_packet_with_flow_fn() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
-        let build = |log: Rc<RefCell<Vec<(u64, u32)>>>| {
+        let build = |log: Arc<Mutex<Vec<(u64, u32)>>>| {
             let mut b = TreeBuilder::new();
-            struct Logging(Rc<RefCell<Vec<(u64, u32)>>>);
+            struct Logging(Arc<Mutex<Vec<(u64, u32)>>>);
             impl SchedulingTransaction for Logging {
                 fn rank(&mut self, ctx: &EnqCtx<'_>) -> Rank {
                     Rank(ctx.packet.class as u64)
                 }
                 fn on_dequeue(&mut self, rank: Rank, ctx: &DeqCtx) {
-                    self.0.borrow_mut().push((rank.value(), ctx.flow.0));
+                    self.0.lock().unwrap().push((rank.value(), ctx.flow.0));
                 }
             }
             let root = b.add_root("prio", Box::new(Logging(log)));
@@ -1736,8 +1730,8 @@ mod tests {
             b.build(Box::new(move |_| root)).unwrap()
         };
 
-        let batch_log = Rc::new(RefCell::new(Vec::new()));
-        let ref_log = Rc::new(RefCell::new(Vec::new()));
+        let batch_log = Arc::new(Mutex::new(Vec::new()));
+        let ref_log = Arc::new(Mutex::new(Vec::new()));
         let mut batch_tree = build(batch_log.clone());
         let mut ref_tree = build(ref_log.clone());
         for i in 0..6u64 {
@@ -1752,8 +1746,11 @@ mod tests {
             .map(|_| ref_tree.dequeue(Nanos(10)).unwrap())
             .collect();
         assert_eq!(batched, per_packet);
-        assert_eq!(batch_log.borrow().as_slice(), ref_log.borrow().as_slice());
-        assert!(batch_log.borrow().iter().all(|&(_, f)| f == 9));
+        assert_eq!(
+            batch_log.lock().unwrap().as_slice(),
+            ref_log.lock().unwrap().as_slice()
+        );
+        assert!(batch_log.lock().unwrap().iter().all(|&(_, f)| f == 9));
         assert_eq!(batch_tree.len(), 2);
     }
 

@@ -1,0 +1,235 @@
+//! The atomic pool under real threads, and against its sequential model.
+//!
+//! Two halves:
+//!
+//! * **Threaded stress** — N threads hammer one `SharedPacketPool` with
+//!   insert/retain/release churn, including cross-thread releases
+//!   (thread A frees slots thread B inserted, the "migration" pattern a
+//!   parallel fabric drain produces). Afterwards the pool must be
+//!   exactly coherent: `live == Σ port occupancy == Σ flow occupancy`,
+//!   the free list whole, and zero `accounting_errors`. The §6.1
+//!   counters are only correct if every one of the millions of racing
+//!   updates was exact — `saturating_sub`-style clamping would pass a
+//!   `>= 0` check but fail the Σ reconciliation here.
+//! * **Model equivalence (proptest)** — `AdmissionPolicy` decisions
+//!   (including `DynamicThreshold`) are *identical* between the atomic
+//!   pool and a plain sequential counter model (the arithmetic the old
+//!   `RefCell` pool implemented) on any same-thread operation sequence:
+//!   going atomic changed the memory system, not one admission verdict.
+
+use pifo_core::pool::{AdmissionPolicy, SharedPacketPool};
+use pifo_core::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn pkt(id: u64, flow: u32) -> Packet {
+    Packet::new(id, FlowId(flow), 1_000, Nanos(id))
+}
+
+/// N threads × insert/release/migrate churn, then exact reconciliation.
+#[test]
+fn threaded_churn_keeps_accounting_exact() {
+    const THREADS: u64 = 4;
+    const OPS: u64 = 20_000;
+
+    let pool = SharedPacketPool::new(256, AdmissionPolicy::DynamicThreshold { num: 1, den: 1 })
+        .into_shared();
+    let handles: Vec<_> = (0..THREADS).map(|_| pool.register_port()).collect();
+    // The migration lane: slots inserted by one thread, freed by another.
+    let migrate: Arc<Mutex<Vec<PktHandle>>> = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|s| {
+        for (tid, port) in handles.iter().enumerate() {
+            let migrate = Arc::clone(&migrate);
+            s.spawn(move || {
+                let mut held: Vec<PktHandle> = Vec::new();
+                for i in 0..OPS {
+                    let id = tid as u64 * OPS + i;
+                    match i % 7 {
+                        // Mostly inserts; rejects are fine (tight pool).
+                        0..=3 => {
+                            if let Ok(h) = port.try_insert(pkt(id, (id % 31) as u32)) {
+                                if id % 5 == 0 {
+                                    migrate.lock().unwrap().push(h);
+                                } else {
+                                    held.push(h);
+                                }
+                            }
+                        }
+                        4 => {
+                            // Retain + double release: net one reference.
+                            if let Some(&h) = held.last() {
+                                port.retain(h);
+                                port.release(h);
+                            }
+                        }
+                        5 => {
+                            if let Some(h) = held.pop() {
+                                port.release(h);
+                            }
+                        }
+                        _ => {
+                            // Migration: free someone else's slot.
+                            let stolen = migrate.lock().unwrap().pop();
+                            if let Some(h) = stolen {
+                                port.release(h);
+                            }
+                        }
+                    }
+                }
+                // Drain what this thread still holds.
+                for h in held {
+                    port.release(h);
+                }
+            });
+        }
+    });
+    for h in migrate.lock().unwrap().drain(..) {
+        handles[0].release(h);
+    }
+
+    let p = pool.borrow();
+    assert_eq!(p.live(), 0, "every insert was matched by a release");
+    let total: usize = (0..p.num_ports()).map(|i| p.port_occupancy(i)).sum();
+    assert_eq!(total, p.live(), "live == Σ port occupancy");
+    assert_eq!(p.accounting_errors(), 0, "no silent underflows");
+    p.assert_coherent();
+    // Conservation of attempts: admitted + rejected == offered inserts.
+    let offered = THREADS * (0..OPS).filter(|i| i % 7 <= 3).count() as u64;
+    let stats = pool.stats();
+    let admitted: u64 = stats.ports.iter().map(|s| s.admitted).sum();
+    let rejected: u64 = stats.ports.iter().map(|s| s.rejected).sum();
+    assert_eq!(admitted + rejected, offered, "every attempt tallied once");
+}
+
+/// Concurrent inserts never exceed the global capacity, even at the
+/// moment of maximum contention (capacity reservation is atomic).
+#[test]
+fn capacity_is_never_exceeded_under_contention() {
+    let pool = SharedPacketPool::new(64, AdmissionPolicy::Unlimited).into_shared();
+    let ports: Vec<_> = (0..4).map(|_| pool.register_port()).collect();
+    std::thread::scope(|s| {
+        for (tid, port) in ports.iter().enumerate() {
+            s.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..10_000u64 {
+                    let live = port.pool_live();
+                    assert!(live <= 64, "live {live} exceeded capacity");
+                    if let Ok(h) = port.try_insert(pkt(tid as u64 * 10_000 + i, tid as u32)) {
+                        held.push(h);
+                    }
+                    if held.len() > 12 {
+                        port.release(held.remove(0));
+                    }
+                }
+                for h in held {
+                    port.release(h);
+                }
+            });
+        }
+    });
+    pool.borrow().assert_coherent();
+}
+
+/// The sequential reference model of the pool's admission arithmetic —
+/// exactly what the pre-atomic (`RefCell`) implementation computed.
+struct SeqModel {
+    cap: usize,
+    policy: AdmissionPolicy,
+    live: usize,
+    ports: Vec<usize>,
+}
+
+impl SeqModel {
+    fn would_admit(&self, port: usize) -> bool {
+        if self.live >= self.cap {
+            return false;
+        }
+        self.policy.admits(self.ports[port], self.cap - self.live)
+    }
+
+    fn try_insert(&mut self, port: usize) -> bool {
+        let ok = self.would_admit(port);
+        if ok {
+            self.live += 1;
+            self.ports[port] += 1;
+        }
+        ok
+    }
+
+    fn release(&mut self, port: usize) {
+        self.live -= 1;
+        self.ports[port] -= 1;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Insert(usize),
+    ReleaseOldest(usize),
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        3 => (0usize..4).prop_map(PoolOp::Insert),
+        2 => (0usize..4).prop_map(PoolOp::ReleaseOldest),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = AdmissionPolicy> {
+    prop_oneof![
+        Just(AdmissionPolicy::Unlimited),
+        (1usize..16).prop_map(|per_port| AdmissionPolicy::Static { per_port }),
+        (1usize..4, 1usize..4)
+            .prop_map(|(num, den)| AdmissionPolicy::DynamicThreshold { num, den }),
+    ]
+}
+
+proptest! {
+    /// Every admission verdict of the atomic pool equals the sequential
+    /// model's, op for op, and the counters agree after every step.
+    #[test]
+    fn atomic_pool_decisions_match_sequential_model(
+        cap in 1usize..48,
+        policy in policy_strategy(),
+        ops in proptest::collection::vec(pool_op(), 1..250),
+    ) {
+        let pool = SharedPacketPool::new(cap, policy).into_shared();
+        let ports: Vec<_> = (0..4).map(|_| pool.register_port()).collect();
+        let mut model = SeqModel { cap, policy, live: 0, ports: vec![0; 4] };
+        let mut held: Vec<Vec<PktHandle>> = vec![Vec::new(); 4];
+
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                PoolOp::Insert(port) => {
+                    let model_says = model.try_insert(port);
+                    prop_assert_eq!(
+                        ports[port].would_admit(),
+                        model_says,
+                        "would_admit diverges at op {}", i
+                    );
+                    match ports[port].try_insert(pkt(i as u64, port as u32)) {
+                        Ok(h) => {
+                            prop_assert!(model_says, "pool admitted, model rejected (op {})", i);
+                            held[port].push(h);
+                        }
+                        Err(_) => {
+                            prop_assert!(!model_says, "pool rejected, model admitted (op {})", i);
+                        }
+                    }
+                }
+                PoolOp::ReleaseOldest(port) => {
+                    if let Some(h) = (!held[port].is_empty()).then(|| held[port].remove(0)) {
+                        ports[port].release(h).expect("sole holder");
+                        model.release(port);
+                    }
+                }
+            }
+            prop_assert_eq!(pool.borrow().live(), model.live);
+            for p in 0..4 {
+                prop_assert_eq!(pool.borrow().port_occupancy(p), model.ports[p]);
+            }
+        }
+        pool.borrow().assert_coherent();
+    }
+}

@@ -387,8 +387,8 @@ proptest! {
         pkts in proptest::collection::vec((0usize..3, 0u64..40), 1..60),
     ) {
         use pifo_core::transaction::FnTransaction;
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
 
         struct Scripted { times: Vec<u64>, i: usize }
         impl ShapingTransaction for Scripted {
@@ -402,17 +402,15 @@ proptest! {
         // Root rank = insertion counter, so the departure order *is* the
         // order references reached the root, i.e. the release order.
         // Leaf rank = arrival counter, so within a leaf packets pop FIFO.
-        let counter_tx = |c: Rc<Cell<u64>>| -> Box<dyn SchedulingTransaction> {
+        let counter_tx = |c: Arc<AtomicU64>| -> Box<dyn SchedulingTransaction> {
             Box::new(FnTransaction::new("count", move |_: &EnqCtx| {
-                let v = c.get();
-                c.set(v + 1);
-                Rank(v)
+                Rank(c.fetch_add(1, Ordering::Relaxed))
             }))
         };
 
         let mut b = TreeBuilder::new();
-        let root = b.add_root("root", counter_tx(Rc::new(Cell::new(0))));
-        let leaf_count = Rc::new(Cell::new(0));
+        let root = b.add_root("root", counter_tx(Arc::new(AtomicU64::new(0))));
+        let leaf_count = Arc::new(AtomicU64::new(0));
         let leaves: Vec<NodeId> = (0..3)
             .map(|i| b.add_child(root, &format!("leaf{i}"), counter_tx(leaf_count.clone())))
             .collect();

@@ -9,8 +9,10 @@
 //! a fluid GPS reference for fairness ground truth, and the pFabric
 //! reference queue used by the §3.5 inexpressibility demonstration.
 //!
-//! Everything is seeded and single-threaded: identical inputs produce
-//! identical outputs, bit for bit.
+//! Everything is seeded and deterministic: identical inputs produce
+//! identical outputs, bit for bit — including the [`switch`] fabric's
+//! multi-core drain ([`DrainMode::Parallel`]), whose merged traces are
+//! differentially pinned against the sequential modes.
 
 #![forbid(unsafe_code)]
 #![deny(rustdoc::broken_intra_doc_links)]

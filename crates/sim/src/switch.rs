@@ -57,19 +57,51 @@
 //! share nothing), so traces are unchanged; for shared-pool fabrics it
 //! is what makes cross-port admission coupling real and deterministic:
 //! identical inputs give bit-identical traces, on every backend, in
-//! both drain modes.
+//! every drain mode.
+//!
+//! # Threading model ([`DrainMode::Parallel`])
+//!
+//! `ScheduleTree` is `Send` and the pool's accounting is atomic (see
+//! `pifo_core::pool`), so whole port state machines can migrate to
+//! worker threads. [`DrainMode::Parallel`] drains **independent** ports
+//! — private slabs, or a pool with exactly one registered port — on a
+//! worker pool: ports are claimed off a shared atomic counter (one port
+//! at a time up to 16 ports, chunks of 4 above that, so big fabrics
+//! amortize the claim and small ones still balance), and each claimed
+//! port runs its round loop to completion with the batched tree APIs.
+//! Independent ports observe nothing of each other, so each per-port
+//! trace — and therefore the merged `(time, port)`-ordered trace — is
+//! **bit-identical** to the sequential modes, regardless of worker
+//! count or claim interleaving.
+//!
+//! Ports that *share* a pool are a different machine: every admission
+//! decision reads the global occupancy that every earlier-in-time
+//! admission on any port wrote, so the decisions form one serial
+//! dependency chain through the pool — running them concurrently and
+//! committing in `(time, port)` order afterwards would require
+//! speculating admissions and rolling back occupancy, which the paper's
+//! hardware (one shared buffer, one clock domain, §5.1) never does.
+//! `Parallel` therefore detects shared-pool fabrics and executes their
+//! rounds on the caller's thread in the same global `(time, port)`
+//! order as the sequential modes — trace-identical by construction; the
+//! atomic pool still buys the lock-free packet reads on the tree hot
+//! path, and multi-threaded pool *accounting* is exercised (and
+//! sanitized) by the pool's own stress tests.
 
 use crate::port::Departure;
 use pifo_core::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps a packet to the egress port that must transmit it — the shared
 /// classification step in front of the fabric. Out-of-range ports count
 /// as misroutes (the packet is dropped and tallied in
-/// [`SwitchRun::misrouted`]).
-pub type PortClassifier = Box<dyn Fn(&Packet) -> usize>;
+/// [`SwitchRun::misrouted`]). `Send` so fabrics (which own their
+/// classifier) can cross thread boundaries.
+pub type PortClassifier = Box<dyn Fn(&Packet) -> usize + Send>;
 
 /// How a port's scheduling rounds talk to its tree (see the module docs;
-/// the two modes produce byte-identical departure traces).
+/// all modes produce byte-identical departure traces).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DrainMode {
     /// One `enqueue`/`dequeue` call per packet — the reference path.
@@ -78,14 +110,26 @@ pub enum DrainMode {
     /// `enqueue_batch` per arrival instant, `dequeue_upto` per round —
     /// the amortized path.
     Batched,
+    /// Drain independent ports concurrently on `workers` threads (the
+    /// batched APIs inside each round); shared-pool fabrics fall back to
+    /// the sequential global `(time, port)` round order on the calling
+    /// thread (see the module docs' threading model). `workers: 0`
+    /// means one worker per available CPU. Traces are bit-identical to
+    /// the sequential modes in every case.
+    Parallel {
+        /// Worker threads to drain ports on (0 = available parallelism).
+        workers: usize,
+    },
 }
 
 impl DrainMode {
-    /// Short stable label for reports (`per_packet` / `batched`).
+    /// Short stable label for reports (`per_packet` / `batched` /
+    /// `parallel`).
     pub fn label(self) -> &'static str {
         match self {
             DrainMode::PerPacket => "per_packet",
             DrainMode::Batched => "batched",
+            DrainMode::Parallel { .. } => "parallel",
         }
     }
 }
@@ -324,9 +368,10 @@ impl Switch {
     /// earliest pending round anywhere in the fabric runs next, ties
     /// broken by port index — so ports sharing a packet pool observe
     /// each other's occupancy exactly as of their own decision instants.
-    /// For private-slab ports the interleaving is unobservable.
-    /// Determinism is total — identical inputs give bit-identical
-    /// traces.
+    /// For private-slab ports the interleaving is unobservable, which is
+    /// what lets [`DrainMode::Parallel`] drain them on worker threads
+    /// (see the module docs' threading model). Determinism is total —
+    /// identical inputs give bit-identical traces, in every mode.
     ///
     /// # Panics
     ///
@@ -354,8 +399,36 @@ impl Switch {
             .map(|(arr, tree)| PortSim::new(arr, tree, self.burst))
             .collect();
 
-        // Global round interleaving: always advance the port whose next
-        // scheduling round is earliest (ties → lowest port index).
+        match mode {
+            DrainMode::Parallel { workers } if self.ports_are_independent() => {
+                self.drain_parallel(&mut sims, workers);
+            }
+            DrainMode::Parallel { .. } => {
+                // Shared-pool admission is a serial dependency chain
+                // through the pool's occupancy: commit the rounds in the
+                // sequential global order (batched tree APIs inside).
+                self.drain_global_order(&mut sims, DrainMode::Batched);
+            }
+            _ => self.drain_global_order(&mut sims, mode),
+        }
+
+        SwitchRun {
+            ports: sims.into_iter().map(|s| s.trace).collect(),
+            misrouted,
+        }
+    }
+
+    /// True when no two ports can observe each other through a shared
+    /// packet pool — every tree is the sole registered port of its pool.
+    fn ports_are_independent(&self) -> bool {
+        self.ports
+            .iter()
+            .all(|t| t.packet_buffer().num_ports() <= 1)
+    }
+
+    /// Global round interleaving: always advance the port whose next
+    /// scheduling round is earliest (ties → lowest port index).
+    fn drain_global_order(&mut self, sims: &mut [PortSim], mode: DrainMode) {
         loop {
             let mut best: Option<usize> = None;
             for (i, s) in sims.iter().enumerate() {
@@ -372,11 +445,48 @@ impl Switch {
                 mode,
             );
         }
+    }
 
-        SwitchRun {
-            ports: sims.into_iter().map(|s| s.trace).collect(),
-            misrouted,
+    /// Drain independent ports to completion on a worker pool. Workers
+    /// claim ports off a shared counter — singly up to 16 ports, in
+    /// chunks of 4 above that — and run each claimed port's round loop
+    /// with the batched tree APIs. Only sound for independent ports
+    /// (checked by the caller): nothing a port does is observable by
+    /// another, so every per-port trace is the same as sequentially.
+    fn drain_parallel(&mut self, sims: &mut [PortSim], workers: usize) {
+        let (rate_bps, horizon, burst) = (self.rate_bps, self.horizon, self.burst);
+        let n = sims.len();
+        let workers = match workers {
+            0 => std::thread::available_parallelism().map_or(1, |c| c.get()),
+            w => w,
         }
+        .min(n.max(1));
+        let chunk = if n > 16 { 4 } else { 1 };
+        let jobs: Vec<Mutex<(&mut PortSim, &mut ScheduleTree)>> = sims
+            .iter_mut()
+            .zip(self.ports.iter_mut())
+            .map(Mutex::new)
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for job in &jobs[start..n.min(start + chunk)] {
+                        // Uncontended by construction: each job index is
+                        // claimed exactly once.
+                        let mut guard = job.lock().expect("port job poisoned");
+                        let (sim, tree) = &mut *guard;
+                        while !sim.done {
+                            sim.step_round(tree, rate_bps, horizon, burst, DrainMode::Batched);
+                        }
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -446,7 +556,7 @@ impl PortSim {
                         }
                     }
                 }
-                DrainMode::Batched => {
+                DrainMode::Batched | DrainMode::Parallel { .. } => {
                     self.trace.drops += tree.enqueue_batch(self.batch.drain(..), at).len() as u64;
                 }
             }
@@ -463,7 +573,7 @@ impl PortSim {
                     }
                 }
             }
-            DrainMode::Batched => {
+            DrainMode::Batched | DrainMode::Parallel { .. } => {
                 tree.dequeue_upto(self.t, burst, &mut self.round);
             }
         }

@@ -69,7 +69,7 @@ fn mesh_order(
 /// shape and transactions.
 fn tree_order(
     build: impl FnOnce(&mut TreeBuilder) -> (NodeId, NodeId, NodeId),
-    classify: impl Fn(&Packet) -> NodeId + 'static,
+    classify: impl Fn(&Packet) -> NodeId + Send + 'static,
     packets: &[Packet],
 ) -> Vec<u64> {
     let mut b = TreeBuilder::new();
