@@ -115,8 +115,7 @@ fn assert_same_schedule(label: &str, reference: &SwitchRun, candidate: &SwitchRu
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BENCH_PARALLEL_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = pifo_bench::cli::smoke_flag("BENCH_PARALLEL_SMOKE");
 
     // Full mode: ~1.3 M packets (5 000 waves x 16 ports x 16 fan-in).
     // Smoke: ~5 K.

@@ -194,8 +194,7 @@ fn run_config(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BENCH_POOL_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = pifo_bench::cli::smoke_flag("BENCH_POOL_SMOKE");
 
     // Full mode: ~1.2 M storm packets (+ victim bursts). Smoke: ~60 K.
     let waves: u64 = if smoke { 58 } else { 1_200 };

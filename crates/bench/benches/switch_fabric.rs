@@ -258,8 +258,7 @@ fn run_drain_pair(backend: PifoBackend, occupancy: usize) -> [Record; 2] {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BENCH_SWITCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = pifo_bench::cli::smoke_flag("BENCH_SWITCH_SMOKE");
 
     let (target_pkts, port_counts, patterns): (usize, &[usize], &[&str]) = if smoke {
         (60_000, &[4], &["incast"])

@@ -176,8 +176,7 @@ fn run_one(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BENCH_TREE_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = pifo_bench::cli::smoke_flag("BENCH_TREE_SMOKE");
     let occupancies: &[usize] = if smoke {
         &[1_000, 10_000]
     } else {

@@ -1,46 +1,35 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro list                      # show all experiment ids
-//! repro <id> [<id>...]            # run selected experiments
-//! repro all                       # run everything in order
-//! repro --backend bucket <id>...  # run on a specific PIFO engine
+//! repro list                        # show all experiment ids
+//! repro <id> [<id>...]              # run selected experiments
+//! repro all                         # run everything in order
+//! repro --backend bucket <id>...    # run on a specific PIFO engine
+//! repro --backend sp-pifo:4 <id>... # … including approximate ones
 //! ```
 
+use pifo_bench::cli;
 use pifo_bench::experiments::{registry, run, set_backend};
-use pifo_core::pifo::PifoBackend;
 
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
 
-    // Extract `--backend <name>` / `--backend=<name>` before dispatching.
-    let mut backend = PifoBackend::default();
-    let mut args: Vec<String> = Vec::with_capacity(raw.len());
-    let mut it = raw.into_iter();
-    while let Some(a) = it.next() {
-        let value = if a == "--backend" {
-            Some(it.next().unwrap_or_else(|| {
-                eprintln!("repro: --backend requires a value (sorted | heap | bucket)");
-                std::process::exit(2);
-            }))
-        } else {
-            a.strip_prefix("--backend=").map(str::to_string)
-        };
-        match value {
-            Some(v) => match v.parse() {
-                Ok(b) => backend = b,
-                Err(e) => {
-                    eprintln!("repro: {e}");
-                    std::process::exit(2);
-                }
-            },
-            None => args.push(a),
+    // Extract `--backend <name>` / `--backend=<name>` before dispatching
+    // — one shared parser across every pifo-bench entry point.
+    let backend = match cli::extract_backend(&mut args) {
+        Ok(choice) => choice.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
         }
-    }
+    };
     set_backend(backend);
 
     if args.is_empty() || args[0] == "list" || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro [--backend sorted|heap|bucket] <experiment id>... | all | list\n");
+        eprintln!(
+            "usage: repro {} <experiment id>... | all | list\n",
+            cli::backend_usage()
+        );
         eprintln!("experiments:");
         for (id, desc, _) in registry() {
             eprintln!("  {id:<12} {desc}");

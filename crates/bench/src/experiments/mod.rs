@@ -3,14 +3,18 @@
 //! Experiments that build scheduling trees do so through
 //! [`tree_builder`] (or the `*_with_backend` constructors of
 //! `pifo-algos`), so the whole suite can be re-run on any PIFO queue
-//! engine: the `repro` binary's `--backend sorted|heap|bucket` flag calls
-//! [`set_backend`] before dispatching. Backend choice never changes the
-//! *results* (the engines are observationally equivalent — enforced by
-//! the differential property suites); running the suite per backend in CI
-//! catches engine regressions at experiment scale.
+//! engine: the `repro` binary's `--backend` flag (any name in
+//! [`BACKEND_NAMES`](pifo_core::pifo::BACKEND_NAMES), parsed by
+//! `pifo_bench::cli`) calls [`set_backend`] before dispatching. For the
+//! *exact* engines, backend choice never changes the results (they are
+//! observationally equivalent — enforced by the differential property
+//! suites); running the suite per backend in CI catches engine
+//! regressions at experiment scale. The approximate engines (`sp-pifo`,
+//! `rifo`, `aifo`) legally reorder departures, so their experiment
+//! output is a measurement, not a golden trace.
 
 use pifo_core::prelude::*;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
 
 pub mod fairness;
 pub mod fct;
@@ -20,24 +24,22 @@ pub mod latency;
 pub mod limits;
 pub mod synth_tables;
 
-/// Which PIFO backend experiment trees are built with (index into
-/// [`PifoBackend::ALL`]).
-static BACKEND: AtomicU8 = AtomicU8::new(0);
+/// Which PIFO backend experiment trees are built with. A `Mutex` rather
+/// than an atomic index into [`PifoBackend::ALL`]: parameterised
+/// selectors like `sp-pifo:4` are not members of the canonical array,
+/// so the value itself must be stored.
+static BACKEND: Mutex<PifoBackend> = Mutex::new(PifoBackend::SortedArray);
 
 /// Select the PIFO queue engine used by every subsequently-run
 /// experiment that builds a scheduling tree.
 pub fn set_backend(backend: PifoBackend) {
-    let idx = PifoBackend::ALL
-        .iter()
-        .position(|&b| b == backend)
-        .expect("backend registered in ALL") as u8;
-    BACKEND.store(idx, Ordering::Relaxed);
+    *BACKEND.lock().expect("backend lock poisoned") = backend;
 }
 
 /// The currently selected experiment backend (default: the reference
 /// sorted array).
 pub fn backend() -> PifoBackend {
-    PifoBackend::ALL[BACKEND.load(Ordering::Relaxed) as usize]
+    *BACKEND.lock().expect("backend lock poisoned")
 }
 
 /// A `TreeBuilder` pre-configured with the selected backend — every

@@ -11,4 +11,5 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;

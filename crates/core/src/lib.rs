@@ -20,6 +20,13 @@
 //!   calendar). [`pifo::PifoBackend`] selects one at runtime — boxed
 //!   ([`pifo::BoxedPifo`]) or statically dispatched ([`pifo::EnumPifo`]);
 //!   see the module docs for the "choosing a backend" table.
+//! * [`approx`] — deliberately inexact engines behind the same contract:
+//!   [`approx::SpPifo`] (k strict-priority FIFOs, SP-PIFO bound
+//!   adaptation), [`approx::Rifo`] (windowed min/max admission FIFO),
+//!   [`approx::Aifo`] (windowed-quantile admission FIFO).
+//! * [`metrics`] — rank-inversion scoring: [`metrics::InversionTracker`]
+//!   streams inversions/unpifoness per dequeue, and the offline helpers
+//!   diff any backend's pop trace against the exact sorted oracle.
 //! * [`packet`], [`rank`], [`time`] — the vocabulary types.
 //! * [`buffer`] — the shared packet-buffer slab (§4): packets live once,
 //!   PIFOs circulate 4-byte [`buffer::PktHandle`]s.
@@ -57,7 +64,9 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod buffer;
+pub mod metrics;
 pub mod packet;
 pub mod pifo;
 // The shared pool's lock-free slab is the one place `unsafe` is earned:
@@ -73,7 +82,9 @@ pub mod tree;
 
 /// Convenient glob-import of the types nearly every user needs.
 pub mod prelude {
+    pub use crate::approx::{Aifo, Rifo, SpPifo};
     pub use crate::buffer::{PacketBuffer, PktHandle};
+    pub use crate::metrics::{InversionStats, InversionTracker};
     pub use crate::packet::{FlowId, Packet, PacketId};
     pub use crate::pifo::{
         BoxedPifo, BucketPifo, EnumPifo, HeapPifo, PifoBackend, PifoEngine, PifoFull, PifoInspect,

@@ -38,13 +38,20 @@
 //! | [`SortedArrayPifo`] | O(n) | O(1) | Reference semantics; direct analogue of the naive hardware of §5.2. Best below ~1 K elements and for debugging. |
 //! | [`HeapPifo`] | O(log n) | O(log n) | Binary heap with explicit sequence numbers for FIFO ties. Solid general-purpose software choice. |
 //! | [`BucketPifo`] | O(1)* | O(1)* | Eiffel-style FFS bucket calendar (integer-rank buckets, two-level find-first-set bitmap, overflow heap). Fastest at Trident-scale occupancies when ranks spread across the bucket window; *amortised, degrades gracefully toward the heap when they do not. |
+//! | [`SpPifo`](crate::approx::SpPifo) | O(k) | O(k) | **Approximate.** k strict-priority FIFOs with SP-PIFO push-up/push-down bound adaptation; exact between rank bands, FIFO within one. |
+//! | [`Rifo`](crate::approx::Rifo) | O(1) | O(1) | **Approximate.** Single FIFO; rank-awareness only at admission (windowed min/max relative-rank gate when bounded). |
+//! | [`Aifo`](crate::approx::Aifo) | O(W) | O(1) | **Approximate.** Single FIFO with windowed-quantile admission against a small sliding rank sample. |
 //!
-//! All three are **exactly** equivalent observationally — same dequeue
-//! order, same FIFO tie-breaks, same admission decisions — which the
-//! cross-backend differential property suite in `tests/proptests.rs`
-//! enforces. `BucketPifo` is exact (not approximate like Eiffel's
-//! gradient buckets) because ranks are integers and each bucket keeps its
-//! few residents sorted.
+//! The first three — [`PifoBackend::EXACT`] — are **exactly** equivalent
+//! observationally: same dequeue order, same FIFO tie-breaks, same
+//! admission decisions, which the cross-backend differential property
+//! suite in `tests/proptests.rs` enforces. `BucketPifo` is exact (not
+//! approximate like Eiffel's gradient buckets) because ranks are
+//! integers and each bucket keeps its few residents sorted. The last
+//! three — [`PifoBackend::APPROX`] — deliberately relax the sorted-pop
+//! invariant for cheaper operations; how far a run strayed from the
+//! ideal schedule is measured, not guessed (see the
+//! [`approx`](crate::approx) and [`metrics`](crate::metrics) modules).
 
 use crate::rank::Rank;
 use core::fmt;
@@ -209,7 +216,8 @@ pub type BoxedPifo<T> = Box<dyn PifoEngine<T>>;
 // ---------------------------------------------------------------------------
 
 /// Selects which queue engine backs a PIFO (see the module docs for the
-/// comparison table). Parsed from `sorted` / `heap` / `bucket` on CLIs.
+/// comparison table). Parsed from `sorted` / `heap` / `bucket` /
+/// `sp-pifo[:k]` / `rifo` / `aifo` on CLIs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PifoBackend {
     /// [`SortedArrayPifo`] — the O(n)-insert reference.
@@ -219,24 +227,76 @@ pub enum PifoBackend {
     Heap,
     /// [`BucketPifo`] — FFS bucket calendar, O(1) amortised.
     Bucket,
+    /// [`SpPifo`](crate::approx::SpPifo) — **approximate**: k
+    /// strict-priority FIFOs with adaptive bounds.
+    SpPifo {
+        /// Number of strict-priority queues (the `k` in `sp-pifo:k`).
+        queues: u8,
+    },
+    /// [`Rifo`](crate::approx::Rifo) — **approximate**: single FIFO with
+    /// windowed min/max rank admission.
+    Rifo,
+    /// [`Aifo`](crate::approx::Aifo) — **approximate**: single FIFO with
+    /// windowed-quantile rank admission.
+    Aifo,
 }
 
 impl PifoBackend {
-    /// Every backend, in reference-first order (useful for differential
-    /// tests and bench sweeps).
-    pub const ALL: [PifoBackend; 3] = [
+    /// The exact backends, in reference-first order — observationally
+    /// equivalent to each other, so differential suites that compare
+    /// dequeue traces *across* backends sweep this set.
+    pub const EXACT: [PifoBackend; 3] = [
         PifoBackend::SortedArray,
         PifoBackend::Heap,
         PifoBackend::Bucket,
     ];
 
-    /// Short stable name (`sorted` / `heap` / `bucket`), the inverse of
-    /// [`FromStr`].
+    /// The approximate backends (default parameterisations) — each
+    /// relaxes the sorted-pop invariant; see [`crate::approx`].
+    pub const APPROX: [PifoBackend; 3] = [
+        PifoBackend::SpPifo {
+            queues: crate::approx::DEFAULT_SP_PIFO_QUEUES,
+        },
+        PifoBackend::Rifo,
+        PifoBackend::Aifo,
+    ];
+
+    /// Every backend, exact trio first (useful for bench sweeps and for
+    /// properties that hold per-backend, like batch-equals-sequential).
+    /// Cross-backend trace comparisons should use [`EXACT`](Self::EXACT).
+    pub const ALL: [PifoBackend; 6] = [
+        PifoBackend::SortedArray,
+        PifoBackend::Heap,
+        PifoBackend::Bucket,
+        PifoBackend::SpPifo {
+            queues: crate::approx::DEFAULT_SP_PIFO_QUEUES,
+        },
+        PifoBackend::Rifo,
+        PifoBackend::Aifo,
+    ];
+
+    /// True for backends that honour the full PIFO contract (sorted
+    /// pops); false for the deliberately inexact family.
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            PifoBackend::SortedArray | PifoBackend::Heap | PifoBackend::Bucket
+        )
+    }
+
+    /// Short stable family name (`sorted` / `heap` / `bucket` /
+    /// `sp-pifo` / `rifo` / `aifo`). Unlike [`Display`](std::fmt::Display),
+    /// the label drops parameters (`SpPifo { queues: 4 }` and
+    /// `{ queues: 8 }` share the `sp-pifo` label); `to_string()` is the
+    /// lossless inverse of [`FromStr`].
     pub fn label(self) -> &'static str {
         match self {
             PifoBackend::SortedArray => "sorted",
             PifoBackend::Heap => "heap",
             PifoBackend::Bucket => "bucket",
+            PifoBackend::SpPifo { .. } => "sp-pifo",
+            PifoBackend::Rifo => "rifo",
+            PifoBackend::Aifo => "aifo",
         }
     }
 
@@ -246,6 +306,9 @@ impl PifoBackend {
             PifoBackend::SortedArray => Box::new(SortedArrayPifo::new()),
             PifoBackend::Heap => Box::new(HeapPifo::new()),
             PifoBackend::Bucket => Box::new(BucketPifo::new()),
+            PifoBackend::SpPifo { queues } => Box::new(crate::approx::SpPifo::new(queues as usize)),
+            PifoBackend::Rifo => Box::new(crate::approx::Rifo::new()),
+            PifoBackend::Aifo => Box::new(crate::approx::Aifo::new()),
         }
     }
 
@@ -256,6 +319,12 @@ impl PifoBackend {
             PifoBackend::SortedArray => Box::new(SortedArrayPifo::with_capacity(capacity)),
             PifoBackend::Heap => Box::new(HeapPifo::with_capacity(capacity)),
             PifoBackend::Bucket => Box::new(BucketPifo::with_capacity(capacity)),
+            PifoBackend::SpPifo { queues } => Box::new(crate::approx::SpPifo::with_capacity(
+                queues as usize,
+                capacity,
+            )),
+            PifoBackend::Rifo => Box::new(crate::approx::Rifo::with_capacity(capacity)),
+            PifoBackend::Aifo => Box::new(crate::approx::Aifo::with_capacity(capacity)),
         }
     }
 
@@ -283,6 +352,11 @@ impl PifoBackend {
             PifoBackend::SortedArray => EnumPifo::SortedArray(SortedArrayPifo::new()),
             PifoBackend::Heap => EnumPifo::Heap(HeapPifo::new()),
             PifoBackend::Bucket => EnumPifo::Bucket(BucketPifo::new()),
+            PifoBackend::SpPifo { queues } => {
+                EnumPifo::SpPifo(crate::approx::SpPifo::new(queues as usize))
+            }
+            PifoBackend::Rifo => EnumPifo::Rifo(crate::approx::Rifo::new()),
+            PifoBackend::Aifo => EnumPifo::Aifo(crate::approx::Aifo::new()),
         }
     }
 
@@ -294,6 +368,11 @@ impl PifoBackend {
             }
             PifoBackend::Heap => EnumPifo::Heap(HeapPifo::with_capacity(capacity)),
             PifoBackend::Bucket => EnumPifo::Bucket(BucketPifo::with_capacity(capacity)),
+            PifoBackend::SpPifo { queues } => EnumPifo::SpPifo(
+                crate::approx::SpPifo::with_capacity(queues as usize, capacity),
+            ),
+            PifoBackend::Rifo => EnumPifo::Rifo(crate::approx::Rifo::with_capacity(capacity)),
+            PifoBackend::Aifo => EnumPifo::Aifo(crate::approx::Aifo::with_capacity(capacity)),
         }
     }
 }
@@ -318,6 +397,12 @@ pub enum EnumPifo<T> {
     Heap(HeapPifo<T>),
     /// [`BucketPifo`] — FFS bucket calendar, O(1) amortised.
     Bucket(BucketPifo<T>),
+    /// [`SpPifo`](crate::approx::SpPifo) — approximate k-queue SP-PIFO.
+    SpPifo(crate::approx::SpPifo<T>),
+    /// [`Rifo`](crate::approx::Rifo) — approximate windowed-admission FIFO.
+    Rifo(crate::approx::Rifo<T>),
+    /// [`Aifo`](crate::approx::Aifo) — approximate quantile-admission FIFO.
+    Aifo(crate::approx::Aifo<T>),
 }
 
 /// Delegate one method to whichever engine is inhabited.
@@ -327,6 +412,9 @@ macro_rules! enum_pifo_delegate {
             EnumPifo::SortedArray($q) => $body,
             EnumPifo::Heap($q) => $body,
             EnumPifo::Bucket($q) => $body,
+            EnumPifo::SpPifo($q) => $body,
+            EnumPifo::Rifo($q) => $body,
+            EnumPifo::Aifo($q) => $body,
         }
     };
 }
@@ -338,6 +426,11 @@ impl<T> EnumPifo<T> {
             EnumPifo::SortedArray(_) => PifoBackend::SortedArray,
             EnumPifo::Heap(_) => PifoBackend::Heap,
             EnumPifo::Bucket(_) => PifoBackend::Bucket,
+            EnumPifo::SpPifo(q) => PifoBackend::SpPifo {
+                queues: u8::try_from(q.num_queues()).unwrap_or(u8::MAX),
+            },
+            EnumPifo::Rifo(_) => PifoBackend::Rifo,
+            EnumPifo::Aifo(_) => PifoBackend::Aifo,
         }
     }
 }
@@ -396,20 +489,48 @@ impl<T> PifoInspect<T> for EnumPifo<T> {
 
 impl fmt::Display for PifoBackend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
+        match self {
+            // The parameter rides along so Display/FromStr round-trip
+            // losslessly: `sp-pifo:4` parses back to 4 queues.
+            PifoBackend::SpPifo { queues } => write!(f, "sp-pifo:{queues}"),
+            other => f.write_str(other.label()),
+        }
     }
 }
+
+/// The selector names [`FromStr`] accepts, for CLI usage strings and
+/// parse errors. `sp-pifo` takes an optional `:k` queue count
+/// (1–255, default 8).
+pub const BACKEND_NAMES: &str = "sorted | heap | bucket | sp-pifo[:k] | rifo | aifo";
 
 impl FromStr for PifoBackend {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        let lower = s.to_ascii_lowercase();
+        if let Some(k) = ["sp-pifo", "sp_pifo", "sppifo"].iter().find_map(|fam| {
+            lower
+                .strip_prefix(fam)
+                .and_then(|rest| rest.strip_prefix(':').or(rest.is_empty().then_some("")))
+        }) {
+            let queues = if k.is_empty() {
+                crate::approx::DEFAULT_SP_PIFO_QUEUES
+            } else {
+                k.parse::<u8>()
+                    .ok()
+                    .filter(|&q| q >= 1)
+                    .ok_or_else(|| format!("invalid sp-pifo queue count '{k}' (expected 1-255)"))?
+            };
+            return Ok(PifoBackend::SpPifo { queues });
+        }
+        match lower.as_str() {
             "sorted" | "sorted-array" | "sorted_array" | "array" => Ok(PifoBackend::SortedArray),
             "heap" => Ok(PifoBackend::Heap),
             "bucket" | "calendar" | "ffs" => Ok(PifoBackend::Bucket),
+            "rifo" => Ok(PifoBackend::Rifo),
+            "aifo" => Ok(PifoBackend::Aifo),
             other => Err(format!(
-                "unknown PIFO backend '{other}' (expected sorted | heap | bucket)"
+                "unknown PIFO backend '{other}' (expected {BACKEND_NAMES})"
             )),
         }
     }
@@ -1248,14 +1369,29 @@ mod tests {
     #[test]
     fn backend_labels_round_trip() {
         for backend in PifoBackend::ALL {
+            // Display is the lossless inverse of FromStr; the label drops
+            // parameters but still parses to the default parameterisation.
+            assert_eq!(backend.to_string().parse::<PifoBackend>().unwrap(), backend);
             assert_eq!(backend.label().parse::<PifoBackend>().unwrap(), backend);
+        }
+        for backend in PifoBackend::EXACT {
             assert_eq!(backend.to_string(), backend.label());
         }
         assert_eq!(
             "sorted-array".parse::<PifoBackend>(),
             Ok(PifoBackend::SortedArray)
         );
-        assert!("mystery".parse::<PifoBackend>().is_err());
+        assert_eq!(
+            "sp-pifo:4".parse::<PifoBackend>(),
+            Ok(PifoBackend::SpPifo { queues: 4 })
+        );
+        assert_eq!(PifoBackend::SpPifo { queues: 4 }.to_string(), "sp-pifo:4");
+        assert!("sp-pifo:0".parse::<PifoBackend>().is_err());
+        assert!("sp-pifo:999".parse::<PifoBackend>().is_err());
+        let err = "mystery".parse::<PifoBackend>().unwrap_err();
+        for name in ["sorted", "heap", "bucket", "sp-pifo", "rifo", "aifo"] {
+            assert!(err.contains(name), "parse error must list '{name}': {err}");
+        }
     }
 
     /// The statically-dispatched enum and the boxed trait object are the
@@ -1296,7 +1432,13 @@ mod tests {
                     "{backend} admission diverges"
                 );
             }
-            assert_eq!(e.len(), 2, "{backend}");
+            assert_eq!(e.len(), b.len(), "{backend}");
+            if backend.is_exact() {
+                // Exact backends admit first-come: exactly the capacity.
+                // Approximate gates may refuse earlier; only the
+                // enum-matches-boxed property is universal.
+                assert_eq!(e.len(), 2, "{backend}");
+            }
         }
     }
 
@@ -1319,10 +1461,12 @@ mod tests {
 
     /// A batch that straddles the capacity bound admits exactly the
     /// prefix that fits and reports every rejected element —
-    /// field-for-field unchanged, in input order — on every backend.
+    /// field-for-field unchanged, in input order — on every exact
+    /// backend. (Approximate gates legally refuse different elements;
+    /// their PifoFull round-trip is pinned by the approx property suite.)
     #[test]
     fn push_batch_straddling_capacity_reports_exact_rejects() {
-        for backend in PifoBackend::ALL {
+        for backend in PifoBackend::EXACT {
             let mut q: BoxedPifo<(u64, &str)> = backend.make_bounded(3);
             q.push(Rank(5), (5, "resident"));
             // 4 more into 2 remaining slots: the last two must bounce,
@@ -1392,10 +1536,11 @@ mod tests {
     }
 
     /// Mixing batched and per-element calls keeps one coherent FIFO
-    /// sequence: a batch pushed after singles ties behind them.
+    /// sequence: a batch pushed after singles ties behind them. The
+    /// expected trace is rank-sorted, so this sweeps the exact trio.
     #[test]
     fn batch_and_single_ops_interleave_coherently() {
-        for backend in PifoBackend::ALL {
+        for backend in PifoBackend::EXACT {
             let mut q: BoxedPifo<u32> = backend.make();
             q.push(Rank(5), 0);
             assert!(q.push_batch(vec![(Rank(5), 1), (Rank(2), 2)]).is_empty());

@@ -57,6 +57,7 @@
 //!   again once the tree fully drains (no leaked slots).
 
 use crate::buffer::PktHandle;
+use crate::metrics::{InversionStats, InversionTracker};
 use crate::packet::{FlowId, Packet};
 use crate::pifo::{EnumPifo, PifoBackend, PifoInspect, PifoQueue};
 use crate::pool::{PoolHandle, SharedPacketPool};
@@ -257,6 +258,7 @@ pub struct TreeBuilder {
     root: Option<NodeId>,
     buffer_limit: Option<usize>,
     backend: PifoBackend,
+    track_inversions: bool,
 }
 
 impl Default for TreeBuilder {
@@ -273,7 +275,17 @@ impl TreeBuilder {
             root: None,
             buffer_limit: None,
             backend: PifoBackend::default(),
+            track_inversions: false,
         }
+    }
+
+    /// Score every root-level dequeue against the smallest rank still
+    /// waiting in the root PIFO (inversions, unpifoness, max regression
+    /// — see [`InversionTracker`]). Off by default; when off the hot
+    /// path carries no tracking cost at all.
+    pub fn track_inversions(&mut self, enabled: bool) -> &mut Self {
+        self.track_inversions = enabled;
+        self
     }
 
     /// Select the queue engine backing every node's scheduling and shaping
@@ -476,6 +488,7 @@ impl TreeBuilder {
             has_shapers,
             scratch: Vec::new(),
             run_scratch: Vec::new(),
+            tracker: self.track_inversions.then(InversionTracker::new),
         })
     }
 }
@@ -511,6 +524,10 @@ pub struct ScheduleTree {
     /// Reusable buffer for [`ScheduleTree::enqueue_batch`]'s same-leaf
     /// run accumulation.
     run_scratch: Vec<(Rank, PktHandle)>,
+    /// When enabled, every root-level dequeue rank is scored for
+    /// inversions/unpifoness (O(1) per dequeue). `None` keeps the hot
+    /// path tracker-free.
+    tracker: Option<InversionTracker>,
 }
 
 impl fmt::Debug for ScheduleTree {
@@ -661,7 +678,7 @@ impl ScheduleTree {
         };
 
         // Leaf: the element is a handle to the buffered packet.
-        {
+        let leaf_rank = {
             let node = &mut self.nodes[leaf.index()];
             let p = self.pool.get(handle);
             let flow = flow_of(&node.flow_fn, p);
@@ -672,6 +689,14 @@ impl ScheduleTree {
             };
             let rank = node.sched.rank(&ctx);
             node.sched_pifo.push(rank, Element::Packet(handle));
+            rank
+        };
+        if leaf == self.root {
+            // Single-node tree: the leaf PIFO *is* the departure
+            // schedule, so its pushes feed the inversion tracker.
+            if let Some(t) = &mut self.tracker {
+                t.record_push(leaf_rank);
+            }
         }
         self.buffered += 1;
 
@@ -731,7 +756,7 @@ impl ScheduleTree {
             }
             return;
         };
-        {
+        let rank = {
             let pnode = &mut self.nodes[parent.index()];
             let p = self.pool.get(handle);
             let ctx = EnqCtx {
@@ -741,6 +766,14 @@ impl ScheduleTree {
             };
             let rank = pnode.sched.rank(&ctx);
             pnode.sched_pifo.push(rank, Element::Ref(node));
+            rank
+        };
+        if parent == self.root {
+            // Root pushes feed the inversion tracker — these ranks are
+            // the departure schedule the root pops score against.
+            if let Some(t) = &mut self.tracker {
+                t.record_push(rank);
+            }
         }
         self.after_insert(parent, handle, now, owns_ref);
     }
@@ -794,6 +827,15 @@ impl ScheduleTree {
         let mut node = self.root;
         loop {
             let (rank, elem) = self.nodes[node.index()].sched_pifo.pop()?;
+            // The first pop of the walk is the root's scheduling
+            // decision — the rank whose ordering defines the tree's
+            // departure schedule, so it is what inversion tracking
+            // scores.
+            if node == self.root {
+                if let Some(t) = &mut self.tracker {
+                    t.record_pop(rank);
+                }
+            }
             match elem {
                 Element::Packet(h) => {
                     let flow = {
@@ -966,6 +1008,11 @@ impl ScheduleTree {
             self.nodes[leaf.index()]
                 .sched_pifo
                 .push(rank, Element::Packet(handle));
+            if leaf == self.root {
+                if let Some(t) = &mut self.tracker {
+                    t.record_push(rank);
+                }
+            }
             let mut node = leaf;
             while let Some(parent) = self.nodes[node.index()].parent {
                 let rank = {
@@ -979,6 +1026,11 @@ impl ScheduleTree {
                 self.nodes[parent.index()]
                     .sched_pifo
                     .push(rank, Element::Ref(node));
+                if parent == self.root {
+                    if let Some(t) = &mut self.tracker {
+                        t.record_push(rank);
+                    }
+                }
                 node = parent;
             }
         } else {
@@ -986,6 +1038,13 @@ impl ScheduleTree {
                 .iter()
                 .map(|&(rank, h)| (rank, Element::Packet(h)))
                 .collect();
+            if leaf == self.root {
+                if let Some(t) = &mut self.tracker {
+                    for &(rank, _) in &elems {
+                        t.record_push(rank);
+                    }
+                }
+            }
             let rejected = self.nodes[leaf.index()].sched_pifo.push_batch(elems);
             debug_assert!(rejected.is_empty(), "node PIFOs are unbounded");
             let mut node = leaf;
@@ -1000,6 +1059,13 @@ impl ScheduleTree {
                             flow: node.as_flow(),
                         };
                         elems.push((pnode.sched.rank(&ctx), Element::Ref(node)));
+                    }
+                }
+                if parent == self.root {
+                    if let Some(t) = &mut self.tracker {
+                        for &(rank, _) in &elems {
+                            t.record_push(rank);
+                        }
                     }
                 }
                 let rejected = self.nodes[parent.index()].sched_pifo.push_batch(elems);
@@ -1064,6 +1130,7 @@ impl ScheduleTree {
                 pool,
                 buffered,
                 scratch,
+                tracker,
                 ..
             } = self;
             let mut batch = std::mem::take(scratch);
@@ -1071,6 +1138,13 @@ impl ScheduleTree {
             node.sched_pifo.pop_batch(max, &mut batch);
             *buffered -= batch.len();
             out.reserve(batch.len());
+            if let Some(t) = tracker {
+                // Single-node trees pop root ranks directly: score the
+                // whole batch (same ranks the per-packet walk would see).
+                for (rank, _) in &batch {
+                    t.record_pop(*rank);
+                }
+            }
             for (rank, elem) in batch.drain(..) {
                 let Element::Packet(h) = elem else {
                     unreachable!("single-node tree PIFOs hold only packets")
@@ -1104,6 +1178,36 @@ impl ScheduleTree {
     /// [`shaping_inspections`](Self::shaping_inspections).
     pub fn has_shapers(&self) -> bool {
         self.has_shapers
+    }
+
+    /// Switch on per-dequeue rank-inversion tracking from this point
+    /// (idempotent — an already-running tracker keeps its counters).
+    /// Usually set at build time via [`TreeBuilder::track_inversions`].
+    /// Packets already queued when tracking starts are counted as
+    /// dequeues but not scored (their root ranks were never observed).
+    pub fn enable_inversion_tracking(&mut self) {
+        if self.tracker.is_none() {
+            self.tracker = Some(InversionTracker::new());
+        }
+    }
+
+    /// Inversion counters accumulated over every dequeue since tracking
+    /// began; `None` when tracking is off. An exact backend always
+    /// reports zero inversions here — the root PIFO pops in rank order
+    /// by contract — so a non-zero count is the measured cost of an
+    /// approximate backend at the root.
+    pub fn inversion_stats(&self) -> Option<InversionStats> {
+        self.tracker.as_ref().map(|t| t.stats())
+    }
+
+    /// Zero the inversion counters, keeping tracking enabled (the
+    /// tracker's view of what is currently queued is preserved, so
+    /// future dequeues keep scoring correctly). No-op when tracking is
+    /// off.
+    pub fn reset_inversion_stats(&mut self) {
+        if let Some(t) = &mut self.tracker {
+            t.reset();
+        }
     }
 
     /// Peek the packet that `dequeue` would return *right now*, without

@@ -37,12 +37,14 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 
 proptest! {
     /// Block dequeue order == reference PIFO dequeue order, element by
-    /// element, under monotone per-flow ranks — against *every* software
-    /// backend, so the hw model is checked to be equivalent to the whole
-    /// backend family, not just the sorted array.
+    /// element, under monotone per-flow ranks — against every *exact*
+    /// software backend, so the hw model is checked to be equivalent to
+    /// the whole exact family, not just the sorted array. (The
+    /// approximate software backends intentionally diverge from the
+    /// hardware's exact schedule.)
     #[test]
     fn block_equals_reference_pifo(ops in ops()) {
-        for backend in PifoBackend::ALL {
+        for backend in PifoBackend::EXACT {
             let cfg = BlockConfig {
                 n_flows: 8,
                 n_logical_pifos: 2,

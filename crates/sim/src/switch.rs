@@ -166,6 +166,7 @@ pub struct SwitchBuilder {
     horizon: Nanos,
     burst: usize,
     pool: Option<SharedPool>,
+    track_inversions: bool,
 }
 
 impl SwitchBuilder {
@@ -183,7 +184,20 @@ impl SwitchBuilder {
             horizon: Nanos::from_secs(3_600),
             burst: 32,
             pool: None,
+            track_inversions: false,
         }
+    }
+
+    /// Enable per-port rank-inversion tracking: every port tree scores
+    /// its root-level dequeue ranks (inversions, unpifoness, max
+    /// regression — see
+    /// [`pifo_core::metrics::InversionStats`]). Read the
+    /// counters after a run with [`Switch::inversion_stats`] /
+    /// [`Switch::total_inversion_stats`]. Off by default — disabled
+    /// tracking costs nothing on the drain path.
+    pub fn track_inversions(&mut self) -> &mut Self {
+        self.track_inversions = true;
+        self
     }
 
     /// Add an egress port owning `tree`; returns the port index the
@@ -277,8 +291,14 @@ impl SwitchBuilder {
     /// Panics if no port was added.
     pub fn build(self, classifier: PortClassifier) -> Switch {
         assert!(!self.trees.is_empty(), "a switch needs at least one port");
+        let mut ports = self.trees;
+        if self.track_inversions {
+            for tree in &mut ports {
+                tree.enable_inversion_tracking();
+            }
+        }
         Switch {
-            ports: self.trees,
+            ports,
             classifier,
             rate_bps: self.rate_bps,
             horizon: self.horizon,
@@ -359,6 +379,30 @@ impl Switch {
     /// [`SwitchBuilder::with_shared_pool`].
     pub fn shared_pool(&self) -> Option<&SharedPool> {
         self.pool.as_ref()
+    }
+
+    /// Port `i`'s rank-inversion counters; `None` unless the fabric was
+    /// built with [`SwitchBuilder::track_inversions`] (or the port tree
+    /// enabled tracking itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn inversion_stats(&self, i: usize) -> Option<pifo_core::metrics::InversionStats> {
+        self.ports[i].inversion_stats()
+    }
+
+    /// Fabric-level inversion counters: every tracking port merged
+    /// (`max_regression` takes the fabric max). `None` when no port
+    /// tracks.
+    pub fn total_inversion_stats(&self) -> Option<pifo_core::metrics::InversionStats> {
+        let mut total: Option<pifo_core::metrics::InversionStats> = None;
+        for tree in &self.ports {
+            if let Some(s) = tree.inversion_stats() {
+                total.get_or_insert_with(Default::default).merge(&s);
+            }
+        }
+        total
     }
 
     /// Run `arrivals` (time-sorted) through the fabric with the given
@@ -691,6 +735,66 @@ mod tests {
         }
     }
 
+    /// Fabric-level inversion tracking: exact backends score zero on
+    /// every port; an approximate FIFO backend under priority-inverting
+    /// arrivals scores the inversions it actually commits.
+    #[test]
+    fn inversion_tracking_scores_ports() {
+        let build = |backend: PifoBackend, track: bool| {
+            let mut sb = SwitchBuilder::new(8_000_000_000);
+            if track {
+                sb.track_inversions();
+            }
+            for _ in 0..2 {
+                let mut b = TreeBuilder::new();
+                b.with_backend(backend);
+                let root = b.add_root(
+                    "prio",
+                    Box::new(FnTransaction::new("prio", |ctx: &EnqCtx| {
+                        Rank(ctx.packet.class as u64)
+                    })),
+                );
+                sb.add_port(b.build(Box::new(move |_| root)).unwrap());
+            }
+            sb.build(Box::new(|p: &Packet| p.flow.0 as usize % 2))
+        };
+        // Descending classes arriving together: an exact PIFO reverses
+        // them; a FIFO transmits them as-is, inverting every pair.
+        let arrivals: Vec<Packet> = (0..64u64)
+            .map(|i| {
+                Packet::new(i, FlowId((i % 2) as u32), 1_000, Nanos(0)).with_class(63 - i as u8)
+            })
+            .collect();
+
+        let mut untracked = build(PifoBackend::Rifo, false);
+        untracked.run(&arrivals, DrainMode::Batched);
+        assert_eq!(
+            untracked.total_inversion_stats(),
+            None,
+            "tracking is opt-in"
+        );
+
+        for backend in PifoBackend::EXACT {
+            let mut sw = build(backend, true);
+            sw.run(&arrivals, DrainMode::Batched);
+            let total = sw.total_inversion_stats().expect("tracking enabled");
+            assert_eq!(total.dequeues, 64, "{backend}");
+            assert_eq!(total.inversions, 0, "{backend} is exact");
+            assert_eq!(total.unpifoness, 0, "{backend} is exact");
+        }
+
+        let mut sw = build(PifoBackend::Rifo, true);
+        sw.run(&arrivals, DrainMode::Batched);
+        let total = sw.total_inversion_stats().expect("tracking enabled");
+        assert_eq!(total.dequeues, 64);
+        assert!(total.inversions > 0, "FIFO under inverted load");
+        assert!(total.unpifoness > 0);
+        for port in 0..sw.num_ports() {
+            let s = sw.inversion_stats(port).expect("per-port counters");
+            assert!(s.inversions > 0, "port {port} saw inverted arrivals");
+        }
+    }
+
     /// Ports are isolated: traffic for one port never shows up on, or
     /// delays, another.
     #[test]
@@ -804,7 +908,9 @@ mod tests {
         };
         let reference = build(PifoBackend::SortedArray).run(&arrivals, DrainMode::PerPacket);
         assert!(reference.total_drops() > 0, "pool pressure must be real");
-        for backend in PifoBackend::ALL {
+        // Cross-backend trace identity is an exact-trio property: the
+        // approximate backends legally reorder departures.
+        for backend in PifoBackend::EXACT {
             for mode in [DrainMode::PerPacket, DrainMode::Batched] {
                 let run = build(backend).run(&arrivals, mode);
                 for (port, (a, b)) in reference.ports.iter().zip(&run.ports).enumerate() {

@@ -78,8 +78,8 @@ fn main() {
     // the program: `TreeBuilder::with_backend` picks the sorted-array
     // reference, the binary heap, or the Eiffel-style bucket calendar
     // (fastest at switch-scale occupancies). Semantics are identical on
-    // all of them — same order, same FIFO tie-breaks.
-    for backend in PifoBackend::ALL {
+    // every *exact* backend — same order, same FIFO tie-breaks.
+    for backend in PifoBackend::EXACT {
         let mut b = TreeBuilder::new();
         b.with_backend(backend);
         let root = b.add_root("prio", Box::new(StrictPriority));
@@ -95,6 +95,28 @@ fn main() {
         println!(
             "StrictPriority on '{backend}' backend -> {}",
             order.join(", ")
+        );
+    }
+
+    // The *approximate* backends (`sp-pifo:k`, `rifo`, `aifo`) trade
+    // exact ordering for O(1)-ish queues; their deviation is a number,
+    // not a surprise: enable inversion tracking and read how far each
+    // departure overtook a smaller rank still waiting.
+    for backend in PifoBackend::APPROX {
+        let mut b = TreeBuilder::new();
+        b.with_backend(backend).track_inversions(true);
+        let root = b.add_root("prio", Box::new(StrictPriority));
+        let mut tree = b.build(Box::new(move |_| root)).expect("valid tree");
+        for i in 0..32u64 {
+            // Zig-zag priorities so an inexact queue actually inverts.
+            let p = Packet::new(i, FlowId(0), 1_000, Nanos(i)).with_class((i * 7 % 10) as u8);
+            tree.enqueue(p, Nanos(i)).expect("enqueue");
+        }
+        while tree.dequeue(Nanos(100)).is_some() {}
+        let stats = tree.inversion_stats().expect("tracking enabled");
+        println!(
+            "StrictPriority on '{backend}' backend -> {} inversions, unpifoness {}",
+            stats.inversions, stats.unpifoness
         );
     }
 }

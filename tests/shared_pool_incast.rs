@@ -198,7 +198,10 @@ fn incast_on_a_shared_pool_is_fenced_by_dynamic_thresholds() {
 }
 
 /// Per-port departure traces of the shared-pool fabric are bit-identical
-/// across every PIFO backend and both drain modes.
+/// across every **exact** PIFO backend and both drain modes. (The
+/// approximate backends legally reorder departures; their distance from
+/// the exact schedule is measured by the inversion-metrics layer, not
+/// pinned here.)
 #[test]
 fn shared_pool_traces_bit_identical_across_backends_and_drain_modes() {
     let arr = arrivals();
@@ -208,7 +211,7 @@ fn shared_pool_traces_bit_identical_across_backends_and_drain_modes() {
         reference.total_drops() > 0,
         "the scenario must keep admission pressure real"
     );
-    for backend in PifoBackend::ALL {
+    for backend in PifoBackend::EXACT {
         for mode in [DrainMode::PerPacket, DrainMode::Batched] {
             let (run, _) = run_shared(backend, mode, policy, &arr);
             for (port, (a, b)) in reference.ports.iter().zip(&run.ports).enumerate() {
