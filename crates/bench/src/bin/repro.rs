@@ -6,6 +6,7 @@
 //! repro all                         # run everything in order
 //! repro --backend bucket <id>...    # run on a specific PIFO engine
 //! repro --backend sp-pifo:4 <id>... # … including approximate ones
+//! repro --lossless [<id>...]        # add the Sec 6.2 lossless demo
 //! ```
 
 use pifo_bench::cli;
@@ -25,9 +26,19 @@ fn main() {
     };
     set_backend(backend);
 
+    // `--lossless` appends the Sec 6.2 lossless experiment to whatever
+    // was asked for — alone it runs just that demo (`all` already
+    // includes it).
+    if cli::extract_flag(&mut args, "--lossless")
+        && args.first().map(|a| a.as_str()) != Some("all")
+        && !args.iter().any(|a| a == "pfc")
+    {
+        args.push("pfc".to_string());
+    }
+
     if args.is_empty() || args[0] == "list" || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: repro {} <experiment id>... | all | list\n",
+            "usage: repro {} [--lossless] <experiment id>... | all | list\n",
             cli::backend_usage()
         );
         eprintln!("experiments:");

@@ -55,6 +55,16 @@ pub fn smoke_flag(env_var: &str) -> bool {
     std::env::args().any(|a| a == "--smoke") || std::env::var(env_var).is_ok_and(|v| v == "1")
 }
 
+/// Pull a boolean `flag` (e.g. `"--lossless"`) out of `args`, removing
+/// every occurrence. Returns true when the flag appeared at least once.
+/// The same removal-parser contract as [`extract_backend`]: untouched
+/// arguments stay in place, in order, for the positional parser behind.
+pub fn extract_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +112,16 @@ mod tests {
         let err = extract_backend(&mut a).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
         assert!(err.contains("sp-pifo"), "{err}");
+    }
+
+    #[test]
+    fn boolean_flag_is_consumed_wherever_it_appears() {
+        let mut a = args(&["--lossless", "fig2", "--lossless"]);
+        assert!(extract_flag(&mut a, "--lossless"));
+        assert_eq!(a, args(&["fig2"]));
+
+        let mut a = args(&["fig2", "stfq"]);
+        assert!(!extract_flag(&mut a, "--lossless"));
+        assert_eq!(a, args(&["fig2", "stfq"]));
     }
 }

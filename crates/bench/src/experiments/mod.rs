@@ -22,6 +22,7 @@ pub mod hwdemo;
 pub mod language;
 pub mod latency;
 pub mod limits;
+pub mod lossless;
 pub mod synth_tables;
 
 /// Which PIFO backend experiment trees are built with. A `Mutex` rather
@@ -145,6 +146,11 @@ pub fn registry() -> Vec<Experiment> {
             "domino",
             "Sec 4.1: transactions -> atom pipelines",
             language::domino,
+        ),
+        (
+            "pfc",
+            "Sec 6.2: lossless fabric — PFC pause/resume & fault watchdog",
+            lossless::pfc,
         ),
     ]
 }

@@ -70,8 +70,13 @@ use std::sync::{Arc, Mutex, RwLock};
 /// Per-entity admission threshold — the §6.1 counter comparison, shared
 /// by the pool's per-port policy and the simulator's per-flow
 /// [`SharedBuffer`] tracker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Threshold {
+    /// No threshold on this entity: only the other gates (global
+    /// capacity, the companion threshold of a
+    /// [`AdmissionPolicy::PortFlow`] pair) apply.
+    #[default]
+    Unlimited,
     /// The entity may buffer at most this many packets.
     Static(usize),
     /// The entity may buffer at most `alpha × free_space` packets
@@ -91,8 +96,19 @@ impl Threshold {
     /// is the caller's — this is only the threshold comparison.)
     pub fn admits(self, used: usize, free: usize) -> bool {
         match self {
+            Threshold::Unlimited => true,
             Threshold::Static(t) => used < t,
             Threshold::Dynamic { num, den } => used < (free * num) / den,
+        }
+    }
+}
+
+impl fmt::Display for Threshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Threshold::Unlimited => write!(f, "unlimited"),
+            Threshold::Static(t) => write!(f, "static({t})"),
+            Threshold::Dynamic { num, den } => write!(f, "dynamic({num}/{den})"),
         }
     }
 }
@@ -124,11 +140,31 @@ pub enum AdmissionPolicy {
         /// Denominator of alpha.
         den: usize,
     },
+    /// Combined port × flow admission — the paper's §5.1 "occupancies of
+    /// various flows and ports" in one decision. A packet is admitted
+    /// only if **both** thresholds pass: the port it targets and the flow
+    /// it belongs to (per-flow occupancy is already tracked O(1) by the
+    /// pool's sharded flow table). This subsumes the per-flow
+    /// [`SharedBuffer`] tracker: `PortFlow { port: Unlimited, flow: t }`
+    /// is exactly a flow-threshold buffer, and mixed pairs express
+    /// lossless fabrics where a port watermark backs a per-flow fairness
+    /// cap.
+    PortFlow {
+        /// Threshold applied to the target port's occupancy.
+        port: Threshold,
+        /// Threshold applied to the packet's flow occupancy (pool-wide).
+        flow: Threshold,
+    },
 }
 
 impl AdmissionPolicy {
     /// Would a port currently holding `used` packets be allowed one more,
     /// given `free` unoccupied slots?
+    ///
+    /// For [`AdmissionPolicy::PortFlow`] this evaluates the **port side
+    /// only** — the flow side needs a flow identity, which this signature
+    /// does not carry. Use [`AdmissionPolicy::admits_port_flow`] (or
+    /// [`SharedPacketPool::would_admit_flow`]) for the full verdict.
     pub fn admits(self, used: usize, free: usize) -> bool {
         match self {
             AdmissionPolicy::Unlimited => true,
@@ -136,16 +172,43 @@ impl AdmissionPolicy {
             AdmissionPolicy::DynamicThreshold { num, den } => {
                 Threshold::Dynamic { num, den }.admits(used, free)
             }
+            AdmissionPolicy::PortFlow { port, .. } => port.admits(used, free),
         }
     }
 
+    /// The full admission verdict given both occupancies. For the three
+    /// port-only policies `flow_used` is ignored and this equals
+    /// [`AdmissionPolicy::admits`]; for [`AdmissionPolicy::PortFlow`]
+    /// both thresholds must pass.
+    pub fn admits_port_flow(self, port_used: usize, flow_used: usize, free: usize) -> bool {
+        match self {
+            AdmissionPolicy::PortFlow { port, flow } => {
+                port.admits(port_used, free) && flow.admits(flow_used, free)
+            }
+            other => other.admits(port_used, free),
+        }
+    }
+
+    /// Does this policy consult per-flow occupancy? When true, admission
+    /// paths must look up the packet's flow count before deciding.
+    pub fn uses_flow_state(self) -> bool {
+        matches!(
+            self,
+            AdmissionPolicy::PortFlow {
+                flow: Threshold::Static(_) | Threshold::Dynamic { .. },
+                ..
+            }
+        )
+    }
+
     /// Short stable label for reports (`unlimited` / `static` /
-    /// `dynamic`).
+    /// `dynamic` / `port_flow`).
     pub fn label(self) -> &'static str {
         match self {
             AdmissionPolicy::Unlimited => "unlimited",
             AdmissionPolicy::Static { .. } => "static",
             AdmissionPolicy::DynamicThreshold { .. } => "dynamic",
+            AdmissionPolicy::PortFlow { .. } => "port_flow",
         }
     }
 }
@@ -156,6 +219,9 @@ impl fmt::Display for AdmissionPolicy {
             AdmissionPolicy::Unlimited => write!(f, "unlimited"),
             AdmissionPolicy::Static { per_port } => write!(f, "static({per_port})"),
             AdmissionPolicy::DynamicThreshold { num, den } => write!(f, "dynamic({num}/{den})"),
+            AdmissionPolicy::PortFlow { port, flow } => {
+                write!(f, "port_flow(port={port},flow={flow})")
+            }
         }
     }
 }
@@ -376,6 +442,25 @@ fn checked_dec(counter: &AtomicUsize, errors: &AtomicU64, what: &str) {
     }
 }
 
+/// Checked decrement of one entry in a flow-occupancy map, removing the
+/// entry at zero so idle flows cost nothing. Returns `false` on
+/// underflow (no entry, or an entry already at zero) and lets the
+/// caller apply its double-release policy — this is the single copy of
+/// the checked flow decrement, shared by [`SharedPacketPool::release`]
+/// and [`SharedBuffer::on_dequeue`].
+fn dec_flow_entry(map: &mut HashMap<FlowId, usize>, flow: FlowId) -> bool {
+    match map.get_mut(&flow) {
+        Some(c) if *c > 0 => {
+            *c -= 1;
+            if *c == 0 {
+                map.remove(&flow);
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
 impl SharedPacketPool {
     fn with_capacity_and_policy(capacity: Option<usize>, policy: AdmissionPolicy) -> Self {
         SharedPacketPool {
@@ -399,8 +484,18 @@ impl SharedPacketPool {
     /// Panics if the capacity is zero or a dynamic denominator is zero.
     pub fn new(capacity: usize, policy: AdmissionPolicy) -> Self {
         assert!(capacity > 0, "pool capacity must be positive");
-        if let AdmissionPolicy::DynamicThreshold { den, .. } = policy {
-            assert!(den > 0, "alpha denominator must be positive");
+        match policy {
+            AdmissionPolicy::DynamicThreshold { den, .. } => {
+                assert!(den > 0, "alpha denominator must be positive");
+            }
+            AdmissionPolicy::PortFlow { port, flow } => {
+                for t in [port, flow] {
+                    if let Threshold::Dynamic { den, .. } = t {
+                        assert!(den > 0, "alpha denominator must be positive");
+                    }
+                }
+            }
+            _ => {}
         }
         Self::with_capacity_and_policy(Some(capacity), policy)
     }
@@ -547,6 +642,33 @@ impl SharedPacketPool {
         self.policy.admits(used, free)
     }
 
+    /// Would a packet of `flow` for `port` be admitted right now? This is
+    /// the **full** [`try_insert`](Self::try_insert) verdict — global
+    /// capacity, port threshold, *and* flow threshold for a
+    /// [`AdmissionPolicy::PortFlow`] policy (for port-only policies it
+    /// equals [`would_admit`](Self::would_admit)). Same advisory caveat
+    /// under concurrent mutation; the lossless fabric calls it serially
+    /// in round order, where it is exact.
+    pub fn would_admit_flow(&self, port: usize, flow: FlowId) -> bool {
+        let live = self.live.load(Ordering::Acquire);
+        let free = match self.capacity {
+            Some(cap) => {
+                if live >= cap {
+                    return false;
+                }
+                cap - live
+            }
+            None => usize::MAX,
+        };
+        let used = self.port_counters(port).occupancy.load(Ordering::Acquire);
+        let flow_used = if self.policy.uses_flow_state() {
+            self.flow_occupancy(flow)
+        } else {
+            0
+        };
+        self.policy.admits_port_flow(used, flow_used, free)
+    }
+
     /// Insert `packet` on behalf of `port`, with one reference, returning
     /// its handle — or the packet itself, unchanged, when the global
     /// capacity or `port`'s admission threshold rejects it (the reject is
@@ -591,10 +713,17 @@ impl SharedPacketPool {
                 usize::MAX
             }
         };
-        // Phase 2: the per-port threshold (§6.1), against the free space
-        // observed at reservation — exactly the sequential decision.
+        // Phase 2: the per-port (and, for a `PortFlow` policy, per-flow)
+        // threshold (§5.1/§6.1), against the free space observed at
+        // reservation — exactly the sequential decision.
         let used = counters.occupancy.load(Ordering::Acquire);
-        if !self.policy.admits(used, free) {
+        let admitted = if self.policy.uses_flow_state() {
+            let flow_used = self.flow_occupancy(packet.flow);
+            self.policy.admits_port_flow(used, flow_used, free)
+        } else {
+            self.policy.admits(used, free)
+        };
+        if !admitted {
             checked_dec(&self.live, &self.accounting_errors, "pool live");
             counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(packet);
@@ -722,20 +851,12 @@ impl SharedPacketPool {
         );
         {
             let mut shard = self.flow_shard(packet.flow);
-            match shard.get_mut(&packet.flow) {
-                Some(c) if *c > 0 => {
-                    *c -= 1;
-                    if *c == 0 {
-                        shard.remove(&packet.flow);
-                    }
+            if !dec_flow_entry(&mut shard, packet.flow) {
+                drop(shard);
+                if cfg!(debug_assertions) {
+                    panic!("pool accounting underflow: flow occupancy (double release)");
                 }
-                _ => {
-                    drop(shard);
-                    if cfg!(debug_assertions) {
-                        panic!("pool accounting underflow: flow occupancy (double release)");
-                    }
-                    self.accounting_errors.fetch_add(1, Ordering::Relaxed);
-                }
+                self.accounting_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
         Some(packet)
@@ -1059,6 +1180,31 @@ impl PoolHandle {
         self.pool.policy.admits(used, free)
     }
 
+    /// Would a packet of `flow` for this port be admitted right now? The
+    /// full [`try_insert`](Self::try_insert) verdict, flow threshold
+    /// included (see [`SharedPacketPool::would_admit_flow`]) — the
+    /// probe the lossless fabric gates ingress on before committing a
+    /// packet to the tree.
+    pub fn would_admit_flow(&self, flow: FlowId) -> bool {
+        let live = self.pool.live.load(Ordering::Acquire);
+        let free = match self.pool.capacity {
+            Some(cap) => {
+                if live >= cap {
+                    return false;
+                }
+                cap - live
+            }
+            None => usize::MAX,
+        };
+        let used = self.counters.occupancy.load(Ordering::Acquire);
+        let flow_used = if self.pool.policy.uses_flow_state() {
+            self.pool.flow_occupancy(flow)
+        } else {
+            0
+        };
+        self.pool.policy.admits_port_flow(used, flow_used, free)
+    }
+
     /// Borrow the packet in `handle`'s slot (generation-checked; see
     /// [`SharedPacketPool::get`]).
     pub fn get(&self, handle: PktHandle) -> &Packet {
@@ -1120,7 +1266,12 @@ pub struct SharedBuffer {
     capacity: usize,
     occupancy: usize,
     per_flow: HashMap<FlowId, usize>,
-    threshold: Threshold,
+    /// The flow threshold, stored as the one shared policy type: a
+    /// counters-only buffer is a `PortFlow` with an unlimited port side,
+    /// so the verdict arithmetic lives in a single place
+    /// ([`AdmissionPolicy::admits_port_flow`]) rather than being
+    /// duplicated here.
+    policy: AdmissionPolicy,
     drops: u64,
     accounting_errors: u64,
 }
@@ -1140,10 +1291,19 @@ impl SharedBuffer {
             capacity,
             occupancy: 0,
             per_flow: HashMap::new(),
-            threshold,
+            policy: AdmissionPolicy::PortFlow {
+                port: Threshold::Unlimited,
+                flow: threshold,
+            },
             drops: 0,
             accounting_errors: 0,
         }
+    }
+
+    /// The buffer's admission policy (always a
+    /// [`AdmissionPolicy::PortFlow`] with an unlimited port side).
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
     }
 
     /// Would a packet of `flow` be admitted right now?
@@ -1152,7 +1312,8 @@ impl SharedBuffer {
             return false;
         }
         let used = self.per_flow.get(&flow).copied().unwrap_or(0);
-        self.threshold.admits(used, self.capacity - self.occupancy)
+        self.policy
+            .admits_port_flow(0, used, self.capacity - self.occupancy)
     }
 
     /// Record an admission.
@@ -1182,14 +1343,8 @@ impl SharedBuffer {
         } else {
             self.occupancy -= 1;
         }
-        match self.per_flow.get_mut(&flow) {
-            Some(c) if *c > 0 => {
-                *c -= 1;
-                if *c == 0 {
-                    self.per_flow.remove(&flow);
-                }
-            }
-            _ => self.accounting_error("flow occupancy below zero"),
+        if !dec_flow_entry(&mut self.per_flow, flow) {
+            self.accounting_error("flow occupancy below zero");
         }
     }
 
@@ -1501,5 +1656,117 @@ mod tests {
             );
             assert_eq!(b.occupancy(), 0, "counter did not wrap");
         }
+    }
+
+    #[test]
+    fn port_flow_policy_gates_on_both_occupancies() {
+        let pool = SharedPacketPool::new(
+            16,
+            AdmissionPolicy::PortFlow {
+                port: Threshold::Static(8),
+                flow: Threshold::Static(2),
+            },
+        );
+        let port = pool.register_port();
+        // Flow 1 is admitted twice, then capped — while flow 2 (same
+        // port) is still admitted: the cap is per flow, not per port.
+        let a = pool.try_insert(port, pkt(0, 1)).expect("first of flow 1");
+        let _b = pool.try_insert(port, pkt(1, 1)).expect("second of flow 1");
+        assert!(!pool.would_admit_flow(port, FlowId(1)), "flow 1 at cap");
+        assert!(pool.would_admit_flow(port, FlowId(2)), "flow 2 unaffected");
+        assert!(pool.try_insert(port, pkt(2, 1)).is_err(), "flow 1 rejected");
+        let _c = pool.try_insert(port, pkt(3, 2)).expect("flow 2 admitted");
+        // Releasing a flow-1 packet reopens the flow threshold.
+        pool.release(a);
+        assert!(pool.would_admit_flow(port, FlowId(1)), "cap reopened");
+        // The port-only probe ignores the flow side by design.
+        assert!(pool.would_admit(port), "port side is under its threshold");
+    }
+
+    #[test]
+    fn would_admit_flow_matches_try_insert_for_port_only_policies() {
+        let pool = SharedPacketPool::new(2, AdmissionPolicy::Static { per_port: 2 });
+        let port = pool.register_port();
+        assert!(pool.would_admit_flow(port, FlowId(7)));
+        let _a = pool.try_insert(port, pkt(0, 7)).expect("admitted");
+        let _b = pool.try_insert(port, pkt(1, 7)).expect("admitted");
+        // Global capacity exhausted: both probes agree with try_insert.
+        assert!(!pool.would_admit_flow(port, FlowId(7)));
+        assert!(!pool.would_admit(port));
+        assert!(pool.try_insert(port, pkt(2, 7)).is_err());
+    }
+
+    #[test]
+    fn shared_buffer_verdicts_match_port_flow_pool() {
+        // The counters-only tracker and a one-port PortFlow pool with an
+        // unlimited port side must produce identical verdicts for any
+        // admit/dequeue history — the threshold arithmetic is one copy.
+        let threshold = Threshold::Dynamic { num: 1, den: 2 };
+        let mut buf = SharedBuffer::new(8, threshold);
+        let pool = SharedPacketPool::new(
+            8,
+            AdmissionPolicy::PortFlow {
+                port: Threshold::Unlimited,
+                flow: threshold,
+            },
+        );
+        let port = pool.register_port();
+        let mut held: Vec<(FlowId, PktHandle)> = Vec::new();
+        let seq: &[(u32, bool)] = &[
+            // (flow, enqueue? — else dequeue oldest of that flow)
+            (1, true),
+            (1, true),
+            (2, true),
+            (1, false),
+            (2, true),
+            (1, true),
+            (2, false),
+        ];
+        for (i, &(flow, enq)) in seq.iter().enumerate() {
+            let flow = FlowId(flow);
+            if enq {
+                let b_says = buf.would_admit(flow);
+                let p_says = pool.would_admit_flow(port, flow);
+                assert_eq!(b_says, p_says, "step {i}: verdicts diverge");
+                if b_says {
+                    buf.on_enqueue(flow);
+                    let h = pool
+                        .try_insert(port, pkt(i as u64, flow.0))
+                        .expect("agreed");
+                    held.push((flow, h));
+                }
+            } else {
+                let pos = held.iter().position(|(f, _)| *f == flow).expect("held");
+                let (_, h) = held.remove(pos);
+                buf.on_dequeue(flow);
+                pool.release(h);
+            }
+            assert_eq!(buf.occupancy(), pool.live(), "step {i}: occupancy");
+            assert_eq!(
+                buf.flow_occupancy(flow),
+                pool.flow_occupancy(flow),
+                "step {i}: flow occupancy"
+            );
+        }
+    }
+
+    #[test]
+    fn port_flow_policy_formats_and_labels() {
+        let p = AdmissionPolicy::PortFlow {
+            port: Threshold::Static(64),
+            flow: Threshold::Dynamic { num: 1, den: 4 },
+        };
+        assert_eq!(p.label(), "port_flow");
+        assert_eq!(
+            p.to_string(),
+            "port_flow(port=static(64),flow=dynamic(1/4))"
+        );
+        assert!(p.uses_flow_state());
+        assert!(!AdmissionPolicy::PortFlow {
+            port: Threshold::Static(64),
+            flow: Threshold::Unlimited,
+        }
+        .uses_flow_state());
+        assert!(!AdmissionPolicy::Unlimited.uses_flow_state());
     }
 }

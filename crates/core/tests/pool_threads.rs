@@ -17,9 +17,10 @@
 //!   `RefCell` pool implemented) on any same-thread operation sequence:
 //!   going atomic changed the memory system, not one admission verdict.
 
-use pifo_core::pool::{AdmissionPolicy, SharedPacketPool};
+use pifo_core::pool::{AdmissionPolicy, SharedPacketPool, Threshold};
 use pifo_core::prelude::*;
 use proptest::prelude::*;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 fn pkt(id: u64, flow: u32) -> Packet {
@@ -138,41 +139,58 @@ struct SeqModel {
     policy: AdmissionPolicy,
     live: usize,
     ports: Vec<usize>,
+    flows: HashMap<u32, usize>,
 }
 
 impl SeqModel {
-    fn would_admit(&self, port: usize) -> bool {
+    fn would_admit(&self, port: usize, flow: u32) -> bool {
         if self.live >= self.cap {
             return false;
         }
-        self.policy.admits(self.ports[port], self.cap - self.live)
+        let flow_used = self.flows.get(&flow).copied().unwrap_or(0);
+        self.policy
+            .admits_port_flow(self.ports[port], flow_used, self.cap - self.live)
     }
 
-    fn try_insert(&mut self, port: usize) -> bool {
-        let ok = self.would_admit(port);
+    fn try_insert(&mut self, port: usize, flow: u32) -> bool {
+        let ok = self.would_admit(port, flow);
         if ok {
             self.live += 1;
             self.ports[port] += 1;
+            *self.flows.entry(flow).or_insert(0) += 1;
         }
         ok
     }
 
-    fn release(&mut self, port: usize) {
+    fn release(&mut self, port: usize, flow: u32) {
         self.live -= 1;
         self.ports[port] -= 1;
+        let c = self.flows.get_mut(&flow).expect("flow was counted");
+        *c -= 1;
+        if *c == 0 {
+            self.flows.remove(&flow);
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum PoolOp {
-    Insert(usize),
+    Insert(usize, u32),
     ReleaseOldest(usize),
 }
 
 fn pool_op() -> impl Strategy<Value = PoolOp> {
     prop_oneof![
-        3 => (0usize..4).prop_map(PoolOp::Insert),
+        3 => (0usize..4, 0u32..3).prop_map(|(port, flow)| PoolOp::Insert(port, flow)),
         2 => (0usize..4).prop_map(PoolOp::ReleaseOldest),
+    ]
+}
+
+fn threshold_strategy() -> impl Strategy<Value = Threshold> {
+    prop_oneof![
+        Just(Threshold::Unlimited),
+        (1usize..16).prop_map(Threshold::Static),
+        (1usize..4, 1usize..4).prop_map(|(num, den)| Threshold::Dynamic { num, den }),
     ]
 }
 
@@ -182,6 +200,8 @@ fn policy_strategy() -> impl Strategy<Value = AdmissionPolicy> {
         (1usize..16).prop_map(|per_port| AdmissionPolicy::Static { per_port }),
         (1usize..4, 1usize..4)
             .prop_map(|(num, den)| AdmissionPolicy::DynamicThreshold { num, den }),
+        (threshold_strategy(), threshold_strategy())
+            .prop_map(|(port, flow)| AdmissionPolicy::PortFlow { port, flow }),
     ]
 }
 
@@ -196,22 +216,34 @@ proptest! {
     ) {
         let pool = SharedPacketPool::new(cap, policy).into_shared();
         let ports: Vec<_> = (0..4).map(|_| pool.register_port()).collect();
-        let mut model = SeqModel { cap, policy, live: 0, ports: vec![0; 4] };
-        let mut held: Vec<Vec<PktHandle>> = vec![Vec::new(); 4];
+        let mut model = SeqModel {
+            cap, policy, live: 0, ports: vec![0; 4], flows: HashMap::new(),
+        };
+        let mut held: Vec<Vec<(u32, PktHandle)>> = vec![Vec::new(); 4];
 
         for (i, op) in ops.into_iter().enumerate() {
             match op {
-                PoolOp::Insert(port) => {
-                    let model_says = model.try_insert(port);
+                PoolOp::Insert(port, flow) => {
+                    let model_says = model.try_insert(port, flow);
+                    // The full (port × flow) probe is the try_insert
+                    // verdict, op for op.
                     prop_assert_eq!(
-                        ports[port].would_admit(),
+                        ports[port].would_admit_flow(FlowId(flow)),
                         model_says,
-                        "would_admit diverges at op {}", i
+                        "would_admit_flow diverges at op {}", i
                     );
-                    match ports[port].try_insert(pkt(i as u64, port as u32)) {
+                    // The port-only probe can only be *more* permissive
+                    // (it skips the flow threshold), never less.
+                    if model_says {
+                        prop_assert!(
+                            ports[port].would_admit(),
+                            "would_admit stricter than the full verdict (op {})", i
+                        );
+                    }
+                    match ports[port].try_insert(pkt(i as u64, flow)) {
                         Ok(h) => {
                             prop_assert!(model_says, "pool admitted, model rejected (op {})", i);
-                            held[port].push(h);
+                            held[port].push((flow, h));
                         }
                         Err(_) => {
                             prop_assert!(!model_says, "pool rejected, model admitted (op {})", i);
@@ -219,15 +251,24 @@ proptest! {
                     }
                 }
                 PoolOp::ReleaseOldest(port) => {
-                    if let Some(h) = (!held[port].is_empty()).then(|| held[port].remove(0)) {
+                    if let Some((flow, h)) =
+                        (!held[port].is_empty()).then(|| held[port].remove(0))
+                    {
                         ports[port].release(h).expect("sole holder");
-                        model.release(port);
+                        model.release(port, flow);
                     }
                 }
             }
             prop_assert_eq!(pool.borrow().live(), model.live);
             for p in 0..4 {
                 prop_assert_eq!(pool.borrow().port_occupancy(p), model.ports[p]);
+            }
+            for f in 0..3u32 {
+                prop_assert_eq!(
+                    pool.borrow().flow_occupancy(FlowId(f)),
+                    model.flows.get(&f).copied().unwrap_or(0),
+                    "flow {} occupancy diverges at op {}", f, i
+                );
             }
         }
         pool.borrow().assert_coherent();

@@ -22,6 +22,7 @@ pub mod baselines;
 pub mod buffer;
 pub mod events;
 pub mod gps;
+pub mod lossless;
 pub mod metrics;
 pub mod pfabric_ref;
 pub mod pipeline;
@@ -34,6 +35,10 @@ pub use baselines::{DrrSched, FifoSched, SfqSched, ShapedFifo, StrictPrioritySch
 pub use buffer::{ManagedScheduler, Red, RedScheduler, SharedBuffer, Threshold};
 pub use events::EventQueue;
 pub use gps::FluidGps;
+pub use lossless::{
+    FabricStall, FaultPlan, LosslessConfig, LosslessFabric, LosslessRun, PauseAction, PauseEvent,
+    SourcePauseStats, StallKind, Watermarks,
+};
 pub use metrics::{
     flow_completions, jain_index, latency_stats, throughput, throughput_series, waits_of,
     FlowCompletion, LatencyStats, ThroughputReport,

@@ -311,12 +311,12 @@ impl SwitchBuilder {
 /// The multi-port fabric (see the module docs). Built by
 /// [`SwitchBuilder`]; driven by [`run`](Self::run).
 pub struct Switch {
-    ports: Vec<ScheduleTree>,
-    classifier: PortClassifier,
-    rate_bps: u64,
-    horizon: Nanos,
-    burst: usize,
-    pool: Option<SharedPool>,
+    pub(crate) ports: Vec<ScheduleTree>,
+    pub(crate) classifier: PortClassifier,
+    pub(crate) rate_bps: u64,
+    pub(crate) horizon: Nanos,
+    pub(crate) burst: usize,
+    pub(crate) pool: Option<SharedPool>,
 }
 
 /// What one egress port did during a [`Switch::run`].

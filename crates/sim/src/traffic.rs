@@ -13,6 +13,21 @@ use rand::{Rng, SeedableRng};
 pub trait TrafficSource {
     /// The next packet, or `None` when the source is exhausted.
     fn next_packet(&mut self) -> Option<Packet>;
+
+    /// PFC-style pause notification: the fabric asked this source to stop
+    /// transmitting at `now` (§6.2). The default is a no-op — an
+    /// oblivious source keeps its precomputed schedule, and the lossless
+    /// fabric holds its packets back for it. Clock-driven sources
+    /// override this (with [`resume`](Self::resume)) to *shift* their
+    /// emission clock by the paused duration, like a real NIC that
+    /// transmits nothing while paused rather than bursting a backlog.
+    ///
+    /// A second `pause` before the matching `resume` is idempotent.
+    fn pause(&mut self, _now: Nanos) {}
+
+    /// PFC-style resume notification at `now`; see [`pause`](Self::pause).
+    /// Without a preceding `pause` this is a no-op.
+    fn resume(&mut self, _now: Nanos) {}
 }
 
 /// Merge sources into one arrival-time-sorted vector.
@@ -52,6 +67,7 @@ pub struct CbrSource {
     next_id: u64,
     seq: u64,
     class: u8,
+    paused_at: Option<Nanos>,
 }
 
 impl CbrSource {
@@ -76,6 +92,7 @@ impl CbrSource {
             next_id: 0,
             seq: 0,
             class: 0,
+            paused_at: None,
         }
     }
 
@@ -98,6 +115,20 @@ impl TrafficSource for CbrSource {
         self.seq += 1;
         self.next_time += self.interval;
         Some(p)
+    }
+
+    fn pause(&mut self, now: Nanos) {
+        if self.paused_at.is_none() {
+            self.paused_at = Some(now);
+        }
+    }
+
+    fn resume(&mut self, now: Nanos) {
+        if let Some(t0) = self.paused_at.take() {
+            // Shift the emission clock by the paused duration: the
+            // stream restarts at its configured rate, it does not burst.
+            self.next_time += now.saturating_sub(t0);
+        }
     }
 }
 
@@ -178,6 +209,7 @@ pub struct OnOffSource {
     end: Nanos,
     next_id: u64,
     seq: u64,
+    paused_at: Option<Nanos>,
 }
 
 impl OnOffSource {
@@ -210,6 +242,7 @@ impl OnOffSource {
             end,
             next_id: 0,
             seq: 0,
+            paused_at: None,
         }
     }
 }
@@ -231,6 +264,18 @@ impl TrafficSource for OnOffSource {
             self.next_time += self.line_gap;
         }
         Some(p)
+    }
+
+    fn pause(&mut self, now: Nanos) {
+        if self.paused_at.is_none() {
+            self.paused_at = Some(now);
+        }
+    }
+
+    fn resume(&mut self, now: Nanos) {
+        if let Some(t0) = self.paused_at.take() {
+            self.next_time += now.saturating_sub(t0);
+        }
     }
 }
 
@@ -261,6 +306,11 @@ pub struct IncastSource {
     k: u32,
     sender: u32,
     next_id: u64,
+    /// Cumulative PFC pause shift added to every emitted time (incast
+    /// times are computed from the epoch grid rather than carried in a
+    /// clock, so the shift is additive).
+    offset: Nanos,
+    paused_at: Option<Nanos>,
 }
 
 impl IncastSource {
@@ -307,6 +357,8 @@ impl IncastSource {
             k: 0,
             sender: 0,
             next_id: 0,
+            offset: Nanos::ZERO,
+            paused_at: None,
         }
     }
 }
@@ -315,8 +367,11 @@ impl TrafficSource for IncastSource {
     fn next_packet(&mut self) -> Option<Packet> {
         // Emission order (epoch, k, sender) is time-sorted: within an
         // epoch, packet k of *every* sender shares one arrival instant.
-        let t =
-            Nanos(self.epoch * self.period.as_nanos() + self.k as u64 * self.line_gap.as_nanos());
+        let t = Nanos(
+            self.offset.as_nanos()
+                + self.epoch * self.period.as_nanos()
+                + self.k as u64 * self.line_gap.as_nanos(),
+        );
         if t >= self.end {
             return None;
         }
@@ -338,6 +393,18 @@ impl TrafficSource for IncastSource {
             }
         }
         Some(p)
+    }
+
+    fn pause(&mut self, now: Nanos) {
+        if self.paused_at.is_none() {
+            self.paused_at = Some(now);
+        }
+    }
+
+    fn resume(&mut self, now: Nanos) {
+        if let Some(t0) = self.paused_at.take() {
+            self.offset += now.saturating_sub(t0);
+        }
     }
 }
 
@@ -363,6 +430,7 @@ pub struct MarkovOnOffSource {
     end: Nanos,
     next_id: u64,
     seq: u64,
+    paused_at: Option<Nanos>,
 }
 
 impl MarkovOnOffSource {
@@ -398,6 +466,7 @@ impl MarkovOnOffSource {
             end,
             next_id: 0,
             seq: 0,
+            paused_at: None,
         };
         src.remaining_in_burst = src.sample_burst();
         src
@@ -434,6 +503,18 @@ impl TrafficSource for MarkovOnOffSource {
             self.next_time += self.line_gap;
         }
         Some(p)
+    }
+
+    fn pause(&mut self, now: Nanos) {
+        if self.paused_at.is_none() {
+            self.paused_at = Some(now);
+        }
+    }
+
+    fn resume(&mut self, now: Nanos) {
+        if let Some(t0) = self.paused_at.take() {
+            self.next_time += now.saturating_sub(t0);
+        }
     }
 }
 
@@ -791,6 +872,81 @@ mod tests {
             .map(|p| p.seq_in_flow)
             .collect();
         assert_eq!(f10, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pause_shifts_the_cbr_clock_without_bursting() {
+        // 1000 B at 8 Mb/s: 1 ms per packet. Pause for 2.5 ms after the
+        // second packet: the stream resumes on a shifted grid, never
+        // emitting a backlog burst, and pause is idempotent.
+        let mut s = CbrSource::new(
+            FlowId(1),
+            1_000,
+            8_000_000,
+            Nanos::ZERO,
+            Nanos::from_millis(10),
+        );
+        let a = s.next_packet().unwrap();
+        let b = s.next_packet().unwrap();
+        assert_eq!((a.arrival.0, b.arrival.0), (0, 1_000_000));
+        s.pause(Nanos::from_millis(2));
+        s.pause(Nanos::from_millis(3)); // second pause: no double shift
+        s.resume(Nanos(4_500_000));
+        let c = s.next_packet().unwrap();
+        assert_eq!(c.arrival, Nanos(4_500_000), "clock shifted by the pause");
+        let d = s.next_packet().unwrap();
+        assert_eq!(d.arrival, Nanos(5_500_000), "rate preserved after resume");
+        // A resume without a pause is a no-op.
+        s.resume(Nanos::from_millis(9));
+        assert_eq!(s.next_packet().unwrap().arrival, Nanos(6_500_000));
+    }
+
+    #[test]
+    fn pause_shifts_the_incast_epoch_grid() {
+        let mut s = IncastSource::new(
+            FlowId(10),
+            2,
+            1_000,
+            2,
+            8_000_000_000,
+            Nanos::from_micros(50),
+            Nanos::from_micros(200),
+        );
+        // Drain epoch 0 (2 senders × 2 packets).
+        for _ in 0..4 {
+            s.next_packet().unwrap();
+        }
+        s.pause(Nanos::from_micros(10));
+        s.resume(Nanos::from_micros(30));
+        // Epoch 1 lands 20 µs late, and the intra-epoch grid is intact.
+        let p = s.next_packet().unwrap();
+        assert_eq!(p.arrival, Nanos::from_micros(70));
+        for _ in 0..2 {
+            s.next_packet().unwrap();
+        }
+        assert_eq!(s.next_packet().unwrap().arrival, Nanos(71_000));
+    }
+
+    #[test]
+    fn default_pause_is_a_noop() {
+        // PoissonSource keeps the trait defaults: pausing must not
+        // disturb its schedule.
+        let run = |pause: bool| {
+            let mut s = PoissonSource::new(FlowId(0), 100, 1e6, Nanos::from_micros(100), 42);
+            let mut out = Vec::new();
+            for i in 0.. {
+                if pause && i == 3 {
+                    s.pause(Nanos(1));
+                    s.resume(Nanos(2));
+                }
+                match s.next_packet() {
+                    Some(p) => out.push(p.arrival.0),
+                    None => break,
+                }
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
