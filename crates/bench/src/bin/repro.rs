@@ -7,6 +7,7 @@
 //! repro --backend bucket <id>...    # run on a specific PIFO engine
 //! repro --backend sp-pifo:4 <id>... # … including approximate ones
 //! repro --lossless [<id>...]        # add the Sec 6.2 lossless demo
+//! repro --domino [<id>...]          # add the Sec 4.1 compiler pipeline
 //! ```
 
 use pifo_bench::cli;
@@ -36,9 +37,19 @@ fn main() {
         args.push("pfc".to_string());
     }
 
+    // `--domino` likewise appends the Sec 4.1 staged-compiler experiment:
+    // every figure program through lex -> parse -> check -> analyze ->
+    // hw map -> interp, printing the pipeline report per figure.
+    if cli::extract_flag(&mut args, "--domino")
+        && args.first().map(|a| a.as_str()) != Some("all")
+        && !args.iter().any(|a| a == "domino")
+    {
+        args.push("domino".to_string());
+    }
+
     if args.is_empty() || args[0] == "list" || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: repro {} [--lossless] <experiment id>... | all | list\n",
+            "usage: repro {} [--lossless] [--domino] <experiment id>... | all | list\n",
             cli::backend_usage()
         );
         eprintln!("experiments:");

@@ -6,7 +6,19 @@
 //! usual arithmetic/comparison operators. No loops — Domino programs
 //! must finish in a bounded pipeline, so the language has no unbounded
 //! control flow by construction.
+//!
+//! Every node carries the byte [`Span`] of the source region it was
+//! parsed from, so downstream passes ([`mod@crate::check`],
+//! [`crate::pipeline`]) can attach caret diagnostics to the exact
+//! offending construct. Equality is **span-insensitive**: two ASTs are
+//! `==` when their shapes match, regardless of where they came from.
+//! That is what makes the grammar round-trip property
+//! `parse(pretty(ast)) == ast` (see `tests/grammar_fuzz.rs`) expressible
+//! at all — and the pretty-printer here ([`Program::pretty`], `Display`)
+//! is its other half: it emits fully parenthesised canonical source that
+//! re-parses to the same tree.
 
+use crate::diag::Span;
 use core::fmt;
 
 /// Binary operators.
@@ -61,12 +73,12 @@ impl fmt::Display for BinOp {
     }
 }
 
-/// Expressions.
+/// Expression shapes (see [`Expr`] for the spanned wrapper).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Expr {
+pub enum ExprKind {
     /// Integer literal.
     Num(i64),
-    /// Scalar state variable or parameter, e.g. `virtual_time`.
+    /// Scalar state variable, parameter, or builtin, e.g. `virtual_time`.
     Var(String),
     /// Packet field, e.g. `p.length`.
     Field(String),
@@ -84,9 +96,40 @@ pub enum Expr {
     Not(Box<Expr>),
 }
 
-/// Assignment targets.
+/// A spanned expression.
+///
+/// `PartialEq` compares only [`ExprKind`] — spans are positions, not
+/// semantics.
+#[derive(Debug, Clone, Eq)]
+pub struct Expr {
+    /// The expression shape.
+    pub kind: ExprKind,
+    /// Source bytes this expression was parsed from.
+    pub span: Span,
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Expr {
+    /// Wrap a kind with a span.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+
+    /// Wrap a kind with [`Span::DUMMY`] (hand-built ASTs: tests,
+    /// generators).
+    pub fn dummy(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::DUMMY)
+    }
+}
+
+/// Assignment-target shapes (see [`LValue`] for the spanned wrapper).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LValue {
+pub enum LValueKind {
     /// Scalar state variable.
     Var(String),
     /// Packet field (scratch fields spring into existence on write).
@@ -95,9 +138,36 @@ pub enum LValue {
     MapPut(String),
 }
 
-/// Statements.
+/// A spanned assignment target. `PartialEq` ignores the span.
+#[derive(Debug, Clone, Eq)]
+pub struct LValue {
+    /// The target shape.
+    pub kind: LValueKind,
+    /// Source bytes of the target.
+    pub span: Span,
+}
+
+impl PartialEq for LValue {
+    fn eq(&self, other: &LValue) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl LValue {
+    /// Wrap a kind with a span.
+    pub fn new(kind: LValueKind, span: Span) -> LValue {
+        LValue { kind, span }
+    }
+
+    /// Wrap a kind with [`Span::DUMMY`].
+    pub fn dummy(kind: LValueKind) -> LValue {
+        LValue::new(kind, Span::DUMMY)
+    }
+}
+
+/// Statement shapes (see [`Stmt`] for the spanned wrapper).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Stmt {
+pub enum StmtKind {
     /// `lhs = expr;`
     Assign(LValue, Expr),
     /// `if (cond) { then } else { otherwise }`
@@ -111,13 +181,64 @@ pub enum Stmt {
     },
 }
 
-/// A declared scalar state variable with its initial value.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A spanned statement. `PartialEq` ignores the span.
+#[derive(Debug, Clone, Eq)]
+pub struct Stmt {
+    /// The statement shape.
+    pub kind: StmtKind,
+    /// Source bytes of the whole statement.
+    pub span: Span,
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Stmt) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Stmt {
+    /// Wrap a kind with a span.
+    pub fn new(kind: StmtKind, span: Span) -> Stmt {
+        Stmt { kind, span }
+    }
+
+    /// Wrap a kind with [`Span::DUMMY`].
+    pub fn dummy(kind: StmtKind) -> Stmt {
+        Stmt::new(kind, Span::DUMMY)
+    }
+}
+
+/// A declared scalar state variable or parameter with its initial value.
+/// `PartialEq` ignores the span.
+#[derive(Debug, Clone, Eq)]
 pub struct StateDecl {
     /// Name.
     pub name: String,
     /// Initial value.
     pub init: i64,
+    /// Source bytes of the declaration's name.
+    pub span: Span,
+}
+
+impl PartialEq for StateDecl {
+    fn eq(&self, other: &StateDecl) -> bool {
+        self.name == other.name && self.init == other.init
+    }
+}
+
+/// A declared per-flow state map. `PartialEq` ignores the span.
+#[derive(Debug, Clone, Eq)]
+pub struct MapDecl {
+    /// Name.
+    pub name: String,
+    /// Source bytes of the declaration's name.
+    pub span: Span,
+}
+
+impl PartialEq for MapDecl {
+    fn eq(&self, other: &MapDecl) -> bool {
+        self.name == other.name
+    }
 }
 
 /// A parsed transaction program.
@@ -126,7 +247,7 @@ pub struct Program {
     /// Scalar state declarations (`state x = 0;`).
     pub states: Vec<StateDecl>,
     /// State map declarations (`statemap last_finish;`).
-    pub maps: Vec<String>,
+    pub maps: Vec<MapDecl>,
     /// Named constants (`param r = 125;`).
     pub params: Vec<StateDecl>,
     /// The per-packet (enqueue) body.
@@ -134,22 +255,146 @@ pub struct Program {
     /// Optional `@dequeue { ... }` body, run when the element leaves the
     /// PIFO (STFQ's virtual-time update). Has access to `rank`.
     pub dequeue_body: Vec<Stmt>,
+    /// True when the source had an `@dequeue` section, even an empty one
+    /// (`@dequeue { }` and no section at all pretty-print differently but
+    /// behave identically).
+    pub has_dequeue: bool,
 }
 
 impl Program {
+    /// An empty program (no declarations, no statements).
+    pub fn empty() -> Program {
+        Program {
+            states: vec![],
+            maps: vec![],
+            params: vec![],
+            body: vec![],
+            dequeue_body: vec![],
+            has_dequeue: false,
+        }
+    }
+
     /// Names of all declared scalar state variables.
     pub fn state_names(&self) -> impl Iterator<Item = &str> {
         self.states.iter().map(|s| s.name.as_str())
     }
 
+    /// Names of all declared state maps.
+    pub fn map_names(&self) -> impl Iterator<Item = &str> {
+        self.maps.iter().map(|m| m.name.as_str())
+    }
+
     /// True if `name` is a declared state scalar or map.
     pub fn is_state(&self, name: &str) -> bool {
-        self.states.iter().any(|s| s.name == name) || self.maps.iter().any(|m| m == name)
+        self.states.iter().any(|s| s.name == name) || self.maps.iter().any(|m| m.name == name)
     }
 
     /// True if `name` is a declared parameter.
     pub fn is_param(&self, name: &str) -> bool {
         self.params.iter().any(|p| p.name == name)
+    }
+
+    /// Canonical source for this program: fully parenthesised, one
+    /// statement per line, such that `parse_unchecked(p.pretty())`
+    /// yields a `Program` equal (span-insensitively) to `p`. This is the
+    /// inverse half of the grammar round-trip property.
+    ///
+    /// The one non-round-trippable value is `i64::MIN`: it prints as
+    /// `-9223372036854775808`, whose magnitude overflows the lexer's
+    /// `i64` literal range.
+    pub fn pretty(&self) -> String {
+        self.to_string()
+    }
+}
+
+fn write_indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    Ok(())
+}
+
+fn write_block(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], depth: usize) -> fmt::Result {
+    if stmts.is_empty() {
+        return f.write_str("{ }");
+    }
+    f.write_str("{\n")?;
+    for s in stmts {
+        write_stmt(f, s, depth + 1)?;
+    }
+    write_indent(f, depth)?;
+    f.write_str("}")
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, depth: usize) -> fmt::Result {
+    write_indent(f, depth)?;
+    match &s.kind {
+        StmtKind::Assign(lv, e) => writeln!(f, "{lv} = {e};"),
+        StmtKind::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            write!(f, "if ({cond}) ")?;
+            write_block(f, then, depth)?;
+            // An `else if` chain parses as `otherwise == [If]`, and a
+            // single-statement else block parses the same way — so
+            // printing every non-empty else as a block is canonical.
+            if !otherwise.is_empty() {
+                f.write_str(" else ")?;
+                write_block(f, otherwise, depth)?;
+            }
+            f.write_str("\n")
+        }
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LValueKind::Var(v) => f.write_str(v),
+            LValueKind::Field(name) => write!(f, "p.{name}"),
+            LValueKind::MapPut(m) => write!(f, "{m}[flow]"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ExprKind::Num(v) => write!(f, "{v}"),
+            ExprKind::Var(v) => f.write_str(v),
+            ExprKind::Field(name) => write!(f, "p.{name}"),
+            ExprKind::MapGet(m) => write!(f, "{m}[flow]"),
+            ExprKind::MapContains(m) => write!(f, "(flow in {m})"),
+            ExprKind::Min(a, b) => write!(f, "min({a}, {b})"),
+            ExprKind::Max(a, b) => write!(f, "max({a}, {b})"),
+            ExprKind::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            ExprKind::Not(e) => write!(f, "(!{e})"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.states {
+            writeln!(f, "state {} = {};", s.name, s.init)?;
+        }
+        for m in &self.maps {
+            writeln!(f, "statemap {};", m.name)?;
+        }
+        for p in &self.params {
+            writeln!(f, "param {} = {};", p.name, p.init)?;
+        }
+        for s in &self.body {
+            write_stmt(f, s, 0)?;
+        }
+        if self.has_dequeue {
+            f.write_str("@dequeue ")?;
+            write_block(f, &self.dequeue_body, 0)?;
+            f.write_str("\n")?;
+        }
+        Ok(())
     }
 }
 
@@ -202,24 +447,27 @@ mod tests {
 
     #[test]
     fn program_lookup_helpers() {
-        let p = Program {
-            states: vec![StateDecl {
-                name: "vt".into(),
-                init: 0,
-            }],
-            maps: vec!["last_finish".into()],
-            params: vec![StateDecl {
-                name: "r".into(),
-                init: 5,
-            }],
-            body: vec![],
-            dequeue_body: vec![],
-        };
+        let mut p = Program::empty();
+        p.states.push(StateDecl {
+            name: "vt".into(),
+            init: 0,
+            span: Span::DUMMY,
+        });
+        p.maps.push(MapDecl {
+            name: "last_finish".into(),
+            span: Span::DUMMY,
+        });
+        p.params.push(StateDecl {
+            name: "r".into(),
+            init: 5,
+            span: Span::DUMMY,
+        });
         assert!(p.is_state("vt"));
         assert!(p.is_state("last_finish"));
         assert!(!p.is_state("r"));
         assert!(p.is_param("r"));
         assert_eq!(p.state_names().collect::<Vec<_>>(), vec!["vt"]);
+        assert_eq!(p.map_names().collect::<Vec<_>>(), vec!["last_finish"]);
     }
 
     #[test]
@@ -227,5 +475,46 @@ mod tests {
         assert_eq!(BinOp::Add.to_string(), "+");
         assert_eq!(BinOp::Le.to_string(), "<=");
         assert_eq!(AtomKind::Pairs.to_string(), "Pairs");
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = Expr::new(ExprKind::Num(7), Span::new(3, 4));
+        let b = Expr::new(ExprKind::Num(7), Span::new(90, 91));
+        assert_eq!(a, b);
+        let s1 = Stmt::new(
+            StmtKind::Assign(LValue::new(LValueKind::Var("x".into()), Span::new(0, 1)), a),
+            Span::new(0, 5),
+        );
+        let s2 = Stmt::dummy(StmtKind::Assign(
+            LValue::dummy(LValueKind::Var("x".into())),
+            b,
+        ));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn pretty_prints_canonical_source() {
+        let mut p = Program::empty();
+        p.states.push(StateDecl {
+            name: "tb".into(),
+            init: -3,
+            span: Span::DUMMY,
+        });
+        p.body.push(Stmt::dummy(StmtKind::Assign(
+            LValue::dummy(LValueKind::Field("rank".into())),
+            Expr::dummy(ExprKind::Bin(
+                BinOp::Add,
+                Box::new(Expr::dummy(ExprKind::Var("tb".into()))),
+                Box::new(Expr::dummy(ExprKind::Min(
+                    Box::new(Expr::dummy(ExprKind::Num(1))),
+                    Box::new(Expr::dummy(ExprKind::MapGet("m".into()))),
+                ))),
+            )),
+        )));
+        assert_eq!(
+            p.pretty(),
+            "state tb = -3;\np.rank = (tb + min(1, m[flow]));\n"
+        );
     }
 }

@@ -1,0 +1,547 @@
+//! The stage checker: static resolution + §4.3 single-stage atomicity.
+//!
+//! This is the third front-end stage (lex → parse → **check**), run by
+//! [`crate::parser::parse`] before a program ever reaches the
+//! interpreter or [`crate::pipeline::analyze`]. It rejects, with spanned
+//! caret diagnostics:
+//!
+//! * **Unresolved identifiers** — a scalar read that names no state,
+//!   param, or builtin; `rank` outside `@dequeue`; declarations that
+//!   shadow builtins or each other.
+//! * **Type confusion** — a state map read as a scalar (`m` instead of
+//!   `m[flow]`), a scalar indexed as a map, assignment to a parameter,
+//!   assignment to an undeclared scalar.
+//! * **Use-before-def packet fields** — reading `p.x` when `x` is
+//!   neither one of the [`INPUT_FIELDS`] the simulator populates
+//!   ([`crate::interp::PacketView::from_packet`]) nor definitely
+//!   assigned on *every* path before the read. The `@dequeue` body
+//!   starts with **no** fields defined, mirroring
+//!   [`crate::interp::PacketView::synthetic`].
+//! * **Multi-stage-atomic state** (§4.3) — more than two state variables
+//!   that must update atomically together, which no single-stage atom
+//!   template can execute; the same clustering the pipeline analysis
+//!   uses ([`crate::pipeline`]), surfaced here with a span on the
+//!   offending declaration.
+//!
+//! A program that passes `check` is guaranteed to interpret without
+//! `UndefVar`/`UndefField`/`BadAssign` runtime errors and to survive
+//! `analyze`'s cluster-size rejection.
+
+use crate::ast::{Expr, ExprKind, LValue, LValueKind, Program, Stmt, StmtKind};
+use crate::diag::{Diagnostic, ParseError, Span};
+use crate::pipeline::state_clusters;
+use core::fmt;
+use std::collections::BTreeSet;
+
+/// Packet fields populated by the simulator before the transaction runs
+/// ([`crate::interp::PacketView::from_packet`]); every other field must
+/// be assigned before it is read.
+pub const INPUT_FIELDS: [&str; 11] = [
+    "length",
+    "arrival",
+    "class",
+    "slack",
+    "deadline",
+    "flow_size",
+    "remaining",
+    "attained",
+    "seq",
+    "length_nb",
+    "prev_wait_time",
+];
+
+/// Builtin value names that cannot be declared as state/map/param.
+const BUILTINS: [&str; 4] = ["now", "flow", "weight", "rank"];
+
+/// Keywords and structural names that cannot be declared either.
+const RESERVED: [&str; 10] = [
+    "state", "statemap", "param", "if", "else", "in", "min", "max", "p", "pkt",
+];
+
+/// A stage-checking error: the same spanned [`Diagnostic`] currency as
+/// [`ParseError`], with a `check error` one-liner `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// The underlying spanned diagnostic.
+    pub diagnostic: Diagnostic,
+}
+
+impl CheckError {
+    fn new(src: &str, span: Span, message: impl Into<String>) -> CheckError {
+        CheckError {
+            diagnostic: Diagnostic::new(src, span, message),
+        }
+    }
+
+    /// What went wrong.
+    pub fn message(&self) -> &str {
+        &self.diagnostic.message
+    }
+
+    /// Byte span of the offending region.
+    pub fn span(&self) -> Span {
+        self.diagnostic.span
+    }
+
+    /// 1-based line.
+    pub fn line(&self) -> usize {
+        self.diagnostic.line
+    }
+
+    /// 1-based column.
+    pub fn col(&self) -> usize {
+        self.diagnostic.col
+    }
+
+    /// The caret-underlined snippet.
+    pub fn render(&self) -> String {
+        self.diagnostic.render()
+    }
+
+    /// Convert into the [`ParseError`] the staged `parse` entry point
+    /// returns, preserving the diagnostic unchanged.
+    pub fn into_parse_error(self) -> ParseError {
+        ParseError {
+            diagnostic: self.diagnostic,
+        }
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "check error at {}:{}: {}",
+            self.diagnostic.line, self.diagnostic.col, self.diagnostic.message
+        )
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+struct Checker<'a> {
+    src: &'a str,
+    prog: &'a Program,
+    /// Are we inside the `@dequeue` body (where `rank` is live and no
+    /// input fields exist)?
+    in_dequeue: bool,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&self, span: Span, msg: impl Into<String>) -> CheckError {
+        CheckError::new(self.src, span, msg)
+    }
+
+    fn is_scalar_state(&self, name: &str) -> bool {
+        self.prog.states.iter().any(|s| s.name == name)
+    }
+
+    fn is_map(&self, name: &str) -> bool {
+        self.prog.maps.iter().any(|m| m.name == name)
+    }
+
+    fn check_decls(&self) -> Result<(), CheckError> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let decls = self
+            .prog
+            .states
+            .iter()
+            .map(|s| (s.name.as_str(), s.span, "state"))
+            .chain(
+                self.prog
+                    .maps
+                    .iter()
+                    .map(|m| (m.name.as_str(), m.span, "statemap")),
+            )
+            .chain(
+                self.prog
+                    .params
+                    .iter()
+                    .map(|p| (p.name.as_str(), p.span, "param")),
+            );
+        for (name, span, _what) in decls {
+            if BUILTINS.contains(&name) || RESERVED.contains(&name) {
+                return Err(self.err(
+                    span,
+                    format!("'{name}' is a builtin name and cannot be declared"),
+                ));
+            }
+            if !seen.insert(name) {
+                return Err(self.err(span, format!("duplicate declaration of '{name}'")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check an expression; `defined` is the set of packet fields known
+    /// to be assigned on every path reaching this point.
+    fn check_expr(&self, e: &Expr, defined: &BTreeSet<String>) -> Result<(), CheckError> {
+        match &e.kind {
+            ExprKind::Num(_) => Ok(()),
+            ExprKind::Var(name) => {
+                if self.is_scalar_state(name) || self.prog.is_param(name) {
+                    return Ok(());
+                }
+                if self.is_map(name) {
+                    return Err(self.err(
+                        e.span,
+                        format!("'{name}' is a state map; read it as '{name}[flow]'"),
+                    ));
+                }
+                match name.as_str() {
+                    "now" | "flow" | "weight" => Ok(()),
+                    "rank" if self.in_dequeue => Ok(()),
+                    "rank" => {
+                        Err(self.err(e.span, "'rank' is only available inside the @dequeue body"))
+                    }
+                    _ => Err(self.err(e.span, format!("undefined variable '{name}'"))),
+                }
+            }
+            ExprKind::Field(f) => {
+                if defined.contains(f) {
+                    return Ok(());
+                }
+                if !self.in_dequeue && INPUT_FIELDS.contains(&f.as_str()) {
+                    return Ok(());
+                }
+                if self.in_dequeue {
+                    Err(self.err(
+                        e.span,
+                        format!(
+                            "read of packet field 'p.{f}' in @dequeue before any assignment \
+                             (the departing packet's fields are not visible there)"
+                        ),
+                    ))
+                } else {
+                    Err(self.err(
+                        e.span,
+                        format!(
+                            "read of packet field 'p.{f}' before any assignment \
+                             ('{f}' is not an input field)"
+                        ),
+                    ))
+                }
+            }
+            ExprKind::MapGet(m) | ExprKind::MapContains(m) => {
+                if self.is_map(m) {
+                    return Ok(());
+                }
+                if self.is_scalar_state(m) || self.prog.is_param(m) {
+                    return Err(self.err(
+                        e.span,
+                        format!("'{m}' is a scalar, not a state map; drop the '[flow]'"),
+                    ));
+                }
+                Err(self.err(
+                    e.span,
+                    format!("undefined state map '{m}'; declare it with 'statemap {m};'"),
+                ))
+            }
+            ExprKind::Min(a, b) | ExprKind::Max(a, b) | ExprKind::Bin(_, a, b) => {
+                self.check_expr(a, defined)?;
+                self.check_expr(b, defined)
+            }
+            ExprKind::Not(a) => self.check_expr(a, defined),
+        }
+    }
+
+    fn check_lvalue(&self, lv: &LValue) -> Result<(), CheckError> {
+        match &lv.kind {
+            LValueKind::Var(name) => {
+                if self.is_scalar_state(name) {
+                    return Ok(());
+                }
+                if self.prog.is_param(name) {
+                    return Err(self.err(
+                        lv.span,
+                        format!("cannot assign to parameter '{name}' (params are constants)"),
+                    ));
+                }
+                if self.is_map(name) {
+                    return Err(self.err(
+                        lv.span,
+                        format!("assignments to state map '{name}' must go through '{name}[flow]'"),
+                    ));
+                }
+                Err(self.err(
+                    lv.span,
+                    format!(
+                        "cannot assign to undeclared variable '{name}'; \
+                         declare it with 'state {name} = 0;' or write a packet field 'p.{name}'"
+                    ),
+                ))
+            }
+            LValueKind::MapPut(m) => {
+                if self.is_map(m) {
+                    return Ok(());
+                }
+                if self.is_scalar_state(m) || self.prog.is_param(m) {
+                    return Err(self.err(
+                        lv.span,
+                        format!("'{m}' is a scalar, not a state map; drop the '[flow]'"),
+                    ));
+                }
+                Err(self.err(
+                    lv.span,
+                    format!("undefined state map '{m}'; declare it with 'statemap {m};'"),
+                ))
+            }
+            LValueKind::Field(_) => Ok(()),
+        }
+    }
+
+    /// Definite-assignment walk: returns with `defined` grown by the
+    /// fields every path through `stmts` assigns.
+    fn check_block(
+        &self,
+        stmts: &[Stmt],
+        defined: &mut BTreeSet<String>,
+    ) -> Result<(), CheckError> {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Assign(lv, e) => {
+                    self.check_expr(e, defined)?;
+                    self.check_lvalue(lv)?;
+                    if let LValueKind::Field(f) = &lv.kind {
+                        defined.insert(f.clone());
+                    }
+                }
+                StmtKind::If {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
+                    self.check_expr(cond, defined)?;
+                    let mut then_defs = defined.clone();
+                    self.check_block(then, &mut then_defs)?;
+                    let mut else_defs = defined.clone();
+                    self.check_block(otherwise, &mut else_defs)?;
+                    // A field is definitely assigned after the `if` only
+                    // when *both* branches assign it.
+                    defined.extend(
+                        then_defs
+                            .intersection(&else_defs)
+                            .cloned()
+                            .collect::<Vec<_>>(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The §4.3 single-stage atomicity rule, on the same clustering the
+    /// pipeline analysis uses: >2 coupled state variables fit no atom
+    /// template. Anchored at the declaration of the first offending
+    /// variable.
+    fn check_atomicity(&self) -> Result<(), CheckError> {
+        for cluster in state_clusters(self.prog).clusters {
+            if cluster.len() > 2 {
+                let first = cluster.iter().next().expect("non-empty cluster");
+                let span = self
+                    .prog
+                    .states
+                    .iter()
+                    .find(|s| s.name == *first)
+                    .map(|s| s.span)
+                    .or_else(|| {
+                        self.prog
+                            .maps
+                            .iter()
+                            .find(|m| m.name == *first)
+                            .map(|m| m.span)
+                    })
+                    .unwrap_or(Span::DUMMY);
+                let vars: Vec<String> = cluster.iter().cloned().collect();
+                return Err(self.err(
+                    span,
+                    format!(
+                        "state variables {{{}}} must update atomically together; \
+                         no single-stage atom template holds {} coupled variables (§4.3)",
+                        vars.join(", "),
+                        vars.len()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stage-check `prog` (parsed from `src`; `src` is only used to render
+/// diagnostics). See the module docs for the rules enforced.
+pub fn check(src: &str, prog: &Program) -> Result<(), CheckError> {
+    let mut ck = Checker {
+        src,
+        prog,
+        in_dequeue: false,
+    };
+    ck.check_decls()?;
+    let mut defined = BTreeSet::new();
+    ck.check_block(&prog.body, &mut defined)?;
+    ck.in_dequeue = true;
+    let mut deq_defined = BTreeSet::new();
+    ck.check_block(&prog.dequeue_body, &mut deq_defined)?;
+    ck.in_dequeue = false;
+    ck.check_atomicity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_unchecked};
+
+    fn check_src(src: &str) -> Result<(), CheckError> {
+        let prog = parse_unchecked(src).unwrap();
+        check(src, &prog)
+    }
+
+    fn err(src: &str) -> CheckError {
+        check_src(src).unwrap_err()
+    }
+
+    #[test]
+    fn accepts_well_formed_programs() {
+        check_src("state vt = 0;\np.rank = vt + p.length;").unwrap();
+        check_src("statemap m;\nif (flow in m) { p.rank = m[flow]; } else { p.rank = 0; }")
+            .unwrap();
+        check_src("param r = 5;\np.rank = r * now + weight;").unwrap();
+        check_src("state vt = 0;\np.rank = vt;\n@dequeue { vt = max(vt, rank); }").unwrap();
+    }
+
+    #[test]
+    fn undefined_variable_is_spanned() {
+        let src = "p.rank = nope;";
+        let e = err(src);
+        assert!(e.message().contains("undefined variable 'nope'"), "{e}");
+        assert_eq!(&src[e.span().lo..e.span().hi], "nope");
+        assert!(e.render().contains("^^^^"), "{}", e.render());
+    }
+
+    #[test]
+    fn map_read_as_scalar_is_type_confusion() {
+        let e = err("statemap m;\np.rank = m;");
+        assert!(e.message().contains("read it as 'm[flow]'"), "{e}");
+    }
+
+    #[test]
+    fn scalar_indexed_as_map_is_type_confusion() {
+        let e = err("state s = 0;\np.rank = s[flow];");
+        assert!(e.message().contains("drop the '[flow]'"), "{e}");
+        let e = err("state s = 0;\ns[flow] = 1;");
+        assert!(e.message().contains("drop the '[flow]'"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_map_is_rejected() {
+        let e = err("p.rank = ghost[flow];");
+        assert!(e.message().contains("statemap ghost;"), "{e}");
+        let e = err("ghost[flow] = 1;");
+        assert!(e.message().contains("statemap ghost;"), "{e}");
+        let e = err("if (flow in ghost) { p.rank = 1; } else { p.rank = 0; }");
+        assert!(e.message().contains("undefined state map"), "{e}");
+    }
+
+    #[test]
+    fn use_before_def_field_is_rejected() {
+        let src = "p.rank = p.start;";
+        let e = err(src);
+        assert!(e.message().contains("before any assignment"), "{e}");
+        assert_eq!(&src[e.span().lo..e.span().hi], "p.start");
+        // Assigned first: fine.
+        check_src("p.start = 1;\np.rank = p.start;").unwrap();
+    }
+
+    #[test]
+    fn input_fields_are_predefined() {
+        for f in INPUT_FIELDS {
+            check_src(&format!("p.rank = p.{f};")).unwrap();
+        }
+    }
+
+    #[test]
+    fn branch_assignment_must_cover_both_arms() {
+        // Only the then-branch assigns p.start: not definite.
+        let e = err("if (p.length > 0) { p.start = 1; } else { p.rank = 0; }\np.rank = p.start;");
+        assert!(e.message().contains("p.start"), "{e}");
+        // Both branches assign: definite.
+        check_src("if (p.length > 0) { p.start = 1; } else { p.start = 2; }\np.rank = p.start;")
+            .unwrap();
+        // Reads inside a branch see earlier same-branch assignments.
+        check_src("if (p.length > 0) { p.start = 1; p.rank = p.start; } else { p.rank = 0; }")
+            .unwrap();
+    }
+
+    #[test]
+    fn rank_only_in_dequeue() {
+        let e = err("p.rank = rank;");
+        assert!(e.message().contains("@dequeue"), "{e}");
+        check_src("state vt = 0;\np.rank = vt;\n@dequeue { vt = rank; }").unwrap();
+    }
+
+    #[test]
+    fn dequeue_has_no_input_fields() {
+        let e = err("state vt = 0;\np.rank = vt;\n@dequeue { vt = p.length; }");
+        assert!(e.message().contains("@dequeue"), "{e}");
+        // But fields assigned inside @dequeue are readable there.
+        check_src("state vt = 0;\np.rank = vt;\n@dequeue { p.t = rank; vt = p.t; }").unwrap();
+    }
+
+    #[test]
+    fn assign_to_param_or_undeclared_rejected() {
+        let e = err("param r = 5;\nr = 6;");
+        assert!(e.message().contains("parameter 'r'"), "{e}");
+        let e = err("x = 6;");
+        assert!(e.message().contains("state x = 0;"), "{e}");
+        let e = err("statemap m;\nm = 6;");
+        assert!(e.message().contains("m[flow]"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_and_builtin_decls_rejected() {
+        let e = err("state x = 0;\nparam x = 1;\np.rank = x;");
+        assert!(e.message().contains("duplicate declaration"), "{e}");
+        let e = err("state now = 0;\np.rank = now;");
+        assert!(e.message().contains("builtin"), "{e}");
+        let e = err("statemap min;\np.rank = 0;");
+        assert!(e.message().contains("builtin"), "{e}");
+    }
+
+    #[test]
+    fn three_way_coupling_rejected_statically() {
+        let src = "state a = 0;\nstate b = 0;\nstate c = 0;\na = b + 1;\nb = c + 1;\nc = a + 1;\np.rank = a;";
+        let e = err(src);
+        assert!(e.message().contains("§4.3"), "{e}");
+        assert!(e.message().contains("{a, b, c}"), "{e}");
+        // Anchored at a declaration, with a caret snippet.
+        assert_eq!(&src[e.span().lo..e.span().hi], "a");
+        assert_eq!(e.line(), 1);
+        assert!(e.render().contains("state a = 0;"), "{}", e.render());
+    }
+
+    #[test]
+    fn parse_runs_the_checker() {
+        // The staged entry point surfaces check errors as ParseError with
+        // the identical diagnostic.
+        let src = "p.rank = nope;";
+        let pe = parse(src).unwrap_err();
+        let ce = err(src);
+        assert_eq!(pe.diagnostic, ce.diagnostic);
+        assert_eq!(pe.span(), ce.span());
+    }
+
+    #[test]
+    fn checked_programs_interp_cleanly() {
+        // The guarantee the module docs promise: check-accepted programs
+        // never hit UndefVar/UndefField/BadAssign at runtime.
+        use crate::interp::{Interp, PacketView};
+        let src = "statemap m;\nstate vt = 0;\nif (flow in m) { p.start = m[flow]; } \
+                   else { p.start = vt; }\np.rank = max(p.start, vt);\n\
+                   @dequeue { vt = max(vt, rank); }";
+        let prog = parse(src).unwrap();
+        let mut i = Interp::new(prog);
+        let mut pkt = PacketView::synthetic(1, 10);
+        i.run(&mut pkt).unwrap();
+        i.run_dequeue(pkt.get("rank").unwrap()).unwrap();
+    }
+}

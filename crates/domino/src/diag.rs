@@ -1,0 +1,270 @@
+//! Spans and caret diagnostics — the error currency of the front-end.
+//!
+//! Every stage of the compiler (lexer, parser, stage checker) reports
+//! failures through the same [`Diagnostic`] type: a message anchored to a
+//! byte-offset [`Span`] into the original source, rendered as a
+//! caret-underlined snippet. [`ParseError`] is the thin public wrapper
+//! the staged [`crate::parser::parse`] entry point returns; the checker's
+//! [`crate::check::CheckError`] wraps the same `Diagnostic` and converts
+//! into a `ParseError` when surfaced through `parse`.
+
+use core::fmt;
+
+/// A half-open byte range `[lo, hi)` into the source text.
+///
+/// Spans are *positions*, not semantics: AST equality
+/// ([`crate::ast::Expr`] etc.) deliberately ignores them so that
+/// `parse(pretty(ast)) == ast` holds for the grammar round-trip property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub lo: usize,
+    /// End byte offset (exclusive).
+    pub hi: usize,
+}
+
+impl Span {
+    /// The placeholder span used by hand-built ASTs (tests, generators).
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// A span covering `lo..hi`.
+    pub fn new(lo: usize, hi: usize) -> Span {
+        debug_assert!(lo <= hi, "span lo {lo} > hi {hi}");
+        Span { lo, hi }
+    }
+
+    /// A zero-width span at `at` (end-of-input positions).
+    pub fn point(at: usize) -> Span {
+        Span { lo: at, hi: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Width in bytes.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// True for zero-width spans.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A compiler message anchored to a source location, able to render a
+/// rustc-style caret snippet:
+///
+/// ```text
+/// error: expected ';', found '}'
+///  --> 1:12
+///   |
+/// 1 | p.rank = 1 }
+///   |            ^
+/// ```
+///
+/// The source line is captured at construction time, so a `Diagnostic`
+/// stays renderable after the source string is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Byte span of the offending region.
+    pub span: Span,
+    /// 1-based line of `span.lo`.
+    pub line: usize,
+    /// 1-based column (in characters) of `span.lo`.
+    pub col: usize,
+    /// The full text of the source line containing `span.lo`.
+    source_line: String,
+    /// Number of characters to underline (always at least 1).
+    underline: usize,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic for `span` in `src`. The span is clamped to the
+    /// source length, so positions from any front-end stage are safe.
+    pub fn new(src: &str, span: Span, message: impl Into<String>) -> Diagnostic {
+        let lo = span.lo.min(src.len());
+        let hi = span.hi.clamp(lo, src.len());
+        let line_start = src[..lo].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[lo..].find('\n').map_or(src.len(), |i| lo + i);
+        let line = src[..lo].matches('\n').count() + 1;
+        let col = src[line_start..lo].chars().count() + 1;
+        // Underline the part of the span on its first line, at least one
+        // caret (zero-width spans — e.g. end-of-input — still point).
+        let underline = src[lo..hi.min(line_end)].chars().count().max(1);
+        Diagnostic {
+            message: message.into(),
+            span: Span::new(lo, hi),
+            line,
+            col,
+            source_line: src[line_start..line_end].to_string(),
+            underline,
+        }
+    }
+
+    /// The caret-underlined snippet (see the type-level example).
+    pub fn render(&self) -> String {
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        // Columns are in characters; rebuild the left margin from the
+        // actual line content so tabs keep their width.
+        let margin: String = self
+            .source_line
+            .chars()
+            .take(self.col - 1)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        format!(
+            "error: {msg}\n\
+             {pad}--> {line}:{col}\n\
+             {pad} |\n\
+             {gutter} | {src}\n\
+             {pad} | {margin}{carets}",
+            msg = self.message,
+            line = self.line,
+            col = self.col,
+            src = self.source_line,
+            carets = "^".repeat(self.underline),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A front-end error (lexing or parsing, and — via [`crate::parser::parse`] —
+/// stage-checking) with full position information.
+///
+/// `Display` keeps the historical terse one-liner
+/// (`parse error at LINE:COL: MESSAGE`); call [`ParseError::render`] for
+/// the caret snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The underlying spanned diagnostic.
+    pub diagnostic: Diagnostic,
+}
+
+impl ParseError {
+    /// Build from a source span.
+    pub fn new(src: &str, span: Span, message: impl Into<String>) -> ParseError {
+        ParseError {
+            diagnostic: Diagnostic::new(src, span, message),
+        }
+    }
+
+    /// What went wrong.
+    pub fn message(&self) -> &str {
+        &self.diagnostic.message
+    }
+
+    /// Byte span of the offending region.
+    pub fn span(&self) -> Span {
+        self.diagnostic.span
+    }
+
+    /// 1-based line.
+    pub fn line(&self) -> usize {
+        self.diagnostic.line
+    }
+
+    /// 1-based column.
+    pub fn col(&self) -> usize {
+        self.diagnostic.col
+    }
+
+    /// The caret-underlined snippet.
+    pub fn render(&self) -> String {
+        self.diagnostic.render()
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.diagnostic.line, self.diagnostic.col, self.diagnostic.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_algebra() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(Span::point(7).is_empty());
+        assert_eq!(Span::point(7).to_string(), "7..7");
+    }
+
+    #[test]
+    fn diagnostic_locates_line_and_col() {
+        let src = "state x = 0;\np.rank = $;\n";
+        let at = src.find('$').unwrap();
+        let d = Diagnostic::new(src, Span::new(at, at + 1), "unexpected character '$'");
+        assert_eq!((d.line, d.col), (2, 10));
+        let r = d.render();
+        assert!(r.contains("2 | p.rank = $;"), "{r}");
+        assert!(r.lines().last().unwrap().ends_with("         ^"), "{r}");
+    }
+
+    #[test]
+    fn render_matches_golden_shape() {
+        let src = "p.rank = 1 }";
+        let d = Diagnostic::new(src, Span::new(11, 12), "expected ';', found '}'");
+        let expected = "\
+error: expected ';', found '}'
+ --> 1:12
+  |
+1 | p.rank = 1 }
+  |            ^";
+        assert_eq!(d.render(), expected);
+    }
+
+    #[test]
+    fn zero_width_span_still_points() {
+        let src = "state x";
+        let d = Diagnostic::new(src, Span::point(src.len()), "unexpected end of input");
+        assert_eq!((d.line, d.col), (1, 8));
+        assert!(d.render().ends_with("^"));
+    }
+
+    #[test]
+    fn multibyte_columns_count_chars() {
+        let src = "p.rank = §;";
+        let at = src.find('§').unwrap();
+        let d = Diagnostic::new(src, Span::new(at, at + '§'.len_utf8()), "bad char");
+        assert_eq!(d.col, 10, "column counts characters, not bytes");
+        assert_eq!(d.underline, 1, "one caret for one char");
+    }
+
+    #[test]
+    fn clamps_out_of_range_spans() {
+        let d = Diagnostic::new("ab", Span::new(10, 20), "late");
+        assert_eq!(d.span, Span::new(2, 2));
+        assert_eq!((d.line, d.col), (1, 3));
+    }
+}

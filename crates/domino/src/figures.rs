@@ -64,7 +64,8 @@ p.rank = p.slack;
 /// catches up one frame per arriving packet, briefly assigning past
 /// departure times. `pifo_algos::StopAndGo` tiles time instead; the
 /// difference is observable only after multi-frame idle gaps (see
-/// `tests/domino_equivalence.rs`).
+/// `tests/figure_equivalence.rs`, which pins both the dense-arrival
+/// equivalence and the post-idle divergence).
 pub const STOP_AND_GO_SRC: &str = r#"
 param T = 1000;
 state frame_begin = 0;

@@ -1,0 +1,190 @@
+//! Mapping compiled transactions onto the `pifo-hw` block model.
+//!
+//! The last leg of the figure-program pipeline: after the front-end
+//! (lex → parse → check) and the atom analysis
+//! ([`crate::pipeline::analyze`]), this module places the program on the
+//! paper's hardware — one stateful atom per state cluster, positioned at
+//! the pipeline stage its data dependencies dictate, plus stateless ALUs
+//! for the packet-field computations, all feeding a
+//! [`pifo_hw::BlockConfig`]-sized PIFO block (§5).
+//!
+//! ```
+//! use domino_lite::{figures, parse, pipeline, hwmap};
+//!
+//! let prog = parse(figures::STFQ_SRC).unwrap();
+//! let report = pipeline::analyze(&prog).unwrap();
+//! let hw = hwmap::map_to_hw(&prog, &report);
+//! assert_eq!(hw.stateful_atoms.len(), 1); // {last_finish, virtual_time}
+//! assert_eq!(hw.block.n_flows, 1024);     // Trident baseline
+//! ```
+
+use crate::ast::{AtomKind, LValueKind, Program};
+use crate::pipeline::{flatten, stage_info, state_clusters, PipelineReport};
+use core::fmt;
+use pifo_hw::BlockConfig;
+
+/// One stateful atom placed in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomPlacement {
+    /// 1-based pipeline stage (data-dependency depth of the cluster's
+    /// fused update; clusters only written in `@dequeue` sit at stage 1).
+    pub stage: usize,
+    /// The state variables the atom owns (one cluster).
+    pub vars: Vec<String>,
+    /// The template the atom must instantiate.
+    pub atom: AtomKind,
+}
+
+/// A transaction mapped onto the hardware: atom placements + the PIFO
+/// block the computed rank feeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwPipelineConfig {
+    /// Pipeline depth (stages) of the enqueue transaction.
+    pub stages: usize,
+    /// Stateful atoms, one per state cluster, in placement order.
+    pub stateful_atoms: Vec<AtomPlacement>,
+    /// Stateless ALUs (packet-field assignments).
+    pub stateless_alus: usize,
+    /// The strongest template any placed atom needs (max over
+    /// `stateful_atoms`, `Stateless` when there are none).
+    pub required_atom: AtomKind,
+    /// The PIFO block this transaction's rank feeds.
+    pub block: BlockConfig,
+}
+
+impl fmt::Display for HwPipelineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} stage(s), {} stateless ALU(s), required atom {}",
+            self.stages, self.stateless_alus, self.required_atom
+        )?;
+        for a in &self.stateful_atoms {
+            writeln!(
+                f,
+                "  stage {}: {} atom on {{{}}}",
+                a.stage,
+                a.atom,
+                a.vars.join(", ")
+            )?;
+        }
+        write!(
+            f,
+            "  -> PIFO block: {} flows x {} lpifos, {}-bit rank, {}-element store",
+            self.block.n_flows,
+            self.block.n_logical_pifos,
+            self.block.rank_bits,
+            self.block.rank_store_capacity
+        )
+    }
+}
+
+/// Map an analyzed program onto a block of the given size.
+///
+/// The `report` must come from [`crate::pipeline::analyze`] on the same
+/// program (its `clusters`/`cluster_atoms` drive the placement).
+pub fn map_to_block(
+    prog: &Program,
+    report: &PipelineReport,
+    block: BlockConfig,
+) -> HwPipelineConfig {
+    // Recompute the clustering (identical order to `analyze`) to get the
+    // per-cluster stage placement from the dependency walk.
+    let clusters = state_clusters(prog).clusters;
+    let (_, cluster_stage) = stage_info(&flatten(&prog.body), prog, &clusters);
+
+    let mut stateful_atoms: Vec<AtomPlacement> = report
+        .clusters
+        .iter()
+        .zip(&report.cluster_atoms)
+        .enumerate()
+        .map(|(i, (vars, atom))| AtomPlacement {
+            stage: cluster_stage.get(&i).copied().unwrap_or(1),
+            vars: vars.clone(),
+            atom: *atom,
+        })
+        .collect();
+    stateful_atoms.sort_by(|a, b| (a.stage, &a.vars).cmp(&(b.stage, &b.vars)));
+
+    let stateless_alus = flatten(&prog.body)
+        .iter()
+        .filter(|ga| matches!(ga.lhs.kind, LValueKind::Field(_)))
+        .count();
+
+    HwPipelineConfig {
+        stages: report.stages,
+        required_atom: report.required_atom,
+        stateful_atoms,
+        stateless_alus,
+        block,
+    }
+}
+
+/// [`map_to_block`] with the paper's Trident-class baseline block
+/// ([`BlockConfig::default`]).
+pub fn map_to_hw(prog: &Program, report: &PipelineReport) -> HwPipelineConfig {
+    map_to_block(prog, report, BlockConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::parser::parse;
+    use crate::pipeline::analyze;
+
+    #[test]
+    fn stfq_places_one_pairs_atom() {
+        let prog = parse(figures::STFQ_SRC).unwrap();
+        let report = analyze(&prog).unwrap();
+        let hw = map_to_hw(&prog, &report);
+        assert_eq!(hw.stateful_atoms.len(), 1);
+        let atom = &hw.stateful_atoms[0];
+        assert_eq!(atom.atom, AtomKind::Pairs);
+        assert_eq!(atom.vars, vec!["last_finish", "virtual_time"]);
+        assert!(atom.stage >= 1 && atom.stage <= hw.stages);
+        assert!(hw.stateless_alus >= 3, "start/serv/rank field writes");
+        assert_eq!(hw.required_atom, AtomKind::Pairs);
+    }
+
+    #[test]
+    fn lstf_is_all_stateless() {
+        let prog = parse(figures::LSTF_SRC).unwrap();
+        let report = analyze(&prog).unwrap();
+        let hw = map_to_hw(&prog, &report);
+        assert!(hw.stateful_atoms.is_empty());
+        assert_eq!(hw.required_atom, AtomKind::Stateless);
+        assert_eq!(hw.stateless_alus, 2);
+    }
+
+    #[test]
+    fn every_figure_maps_within_its_stage_budget() {
+        for (name, src) in figures::all_figures() {
+            let prog = parse(src).unwrap();
+            let report = analyze(&prog).unwrap();
+            let hw = map_to_hw(&prog, &report);
+            assert_eq!(hw.stages, report.stages, "{name}");
+            for a in &hw.stateful_atoms {
+                assert!(
+                    a.stage >= 1 && a.stage <= hw.stages.max(1),
+                    "{name}: atom {{{}}} at stage {} of {}",
+                    a.vars.join(", "),
+                    a.stage,
+                    hw.stages
+                );
+                assert!(!a.vars.is_empty(), "{name}");
+            }
+            // The display form renders without panicking and names the block.
+            let shown = hw.to_string();
+            assert!(shown.contains("PIFO block"), "{shown}");
+        }
+    }
+
+    #[test]
+    fn custom_block_is_threaded_through() {
+        let prog = parse(figures::TBF_SRC).unwrap();
+        let report = analyze(&prog).unwrap();
+        let hw = map_to_block(&prog, &report, BlockConfig::tiny());
+        assert_eq!(hw.block.n_flows, 8);
+    }
+}

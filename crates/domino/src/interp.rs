@@ -7,7 +7,7 @@
 //! has fixed-width behaviour, and we would rather fail loudly in tests
 //! than mis-sort quietly.
 
-use crate::ast::{BinOp, Expr, LValue, Program, Stmt};
+use crate::ast::{BinOp, Expr, ExprKind, LValueKind, Program, Stmt, StmtKind};
 use core::fmt;
 use pifo_core::prelude::*;
 use std::collections::HashMap;
@@ -124,7 +124,7 @@ impl Interp {
         let maps = program
             .maps
             .iter()
-            .map(|m| (m.clone(), HashMap::new()))
+            .map(|m| (m.name.clone(), HashMap::new()))
             .collect();
         let params = program
             .params
@@ -200,20 +200,20 @@ impl Interp {
         rank: Option<i64>,
     ) -> Result<(), RuntimeError> {
         for s in stmts {
-            match s {
-                Stmt::Assign(lv, e) => {
+            match &s.kind {
+                StmtKind::Assign(lv, e) => {
                     let v = self.eval(e, pkt, rank)?;
-                    match lv {
-                        LValue::Var(name) => {
+                    match &lv.kind {
+                        LValueKind::Var(name) => {
                             if !self.state.contains_key(name.as_str()) {
                                 return Err(RuntimeError::BadAssign(name.clone()));
                             }
                             self.state.insert(name.clone(), v);
                         }
-                        LValue::Field(name) => {
+                        LValueKind::Field(name) => {
                             pkt.set(name, v);
                         }
-                        LValue::MapPut(name) => {
+                        LValueKind::MapPut(name) => {
                             let m = self
                                 .maps
                                 .get_mut(name.as_str())
@@ -222,7 +222,7 @@ impl Interp {
                         }
                     }
                 }
-                Stmt::If {
+                StmtKind::If {
                     cond,
                     then,
                     otherwise,
@@ -239,9 +239,9 @@ impl Interp {
     }
 
     fn eval(&self, e: &Expr, pkt: &PacketView, rank: Option<i64>) -> Result<i64, RuntimeError> {
-        match e {
-            Expr::Num(v) => Ok(*v),
-            Expr::Var(name) => {
+        match &e.kind {
+            ExprKind::Num(v) => Ok(*v),
+            ExprKind::Var(name) => {
                 if let Some(v) = self.state.get(name.as_str()) {
                     return Ok(*v);
                 }
@@ -256,27 +256,27 @@ impl Interp {
                     _ => Err(RuntimeError::UndefVar(name.clone())),
                 }
             }
-            Expr::Field(name) => pkt
+            ExprKind::Field(name) => pkt
                 .get(name)
                 .ok_or_else(|| RuntimeError::UndefField(name.clone())),
-            Expr::MapGet(name) => {
+            ExprKind::MapGet(name) => {
                 let m = self
                     .maps
                     .get(name.as_str())
                     .ok_or_else(|| RuntimeError::UndefVar(name.clone()))?;
                 Ok(m.get(&pkt.flow).copied().unwrap_or(0))
             }
-            Expr::MapContains(name) => {
+            ExprKind::MapContains(name) => {
                 let m = self
                     .maps
                     .get(name.as_str())
                     .ok_or_else(|| RuntimeError::UndefVar(name.clone()))?;
                 Ok(m.contains_key(&pkt.flow) as i64)
             }
-            Expr::Min(a, b) => Ok(self.eval(a, pkt, rank)?.min(self.eval(b, pkt, rank)?)),
-            Expr::Max(a, b) => Ok(self.eval(a, pkt, rank)?.max(self.eval(b, pkt, rank)?)),
-            Expr::Not(a) => Ok((self.eval(a, pkt, rank)? == 0) as i64),
-            Expr::Bin(op, a, b) => {
+            ExprKind::Min(a, b) => Ok(self.eval(a, pkt, rank)?.min(self.eval(b, pkt, rank)?)),
+            ExprKind::Max(a, b) => Ok(self.eval(a, pkt, rank)?.max(self.eval(b, pkt, rank)?)),
+            ExprKind::Not(a) => Ok((self.eval(a, pkt, rank)? == 0) as i64),
+            ExprKind::Bin(op, a, b) => {
                 // Short-circuit logical operators.
                 if *op == BinOp::And {
                     let l = self.eval(a, pkt, rank)?;
@@ -329,7 +329,7 @@ impl Interp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
+    use crate::parser::{parse, parse_unchecked};
 
     fn run_once(src: &str, pkt: &mut PacketView) -> Interp {
         let mut i = Interp::new(parse(src).unwrap());
@@ -427,12 +427,14 @@ mod tests {
 
     #[test]
     fn undefined_reads_are_errors() {
-        let mut i = Interp::new(parse("p.rank = nope;").unwrap());
+        // parse_unchecked: the stage checker rejects these statically;
+        // this pins the interpreter's own dynamic backstop.
+        let mut i = Interp::new(parse_unchecked("p.rank = nope;").unwrap());
         assert_eq!(
             i.run(&mut PacketView::synthetic(0, 0)),
             Err(RuntimeError::UndefVar("nope".into()))
         );
-        let mut i = Interp::new(parse("p.rank = p.nope;").unwrap());
+        let mut i = Interp::new(parse_unchecked("p.rank = p.nope;").unwrap());
         assert_eq!(
             i.run(&mut PacketView::synthetic(0, 0)),
             Err(RuntimeError::UndefField("nope".into()))
@@ -441,7 +443,7 @@ mod tests {
 
     #[test]
     fn cannot_assign_params_or_undeclared() {
-        let mut i = Interp::new(parse("param r = 5;\nr = 6;").unwrap());
+        let mut i = Interp::new(parse_unchecked("param r = 5;\nr = 6;").unwrap());
         assert_eq!(
             i.run(&mut PacketView::synthetic(0, 0)),
             Err(RuntimeError::BadAssign("r".into()))

@@ -1,0 +1,318 @@
+//! The hand-rolled lexer: source text → spanned token stream.
+//!
+//! The first of the three front-end stages (lex → parse → check). Every
+//! token carries a byte-offset [`Span`] into the original source, which
+//! the parser threads into AST nodes and every later stage threads into
+//! diagnostics. The token vocabulary is pinned by the golden corpus in
+//! `tests/lexer_corpus.rs` and documented in `grammar.md`.
+//!
+//! Lexical rules:
+//!
+//! * whitespace separates tokens; `// …` and `# …` comments run to end
+//!   of line and produce no tokens;
+//! * identifiers are `[A-Za-z_@][A-Za-z0-9_]*` (the leading `@` exists
+//!   only for the `@dequeue` keyword) and are capped at
+//!   [`MAX_IDENT_LEN`] characters;
+//! * numbers are decimal digit runs with `_` separators allowed after
+//!   the first digit; values must fit `i64`;
+//! * operators and punctuation are the fixed sets in
+//!   [`TWO_CHAR_PUNCT`] / [`ONE_CHAR_PUNCT`], longest-match-first;
+//! * anything else is a spanned error — the lexer never panics, even on
+//!   arbitrary (non-UTF-8-lossy, multibyte, control) input.
+
+use crate::diag::{ParseError, Span};
+use core::fmt;
+
+/// Longest identifier the language accepts, in characters.
+pub const MAX_IDENT_LEN: usize = 256;
+
+/// Two-character operators, matched before any one-character token.
+pub const TWO_CHAR_PUNCT: [&str; 6] = ["<=", ">=", "==", "!=", "&&", "||"];
+
+/// One-character operators and delimiters.
+pub const ONE_CHAR_PUNCT: [&str; 18] = [
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ";", ",", ".",
+];
+
+/// What a token is, independent of where it sits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Decimal integer literal.
+    Num(i64),
+    /// Operator / delimiter — one of [`TWO_CHAR_PUNCT`] or
+    /// [`ONE_CHAR_PUNCT`].
+    Punct(&'static str),
+    /// End of input (always the final token of a lexed stream).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "Ident({s})"),
+            TokenKind::Num(v) => write!(f, "Num({v})"),
+            TokenKind::Punct(p) => write!(f, "Punct({p})"),
+            TokenKind::Eof => write!(f, "Eof"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// How the token reads in an error message ("expected ';', found X").
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("'{s}'"),
+            TokenKind::Num(v) => format!("number {v}"),
+            TokenKind::Punct(p) => format!("'{p}'"),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token and its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub kind: TokenKind,
+    /// Byte span in the original source.
+    pub span: Span,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.span)
+    }
+}
+
+/// Lex `src` into a token stream ending with a single [`TokenKind::Eof`].
+///
+/// Errors carry the span of the offending character or literal and
+/// render a caret snippet:
+///
+/// ```
+/// let err = domino_lite::lexer::lex("p.rank = $;").unwrap_err();
+/// assert!(err.render().contains("^"));
+/// assert_eq!(err.col(), 10);
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut pos = 0usize;
+
+    'outer: while pos < bytes.len() {
+        let c = bytes[pos];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Comments: `// …` and `# …` to end of line.
+        if c == b'#' || (c == b'/' && bytes.get(pos + 1) == Some(&b'/')) {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords ('@' only starts `@dequeue`).
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'@' {
+            let lo = pos;
+            pos += 1;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            let span = Span::new(lo, pos);
+            if pos - lo > MAX_IDENT_LEN {
+                return Err(ParseError::new(
+                    src,
+                    span,
+                    format!(
+                        "identifier is {} characters long; the limit is {MAX_IDENT_LEN}",
+                        pos - lo
+                    ),
+                ));
+            }
+            toks.push(Token {
+                kind: TokenKind::Ident(src[lo..pos].to_string()),
+                span,
+            });
+            continue;
+        }
+        // Numbers: decimal with `_` separators after the first digit.
+        if c.is_ascii_digit() {
+            let lo = pos;
+            let mut v: i64 = 0;
+            let mut overflowed = false;
+            while pos < bytes.len() {
+                let d = bytes[pos];
+                if d.is_ascii_digit() {
+                    v = match v
+                        .checked_mul(10)
+                        .and_then(|x| x.checked_add((d - b'0') as i64))
+                    {
+                        Some(x) => x,
+                        None => {
+                            overflowed = true;
+                            0
+                        }
+                    };
+                    pos += 1;
+                } else if d == b'_' {
+                    pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let span = Span::new(lo, pos);
+            if overflowed {
+                return Err(ParseError::new(src, span, "integer literal overflows i64"));
+            }
+            toks.push(Token {
+                kind: TokenKind::Num(v),
+                span,
+            });
+            continue;
+        }
+        // Two-character operators, longest match first.
+        if pos + 1 < bytes.len() {
+            let pair = &src.as_bytes()[pos..pos + 2];
+            for p in TWO_CHAR_PUNCT {
+                if p.as_bytes() == pair {
+                    toks.push(Token {
+                        kind: TokenKind::Punct(p),
+                        span: Span::new(pos, pos + 2),
+                    });
+                    pos += 2;
+                    continue 'outer;
+                }
+            }
+        }
+        // One-character operators / delimiters.
+        for p in ONE_CHAR_PUNCT {
+            if p.as_bytes()[0] == c {
+                toks.push(Token {
+                    kind: TokenKind::Punct(p),
+                    span: Span::new(pos, pos + 1),
+                });
+                pos += 1;
+                continue 'outer;
+            }
+        }
+        // Anything else is an error, spanning the whole character (which
+        // may be multibyte).
+        let ch = src[pos..].chars().next().expect("pos is a char boundary");
+        return Err(ParseError::new(
+            src,
+            Span::new(pos, pos + ch.len_utf8()),
+            format!("unexpected character '{}'", ch.escape_default()),
+        ));
+    }
+
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::point(src.len()),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_spanned_stream() {
+        let toks = lex("state vt = 0;").unwrap();
+        let rendered: Vec<String> = toks.iter().map(|t| t.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "Ident(state)@0..5",
+                "Ident(vt)@6..8",
+                "Punct(=)@9..10",
+                "Num(0)@11..12",
+                "Punct(;)@12..13",
+                "Eof@13..13",
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        assert_eq!(
+            kinds("<= < == = != ! && ||"),
+            vec![
+                TokenKind::Punct("<="),
+                TokenKind::Punct("<"),
+                TokenKind::Punct("=="),
+                TokenKind::Punct("="),
+                TokenKind::Punct("!="),
+                TokenKind::Punct("!"),
+                TokenKind::Punct("&&"),
+                TokenKind::Punct("||"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_underscores() {
+        assert_eq!(
+            kinds("// full line\nparam B = 1_500_000; # trailing"),
+            vec![
+                TokenKind::Ident("param".into()),
+                TokenKind::Ident("B".into()),
+                TokenKind::Punct("="),
+                TokenKind::Num(1_500_000),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        let toks = lex("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+        assert_eq!(toks[0].span, Span::point(0));
+    }
+
+    #[test]
+    fn overflow_literal_is_spanned_error() {
+        let err = lex("x = 99999999999999999999;").unwrap_err();
+        assert!(err.message().contains("overflows i64"), "{err}");
+        assert_eq!(err.span(), Span::new(4, 24));
+    }
+
+    #[test]
+    fn bad_char_is_spanned_error() {
+        let err = lex("p.rank = $;").unwrap_err();
+        assert_eq!(err.span(), Span::new(9, 10));
+        assert!(err.message().contains("unexpected character '$'"));
+        // Multibyte characters span their full UTF-8 width.
+        let err = lex("p.rank = §;").unwrap_err();
+        assert_eq!(err.span().len(), '§'.len_utf8());
+    }
+
+    #[test]
+    fn identifier_length_boundary() {
+        let ok = "a".repeat(MAX_IDENT_LEN);
+        assert_eq!(kinds(&ok).len(), 2, "limit-length identifier lexes");
+        let too_long = "a".repeat(MAX_IDENT_LEN + 1);
+        let err = lex(&too_long).unwrap_err();
+        assert!(err.message().contains("limit is 256"), "{err}");
+        assert_eq!(err.span(), Span::new(0, MAX_IDENT_LEN + 1));
+    }
+
+    #[test]
+    fn ampersand_alone_is_error_not_and() {
+        let err = lex("a & b").unwrap_err();
+        assert!(err.message().contains("'&'"), "{err}");
+        assert_eq!(err.span(), Span::new(2, 3));
+    }
+}

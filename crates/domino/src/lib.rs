@@ -5,15 +5,27 @@
 //! onto a pipeline of hardware atoms, and rejected when no atom template
 //! can execute their state updates atomically at line rate.
 //!
-//! Four pieces:
+//! The compiler is a staged front-end plus three back-end consumers:
 //!
-//! * [`parser`] — a C-ish surface syntax for the paper's transaction
-//!   pseudocode (Figs 1, 4c, 6, 7, 8);
+//! * [`lexer`] — source text → spanned tokens (`Span { lo, hi }` byte
+//!   offsets);
+//! * [`parser`] — recursive-descent over the token stream; every AST
+//!   node carries its span; [`parse`] = lex → parse → check,
+//!   [`parser::parse_unchecked`] stops after the grammar;
+//! * [`mod@check`] — the stage checker: resolves state vs. packet-field vs.
+//!   builtin identifiers, rejects use-before-def and type-confused
+//!   programs, and enforces the §4.3 single-stage atomicity rule before
+//!   analysis;
+//! * [`diag`] — the shared [`diag::Diagnostic`] every front-end error
+//!   renders as a caret-underlined snippet;
 //! * [`interp`] — deterministic checked-integer execution with serial
 //!   packet-transaction semantics;
 //! * [`pipeline`] — the atom-pipeline compiler: state-variable
 //!   clustering, atom classification against the vocabulary of §4.1
 //!   (up to `Pairs`), and pipeline-depth estimation;
+//! * [`hwmap`] — places the analyzed program on a `pifo-hw` block:
+//!   per-stage atom placement plus the [`pifo_hw::BlockConfig`] the
+//!   computed rank feeds;
 //! * [`adapter`] — run any program as a `pifo-core`
 //!   scheduling/shaping transaction, interchangeable with the native
 //!   Rust implementations in `pifo-algos`.
@@ -25,6 +37,10 @@
 //! let prog = domino_lite::parser::parse(figures::STFQ_SRC).unwrap();
 //! let report = pipeline::analyze(&prog).unwrap();
 //! assert_eq!(report.required_atom, AtomKind::Pairs);
+//!
+//! // Front-end errors carry spans and render caret snippets.
+//! let err = domino_lite::parse("p.rank = p.start;").unwrap_err();
+//! assert!(err.render().contains("^"));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -33,13 +49,21 @@
 
 pub mod adapter;
 pub mod ast;
+pub mod check;
+pub mod diag;
 pub mod figures;
+pub mod hwmap;
 pub mod interp;
+pub mod lexer;
 pub mod parser;
 pub mod pipeline;
 
 pub use adapter::{DominoScheduling, DominoShaping};
 pub use ast::{AtomKind, Program};
+pub use check::{check, CheckError};
+pub use diag::{Diagnostic, Span};
+pub use hwmap::{map_to_hw, HwPipelineConfig};
 pub use interp::{Interp, PacketView, RuntimeError};
-pub use parser::{parse, ParseError};
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::{parse, parse_unchecked, ParseError};
 pub use pipeline::{analyze, compile, CompileError, PipelineReport};

@@ -1,6 +1,8 @@
-//! Lexer and recursive-descent parser for domino-lite.
+//! Recursive-descent parser for domino-lite, consuming the spanned
+//! token stream produced by [`crate::lexer`].
 //!
-//! Grammar (EBNF-ish):
+//! The grammar is documented in `crates/domino/grammar.md`; the short
+//! version:
 //!
 //! ```text
 //! program   := decl* stmt* deq?
@@ -17,244 +19,70 @@
 //!              parentheses, integers (optionally negative), idents,
 //!              fields, map reads.
 //! ```
+//!
+//! Two entry points:
+//!
+//! * [`parse`] is the staged front-end — lex → parse → [`crate::check()`]
+//!   — and is what every production call site uses. A program it
+//!   accepts is statically known to interpret without
+//!   undefined-identifier errors and to fit a single-stage atom
+//!   pipeline (§4.3).
+//! * [`parse_unchecked`] stops after the grammar (lex → parse). Tests
+//!   use it to build programs the checker would reject, e.g. to pin the
+//!   runtime and `pipeline::analyze` behaviour on such programs, and the
+//!   fuzz round-trip property uses it because generated ASTs need not
+//!   be stage-checkable.
+//!
+//! Every AST node carries the [`Span`] of the source it came from, and
+//! every error points at the offending token — including end-of-input
+//! errors (the span is the zero-width point after the last token) and
+//! unterminated blocks (the span is the `{` that was never closed).
 
-use crate::ast::{BinOp, Expr, LValue, Program, StateDecl, Stmt};
-use core::fmt;
+use crate::ast::{
+    BinOp, Expr, ExprKind, LValue, LValueKind, MapDecl, Program, StateDecl, Stmt, StmtKind,
+};
+use crate::diag::Span;
+use crate::lexer::{lex, Token, TokenKind};
 
-/// A parse error with position information.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// What went wrong.
-    pub message: String,
-    /// 1-based line.
-    pub line: usize,
-    /// 1-based column.
-    pub col: usize,
-}
+pub use crate::diag::ParseError;
 
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "parse error at {}:{}: {}",
-            self.line, self.col, self.message
-        )
-    }
-}
+/// Maximum nesting depth for statements + expressions combined. Deep
+/// enough for any realistic transaction (the paper's figures nest < 10),
+/// shallow enough that the raw-bytes fuzz property cannot overflow the
+/// stack with `((((((…`.
+pub const MAX_NEST_DEPTH: usize = 64;
 
-impl std::error::Error for ParseError {}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Num(i64),
-    Punct(&'static str),
-    Eof,
-}
-
-struct Lexer<'a> {
-    src: &'a [u8],
-    pos: usize,
-    line: usize,
-    col: usize,
-}
-
-struct Spanned {
-    tok: Tok,
-    line: usize,
-    col: usize,
-}
-
-impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Self {
-        Lexer {
-            src: src.as_bytes(),
-            pos: 0,
-            line: 1,
-            col: 1,
-        }
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let c = *self.src.get(self.pos)?;
-        self.pos += 1;
-        if c == b'\n' {
-            self.line += 1;
-            self.col = 1;
-        } else {
-            self.col += 1;
-        }
-        Some(c)
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.src.get(self.pos).copied()
-    }
-
-    fn peek2(&self) -> Option<u8> {
-        self.src.get(self.pos + 1).copied()
-    }
-
-    fn skip_ws_and_comments(&mut self) {
-        loop {
-            match self.peek() {
-                Some(c) if c.is_ascii_whitespace() => {
-                    self.bump();
-                }
-                Some(b'/') if self.peek2() == Some(b'/') => {
-                    while let Some(c) = self.peek() {
-                        if c == b'\n' {
-                            break;
-                        }
-                        self.bump();
-                    }
-                }
-                Some(b'#') => {
-                    while let Some(c) = self.peek() {
-                        if c == b'\n' {
-                            break;
-                        }
-                        self.bump();
-                    }
-                }
-                _ => break,
-            }
-        }
-    }
-
-    fn next_token(&mut self) -> Result<Spanned, ParseError> {
-        self.skip_ws_and_comments();
-        let (line, col) = (self.line, self.col);
-        let Some(c) = self.peek() else {
-            return Ok(Spanned {
-                tok: Tok::Eof,
-                line,
-                col,
-            });
-        };
-        // Identifiers / keywords (includes '@' for @dequeue).
-        if c.is_ascii_alphabetic() || c == b'_' || c == b'@' {
-            let mut s = String::new();
-            s.push(self.bump().unwrap() as char);
-            while let Some(c) = self.peek() {
-                if c.is_ascii_alphanumeric() || c == b'_' {
-                    s.push(self.bump().unwrap() as char);
-                } else {
-                    break;
-                }
-            }
-            return Ok(Spanned {
-                tok: Tok::Ident(s),
-                line,
-                col,
-            });
-        }
-        // Numbers (decimal; underscores allowed).
-        if c.is_ascii_digit() {
-            let mut v: i64 = 0;
-            while let Some(c) = self.peek() {
-                if c.is_ascii_digit() {
-                    let d = (self.bump().unwrap() - b'0') as i64;
-                    v = v
-                        .checked_mul(10)
-                        .and_then(|x| x.checked_add(d))
-                        .ok_or(ParseError {
-                            message: "integer literal overflows i64".into(),
-                            line,
-                            col,
-                        })?;
-                } else if c == b'_' {
-                    self.bump();
-                } else {
-                    break;
-                }
-            }
-            return Ok(Spanned {
-                tok: Tok::Num(v),
-                line,
-                col,
-            });
-        }
-        // Punctuation (two-char first).
-        let two: Option<&'static str> = match (c, self.peek2()) {
-            (b'<', Some(b'=')) => Some("<="),
-            (b'>', Some(b'=')) => Some(">="),
-            (b'=', Some(b'=')) => Some("=="),
-            (b'!', Some(b'=')) => Some("!="),
-            (b'&', Some(b'&')) => Some("&&"),
-            (b'|', Some(b'|')) => Some("||"),
-            _ => None,
-        };
-        if let Some(p) = two {
-            self.bump();
-            self.bump();
-            return Ok(Spanned {
-                tok: Tok::Punct(p),
-                line,
-                col,
-            });
-        }
-        let one: &'static str = match c {
-            b'+' => "+",
-            b'-' => "-",
-            b'*' => "*",
-            b'/' => "/",
-            b'%' => "%",
-            b'<' => "<",
-            b'>' => ">",
-            b'=' => "=",
-            b'!' => "!",
-            b'(' => "(",
-            b')' => ")",
-            b'{' => "{",
-            b'}' => "}",
-            b'[' => "[",
-            b']' => "]",
-            b';' => ";",
-            b',' => ",",
-            b'.' => ".",
-            other => {
-                return Err(ParseError {
-                    message: format!("unexpected character '{}'", other as char),
-                    line,
-                    col,
-                })
-            }
-        };
-        self.bump();
-        Ok(Spanned {
-            tok: Tok::Punct(one),
-            line,
-            col,
-        })
-    }
-}
-
-struct Parser {
-    toks: Vec<Spanned>,
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Token>,
     i: usize,
+    depth: usize,
 }
 
-impl Parser {
-    fn peek(&self) -> &Tok {
-        &self.toks[self.i].tok
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.i].kind
     }
 
-    fn pos(&self) -> (usize, usize) {
-        (self.toks[self.i].line, self.toks[self.i].col)
+    fn peek_span(&self) -> Span {
+        self.toks[self.i].span
+    }
+
+    /// Span of the most recently consumed token (for closing `hi` ends).
+    fn prev_span(&self) -> Span {
+        self.toks[self.i.saturating_sub(1)].span
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        let (line, col) = self.pos();
-        ParseError {
-            message: msg.into(),
-            line,
-            col,
-        }
+        self.err_at(self.peek_span(), msg)
     }
 
-    fn bump(&mut self) -> Tok {
-        let t = self.toks[self.i].tok.clone();
+    fn err_at(&self, span: Span, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.src, span, msg)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.toks[self.i].kind.clone();
         if self.i + 1 < self.toks.len() {
             self.i += 1;
         }
@@ -263,321 +91,402 @@ impl Parser {
 
     fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
         match self.peek() {
-            Tok::Punct(q) if *q == p => {
+            TokenKind::Punct(q) if *q == p => {
                 self.bump();
                 Ok(())
             }
-            other => Err(self.err(format!("expected '{p}', found {other:?}"))),
+            other => Err(self.err(format!("expected '{p}', found {}", other.describe()))),
         }
     }
 
-    fn eat_ident(&mut self) -> Result<String, ParseError> {
+    /// Consume an identifier, returning it with its span.
+    fn eat_ident(&mut self) -> Result<(String, Span), ParseError> {
         match self.peek().clone() {
-            Tok::Ident(s) => {
+            TokenKind::Ident(s) => {
+                let span = self.peek_span();
                 self.bump();
-                Ok(s)
+                Ok((s, span))
             }
-            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
         }
     }
 
+    /// Consume an integer literal with optional leading minus.
     fn eat_int(&mut self) -> Result<i64, ParseError> {
-        // Allow a leading minus.
-        let neg = matches!(self.peek(), Tok::Punct("-"));
+        let neg = matches!(self.peek(), TokenKind::Punct("-"));
         if neg {
             self.bump();
         }
         match self.peek().clone() {
-            Tok::Num(v) => {
+            TokenKind::Num(v) => {
                 self.bump();
                 Ok(if neg { -v } else { v })
             }
-            other => Err(self.err(format!("expected integer, found {other:?}"))),
+            other => Err(self.err(format!("expected integer, found {}", other.describe()))),
         }
     }
 
     fn at_ident(&self, kw: &str) -> bool {
-        matches!(self.peek(), Tok::Ident(s) if s == kw)
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    /// Guard against pathological nesting (fuzz inputs like `((((…`).
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_NEST_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn program(&mut self) -> Result<Program, ParseError> {
-        let mut p = Program {
-            states: vec![],
-            maps: vec![],
-            params: vec![],
-            body: vec![],
-            dequeue_body: vec![],
-        };
+        let mut p = Program::empty();
         // Declarations.
         loop {
             if self.at_ident("state") {
                 self.bump();
-                let name = self.eat_ident()?;
+                let (name, span) = self.eat_ident()?;
                 self.eat_punct("=")?;
                 let init = self.eat_int()?;
                 self.eat_punct(";")?;
-                p.states.push(StateDecl { name, init });
+                p.states.push(StateDecl { name, init, span });
             } else if self.at_ident("statemap") {
                 self.bump();
-                let name = self.eat_ident()?;
+                let (name, span) = self.eat_ident()?;
                 self.eat_punct(";")?;
-                p.maps.push(name);
+                p.maps.push(MapDecl { name, span });
             } else if self.at_ident("param") {
                 self.bump();
-                let name = self.eat_ident()?;
+                let (name, span) = self.eat_ident()?;
                 self.eat_punct("=")?;
                 let init = self.eat_int()?;
                 self.eat_punct(";")?;
-                p.params.push(StateDecl { name, init });
+                p.params.push(StateDecl { name, init, span });
             } else {
                 break;
             }
         }
         // Body.
-        while !matches!(self.peek(), Tok::Eof) && !self.at_ident("@dequeue") {
-            let s = self.stmt(&p)?;
+        while !matches!(self.peek(), TokenKind::Eof) && !self.at_ident("@dequeue") {
+            let s = self.stmt()?;
             p.body.push(s);
         }
         // Optional dequeue hook.
         if self.at_ident("@dequeue") {
             self.bump();
-            p.dequeue_body = self.block(&p)?;
+            p.dequeue_body = self.block()?;
+            p.has_dequeue = true;
         }
         match self.peek() {
-            Tok::Eof => Ok(p),
-            other => Err(self.err(format!("trailing input: {other:?}"))),
+            TokenKind::Eof => Ok(p),
+            other => Err(self.err(format!("trailing input: {}", other.describe()))),
         }
     }
 
-    fn block(&mut self, ctx: &Program) -> Result<Vec<Stmt>, ParseError> {
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let open = self.peek_span();
         self.eat_punct("{")?;
         let mut out = vec![];
-        while !matches!(self.peek(), Tok::Punct("}")) {
-            if matches!(self.peek(), Tok::Eof) {
-                return Err(self.err("unterminated block"));
+        while !matches!(self.peek(), TokenKind::Punct("}")) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                // Point at the brace that was never closed, not at the
+                // end of input — the opening is where the fix goes.
+                return Err(self.err_at(open, "unterminated block (opened here)"));
             }
-            out.push(self.stmt(ctx)?);
+            out.push(self.stmt()?);
         }
         self.eat_punct("}")?;
         Ok(out)
     }
 
-    fn stmt(&mut self, ctx: &Program) -> Result<Stmt, ParseError> {
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.peek_span();
         if self.at_ident("if") {
             self.bump();
             self.eat_punct("(")?;
-            let cond = self.expr(ctx)?;
+            let cond = self.expr()?;
             self.eat_punct(")")?;
-            let then = self.block(ctx)?;
+            let then = self.block()?;
             let otherwise = if self.at_ident("else") {
                 self.bump();
                 if self.at_ident("if") {
-                    vec![self.stmt(ctx)?]
+                    vec![self.stmt()?]
                 } else {
-                    self.block(ctx)?
+                    self.block()?
                 }
             } else {
                 vec![]
             };
-            return Ok(Stmt::If {
-                cond,
-                then,
-                otherwise,
-            });
+            return Ok(Stmt::new(
+                StmtKind::If {
+                    cond,
+                    then,
+                    otherwise,
+                },
+                lo.to(self.prev_span()),
+            ));
         }
         // Assignment.
         let lv = self.lvalue()?;
         self.eat_punct("=")?;
-        let e = self.expr(ctx)?;
+        let e = self.expr()?;
         self.eat_punct(";")?;
-        Ok(Stmt::Assign(lv, e))
+        Ok(Stmt::new(StmtKind::Assign(lv, e), lo.to(self.prev_span())))
     }
 
     fn lvalue(&mut self) -> Result<LValue, ParseError> {
-        let name = self.eat_ident()?;
-        if (name == "p" || name == "pkt") && matches!(self.peek(), Tok::Punct(".")) {
+        let (name, name_span) = self.eat_ident()?;
+        if (name == "p" || name == "pkt") && matches!(self.peek(), TokenKind::Punct(".")) {
             self.bump();
-            let field = self.eat_ident()?;
-            return Ok(LValue::Field(field));
+            let (field, field_span) = self.eat_ident()?;
+            return Ok(LValue::new(
+                LValueKind::Field(field),
+                name_span.to(field_span),
+            ));
         }
-        if matches!(self.peek(), Tok::Punct("[")) {
+        if matches!(self.peek(), TokenKind::Punct("[")) {
             self.bump();
-            let key = self.eat_ident()?;
+            let (key, key_span) = self.eat_ident()?;
             if key != "flow" {
-                return Err(self.err("state maps are keyed by 'flow' only"));
+                return Err(self.err_at(key_span, "state maps are keyed by 'flow' only"));
             }
             self.eat_punct("]")?;
-            return Ok(LValue::MapPut(name));
+            return Ok(LValue::new(
+                LValueKind::MapPut(name),
+                name_span.to(self.prev_span()),
+            ));
         }
-        Ok(LValue::Var(name))
+        Ok(LValue::new(LValueKind::Var(name), name_span))
     }
 
     // Precedence climbing: || < && < comparison < additive < multiplicative.
-    fn expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
-        self.or_expr(ctx)
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.or_expr();
+        self.leave();
+        r
     }
 
-    fn or_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
-        let mut e = self.and_expr(ctx)?;
-        while matches!(self.peek(), Tok::Punct("||")) {
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while matches!(self.peek(), TokenKind::Punct("||")) {
             self.bump();
-            let rhs = self.and_expr(ctx)?;
-            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(rhs));
+            let rhs = self.and_expr()?;
+            let span = e.span.to(rhs.span);
+            e = Expr::new(ExprKind::Bin(BinOp::Or, Box::new(e), Box::new(rhs)), span);
         }
         Ok(e)
     }
 
-    fn and_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
-        let mut e = self.cmp_expr(ctx)?;
-        while matches!(self.peek(), Tok::Punct("&&")) {
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cmp_expr()?;
+        while matches!(self.peek(), TokenKind::Punct("&&")) {
             self.bump();
-            let rhs = self.cmp_expr(ctx)?;
-            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(rhs));
+            let rhs = self.cmp_expr()?;
+            let span = e.span.to(rhs.span);
+            e = Expr::new(ExprKind::Bin(BinOp::And, Box::new(e), Box::new(rhs)), span);
         }
         Ok(e)
     }
 
-    fn cmp_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
-        let e = self.add_expr(ctx)?;
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let e = self.add_expr()?;
         let op = match self.peek() {
-            Tok::Punct("<") => Some(BinOp::Lt),
-            Tok::Punct("<=") => Some(BinOp::Le),
-            Tok::Punct(">") => Some(BinOp::Gt),
-            Tok::Punct(">=") => Some(BinOp::Ge),
-            Tok::Punct("==") => Some(BinOp::Eq),
-            Tok::Punct("!=") => Some(BinOp::Ne),
+            TokenKind::Punct("<") => Some(BinOp::Lt),
+            TokenKind::Punct("<=") => Some(BinOp::Le),
+            TokenKind::Punct(">") => Some(BinOp::Gt),
+            TokenKind::Punct(">=") => Some(BinOp::Ge),
+            TokenKind::Punct("==") => Some(BinOp::Eq),
+            TokenKind::Punct("!=") => Some(BinOp::Ne),
             _ => None,
         };
         if let Some(op) = op {
             self.bump();
-            let rhs = self.add_expr(ctx)?;
-            return Ok(Expr::Bin(op, Box::new(e), Box::new(rhs)));
+            let rhs = self.add_expr()?;
+            let span = e.span.to(rhs.span);
+            return Ok(Expr::new(
+                ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+                span,
+            ));
         }
         Ok(e)
     }
 
-    fn add_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
-        let mut e = self.mul_expr(ctx)?;
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr()?;
         loop {
             let op = match self.peek() {
-                Tok::Punct("+") => BinOp::Add,
-                Tok::Punct("-") => BinOp::Sub,
+                TokenKind::Punct("+") => BinOp::Add,
+                TokenKind::Punct("-") => BinOp::Sub,
                 _ => break,
             };
             self.bump();
-            let rhs = self.mul_expr(ctx)?;
-            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+            let rhs = self.mul_expr()?;
+            let span = e.span.to(rhs.span);
+            e = Expr::new(ExprKind::Bin(op, Box::new(e), Box::new(rhs)), span);
         }
         Ok(e)
     }
 
-    fn mul_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
-        let mut e = self.unary_expr(ctx)?;
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
         loop {
             let op = match self.peek() {
-                Tok::Punct("*") => BinOp::Mul,
-                Tok::Punct("/") => BinOp::Div,
-                Tok::Punct("%") => BinOp::Mod,
+                TokenKind::Punct("*") => BinOp::Mul,
+                TokenKind::Punct("/") => BinOp::Div,
+                TokenKind::Punct("%") => BinOp::Mod,
                 _ => break,
             };
             self.bump();
-            let rhs = self.unary_expr(ctx)?;
-            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+            let rhs = self.unary_expr()?;
+            let span = e.span.to(rhs.span);
+            e = Expr::new(ExprKind::Bin(op, Box::new(e), Box::new(rhs)), span);
         }
         Ok(e)
     }
 
-    fn unary_expr(&mut self, ctx: &Program) -> Result<Expr, ParseError> {
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
         match self.peek().clone() {
-            Tok::Punct("!") => {
+            TokenKind::Punct("!") => {
                 self.bump();
-                Ok(Expr::Not(Box::new(self.unary_expr(ctx)?)))
+                let e = self.unary_expr()?;
+                let span = lo.to(e.span);
+                Ok(Expr::new(ExprKind::Not(Box::new(e)), span))
             }
-            Tok::Punct("-") => {
+            TokenKind::Punct("-") => {
                 self.bump();
-                let e = self.unary_expr(ctx)?;
-                Ok(Expr::Bin(BinOp::Sub, Box::new(Expr::Num(0)), Box::new(e)))
+                let e = self.unary_expr()?;
+                let span = lo.to(e.span);
+                // Fold a negated literal into the literal, so `-5` is the
+                // AST `Num(-5)` and pretty-printed negatives round-trip.
+                // (Magnitudes stop at i64::MAX — the lexer rejects larger
+                // literals — so negation cannot overflow.)
+                if let ExprKind::Num(v) = e.kind {
+                    return Ok(Expr::new(ExprKind::Num(-v), span));
+                }
+                Ok(Expr::new(
+                    ExprKind::Bin(
+                        BinOp::Sub,
+                        Box::new(Expr::new(ExprKind::Num(0), lo)),
+                        Box::new(e),
+                    ),
+                    span,
+                ))
             }
-            Tok::Punct("(") => {
+            TokenKind::Punct("(") => {
                 self.bump();
-                let e = self.expr(ctx)?;
+                let e = self.expr()?;
                 self.eat_punct(")")?;
                 Ok(e)
             }
-            Tok::Num(v) => {
+            TokenKind::Num(v) => {
                 self.bump();
-                Ok(Expr::Num(v))
+                Ok(Expr::new(ExprKind::Num(v), lo))
             }
-            Tok::Ident(name) => {
+            TokenKind::Ident(name) => {
                 self.bump();
                 // min/max calls
-                if (name == "min" || name == "max") && matches!(self.peek(), Tok::Punct("(")) {
+                if (name == "min" || name == "max") && matches!(self.peek(), TokenKind::Punct("("))
+                {
                     self.bump();
-                    let a = self.expr(ctx)?;
+                    let a = self.expr()?;
                     self.eat_punct(",")?;
-                    let b = self.expr(ctx)?;
+                    let b = self.expr()?;
                     self.eat_punct(")")?;
+                    let span = lo.to(self.prev_span());
                     return Ok(if name == "min" {
-                        Expr::Min(Box::new(a), Box::new(b))
+                        Expr::new(ExprKind::Min(Box::new(a), Box::new(b)), span)
                     } else {
-                        Expr::Max(Box::new(a), Box::new(b))
+                        Expr::new(ExprKind::Max(Box::new(a), Box::new(b)), span)
                     });
                 }
                 // p.field / pkt.field
-                if (name == "p" || name == "pkt") && matches!(self.peek(), Tok::Punct(".")) {
+                if (name == "p" || name == "pkt") && matches!(self.peek(), TokenKind::Punct(".")) {
                     self.bump();
-                    let field = self.eat_ident()?;
-                    return Ok(Expr::Field(field));
+                    let (field, field_span) = self.eat_ident()?;
+                    return Ok(Expr::new(ExprKind::Field(field), lo.to(field_span)));
                 }
                 // flow in map
                 if name == "flow" && self.at_ident("in") {
                     self.bump();
-                    let map = self.eat_ident()?;
-                    return Ok(Expr::MapContains(map));
+                    let (map, map_span) = self.eat_ident()?;
+                    return Ok(Expr::new(ExprKind::MapContains(map), lo.to(map_span)));
                 }
                 // map[flow]
-                if matches!(self.peek(), Tok::Punct("[")) {
+                if matches!(self.peek(), TokenKind::Punct("[")) {
                     self.bump();
-                    let key = self.eat_ident()?;
+                    let (key, key_span) = self.eat_ident()?;
                     if key != "flow" {
-                        return Err(self.err("state maps are keyed by 'flow' only"));
+                        return Err(self.err_at(key_span, "state maps are keyed by 'flow' only"));
                     }
                     self.eat_punct("]")?;
-                    return Ok(Expr::MapGet(name));
+                    return Ok(Expr::new(ExprKind::MapGet(name), lo.to(self.prev_span())));
                 }
-                Ok(Expr::Var(name))
+                Ok(Expr::new(ExprKind::Var(name), lo))
             }
-            other => Err(self.err(format!("unexpected token {other:?}"))),
+            other => Err(self.err_at(lo, format!("unexpected token {}", other.describe()))),
         }
     }
 }
 
-/// Parse a domino-lite program.
-pub fn parse(src: &str) -> Result<Program, ParseError> {
-    let mut lx = Lexer::new(src);
-    let mut toks = Vec::new();
-    loop {
-        let t = lx.next_token()?;
-        let eof = matches!(t.tok, Tok::Eof);
-        toks.push(t);
-        if eof {
-            break;
-        }
-    }
-    let mut p = Parser { toks, i: 0 };
+/// Run the grammar only: lex → parse, **no** stage checking.
+///
+/// The returned program may reference undeclared identifiers, read
+/// never-assigned packet fields, or violate the §4.3 single-stage atom
+/// constraints; [`crate::interp::Interp`] and [`crate::pipeline`] report
+/// those dynamically. Production call sites want [`parse`].
+pub fn parse_unchecked(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        src,
+        toks,
+        i: 0,
+        depth: 0,
+    };
     p.program()
+}
+
+/// Parse a domino-lite program through the full front-end:
+/// lex → parse → stage-check ([`crate::check()`]).
+///
+/// All errors — lexical, syntactic, or §4.3 stage violations — come back
+/// as a [`ParseError`] carrying the span of the offending source and a
+/// caret-rendered snippet ([`ParseError::render`]).
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let prog = parse_unchecked(src)?;
+    crate::check::check(src, &prog).map_err(|e| e.into_parse_error())?;
+    Ok(prog)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{BinOp, Expr, LValue, Stmt};
+    use crate::ast::{BinOp, ExprKind, LValueKind, StmtKind};
 
     #[test]
     fn parses_declarations() {
         let p = parse("state vt = 0;\nstatemap last_finish;\nparam r = 125;\np.rank = 1;").unwrap();
         assert_eq!(p.states.len(), 1);
-        assert_eq!(p.maps, vec!["last_finish"]);
+        assert_eq!(p.map_names().collect::<Vec<_>>(), vec!["last_finish"]);
         assert_eq!(p.params.len(), 1);
         assert_eq!(p.body.len(), 1);
     }
@@ -592,13 +501,13 @@ mod tests {
     fn parses_if_else_and_membership() {
         let p = parse("statemap m;\nif (flow in m) { p.rank = m[flow]; } else { p.rank = 0; }")
             .unwrap();
-        match &p.body[0] {
-            Stmt::If {
+        match &p.body[0].kind {
+            StmtKind::If {
                 cond,
                 then,
                 otherwise,
             } => {
-                assert_eq!(*cond, Expr::MapContains("m".into()));
+                assert_eq!(cond.kind, ExprKind::MapContains("m".into()));
                 assert_eq!(then.len(), 1);
                 assert_eq!(otherwise.len(), 1);
             }
@@ -609,11 +518,16 @@ mod tests {
     #[test]
     fn parses_min_max_and_precedence() {
         let p = parse("p.rank = max(1, 2) + 3 * 4;").unwrap();
-        match &p.body[0] {
-            Stmt::Assign(LValue::Field(f), Expr::Bin(BinOp::Add, lhs, rhs)) => {
-                assert_eq!(f, "rank");
-                assert!(matches!(**lhs, Expr::Max(_, _)));
-                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+        match &p.body[0].kind {
+            StmtKind::Assign(lv, e) => {
+                assert_eq!(lv.kind, LValueKind::Field("rank".into()));
+                match &e.kind {
+                    ExprKind::Bin(BinOp::Add, lhs, rhs) => {
+                        assert!(matches!(lhs.kind, ExprKind::Max(_, _)));
+                        assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -621,26 +535,29 @@ mod tests {
 
     #[test]
     fn parses_map_assignment_and_field_read() {
-        let p = parse("statemap lf;\nlf[flow] = p.start + p.length / 2;").unwrap();
-        assert!(matches!(&p.body[0], Stmt::Assign(LValue::MapPut(m), _) if m == "lf"));
+        let p = parse("statemap lf;\np.start = 0;\nlf[flow] = p.start + p.length / 2;").unwrap();
+        assert!(
+            matches!(&p.body[1].kind, StmtKind::Assign(lv, _) if lv.kind == LValueKind::MapPut("lf".into()))
+        );
     }
 
     #[test]
     fn parses_dequeue_section() {
         let p = parse("state vt = 0;\np.rank = vt;\n@dequeue { vt = max(vt, rank); }").unwrap();
         assert_eq!(p.dequeue_body.len(), 1);
+        assert!(p.has_dequeue);
     }
 
     #[test]
     fn parses_else_if_chain() {
         let p = parse(
-            "p.x = 0;\nif (p.a > 1) { p.x = 1; } else if (p.a > 0) { p.x = 2; } else { p.x = 3; }",
+            "p.x = 0;\nif (p.x > 1) { p.x = 1; } else if (p.x > 0) { p.x = 2; } else { p.x = 3; }",
         )
         .unwrap();
-        match &p.body[1] {
-            Stmt::If { otherwise, .. } => {
+        match &p.body[1].kind {
+            StmtKind::If { otherwise, .. } => {
                 assert_eq!(otherwise.len(), 1);
-                assert!(matches!(otherwise[0], Stmt::If { .. }));
+                assert!(matches!(otherwise[0].kind, StmtKind::If { .. }));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -655,28 +572,91 @@ mod tests {
     #[test]
     fn error_has_position() {
         let err = parse("p.rank = ;").unwrap_err();
-        assert_eq!(err.line, 1);
-        assert!(err.col > 1);
+        assert_eq!(err.line(), 1);
+        assert_eq!(err.col(), 10, "points at the ';', not the line start");
+        assert_eq!(err.span(), Span::new(9, 10));
         assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn eof_errors_point_past_the_last_token() {
+        let src = "p.rank = 1";
+        let err = parse(src).unwrap_err();
+        assert!(err.message().contains("expected ';'"), "{err}");
+        assert_eq!(err.span(), Span::point(src.len()));
+    }
+
+    #[test]
+    fn unterminated_block_points_at_open_brace() {
+        let src = "if (1) {\n  p.rank = 1;";
+        let err = parse(src).unwrap_err();
+        assert!(err.message().contains("unterminated block"), "{err}");
+        assert_eq!(err.span(), Span::new(7, 8), "span of the '{{'");
+        assert_eq!((err.line(), err.col()), (1, 8));
     }
 
     #[test]
     fn rejects_non_flow_map_key() {
         let err = parse("statemap m;\nm[other] = 1;").unwrap_err();
-        assert!(err.message.contains("keyed by 'flow'"));
+        assert!(err.message().contains("keyed by 'flow'"));
+        assert_eq!((err.line(), err.col()), (2, 3), "points at the bad key");
     }
 
     #[test]
     fn rejects_trailing_garbage() {
         let err = parse("p.rank = 1; }").unwrap_err();
-        assert!(err.message.contains("expected identifier"));
+        assert!(err.message().contains("expected identifier"));
         let err = parse("p.rank = 1;\n@dequeue { } junk = 1;").unwrap_err();
-        assert!(err.message.contains("trailing"));
+        assert!(err.message().contains("trailing"));
     }
 
     #[test]
     fn unary_minus_and_not() {
-        let p = parse("p.rank = -p.slack;\nif (!(p.a > 0)) { p.rank = 0; }").unwrap();
+        let p = parse("p.rank = 0 - p.length;\nif (!(p.rank > 0)) { p.rank = 0; }").unwrap();
         assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn negated_literals_fold() {
+        let p = parse_unchecked("p.rank = -5;").unwrap();
+        match &p.body[0].kind {
+            StmtKind::Assign(_, e) => assert_eq!(e.kind, ExprKind::Num(-5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Negating a non-literal still desugars to 0 - e.
+        let p = parse_unchecked("p.rank = -p.length;").unwrap();
+        match &p.body[0].kind {
+            StmtKind::Assign(_, e) => {
+                assert!(matches!(&e.kind, ExprKind::Bin(BinOp::Sub, z, _)
+                    if z.kind == ExprKind::Num(0)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_cover_their_constructs() {
+        let src = "state vt = 0;\np.rank = vt + 3;";
+        let p = parse(src).unwrap();
+        assert_eq!(&src[p.states[0].span.lo..p.states[0].span.hi], "vt");
+        let s = &p.body[0];
+        assert_eq!(&src[s.span.lo..s.span.hi], "p.rank = vt + 3;");
+        match &s.kind {
+            StmtKind::Assign(lv, e) => {
+                assert_eq!(&src[lv.span.lo..lv.span.hi], "p.rank");
+                assert_eq!(&src[e.span.lo..e.span.hi], "vt + 3");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let src = format!("p.rank = {}1{};", "(".repeat(500), ")".repeat(500));
+        let err = parse_unchecked(&src).unwrap_err();
+        assert!(err.message().contains("nesting"), "{err}");
+        // And just under the limit parses fine.
+        let ok = format!("p.rank = {}1{};", "(".repeat(20), ")".repeat(20));
+        parse_unchecked(&ok).unwrap();
     }
 }

@@ -18,6 +18,8 @@
 //!    apart would let a later packet read stale state. Clusters are the
 //!    connected components of this relation. State read in the
 //!    `@dequeue` hook shares the same physical atom, so both bodies count.
+//!    (The clustering pass is shared with [`mod@crate::check`], which turns a
+//!    too-large cluster into a *spanned* diagnostic before analysis.)
 //! 3. **Classify** each cluster against the atom ladder: one variable
 //!    with a plain `s = s ± e` is `RAW`/`Sub`; guarded variants need
 //!    `PRAW`/`IfElseRAW`; arbitrary single-variable updates need
@@ -26,7 +28,7 @@
 //! 4. **Stage** the guarded assignments by data dependency to estimate
 //!    pipeline depth.
 
-use crate::ast::{AtomKind, Expr, LValue, Program, Stmt};
+use crate::ast::{AtomKind, Expr, ExprKind, LValue, LValueKind, Program, Stmt, StmtKind};
 use core::fmt;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -82,13 +84,13 @@ pub struct GuardedAssign {
 pub fn flatten(stmts: &[Stmt]) -> Vec<GuardedAssign> {
     fn go(stmts: &[Stmt], guard: Option<&Expr>, out: &mut Vec<GuardedAssign>) {
         for s in stmts {
-            match s {
-                Stmt::Assign(lhs, rhs) => out.push(GuardedAssign {
+            match &s.kind {
+                StmtKind::Assign(lhs, rhs) => out.push(GuardedAssign {
                     guard: guard.cloned(),
                     lhs: lhs.clone(),
                     rhs: rhs.clone(),
                 }),
-                Stmt::If {
+                StmtKind::If {
                     cond,
                     then,
                     otherwise,
@@ -96,7 +98,8 @@ pub fn flatten(stmts: &[Stmt]) -> Vec<GuardedAssign> {
                     let then_guard = conjoin(guard, cond.clone());
                     go(then, Some(&then_guard), out);
                     if !otherwise.is_empty() {
-                        let else_guard = conjoin(guard, Expr::Not(Box::new(cond.clone())));
+                        let not_cond = Expr::new(ExprKind::Not(Box::new(cond.clone())), cond.span);
+                        let else_guard = conjoin(guard, not_cond);
                         go(otherwise, Some(&else_guard), out);
                     }
                 }
@@ -111,57 +114,60 @@ pub fn flatten(stmts: &[Stmt]) -> Vec<GuardedAssign> {
 fn conjoin(guard: Option<&Expr>, cond: Expr) -> Expr {
     match guard {
         None => cond,
-        Some(g) => Expr::Bin(crate::ast::BinOp::And, Box::new(g.clone()), Box::new(cond)),
+        Some(g) => {
+            let span = g.span.to(cond.span);
+            Expr::new(
+                ExprKind::Bin(crate::ast::BinOp::And, Box::new(g.clone()), Box::new(cond)),
+                span,
+            )
+        }
     }
 }
 
 /// Collect the state variables (scalars and maps) read by an expression.
 fn state_reads(e: &Expr, prog: &Program, out: &mut BTreeSet<String>) {
-    match e {
-        Expr::Var(v) if prog.is_state(v) => {
+    match &e.kind {
+        ExprKind::Var(v) if prog.is_state(v) => {
             out.insert(v.clone());
         }
-        Expr::MapGet(m) | Expr::MapContains(m) => {
+        ExprKind::MapGet(m) | ExprKind::MapContains(m) => {
             out.insert(m.clone());
         }
-        Expr::Min(a, b) | Expr::Max(a, b) | Expr::Bin(_, a, b) => {
+        ExprKind::Min(a, b) | ExprKind::Max(a, b) | ExprKind::Bin(_, a, b) => {
             state_reads(a, prog, out);
             state_reads(b, prog, out);
         }
-        Expr::Not(a) => state_reads(a, prog, out),
+        ExprKind::Not(a) => state_reads(a, prog, out),
         _ => {}
     }
 }
 
 fn lvalue_state(lv: &LValue, prog: &Program) -> Option<String> {
-    match lv {
-        LValue::Var(v) if prog.is_state(v) => Some(v.clone()),
-        LValue::MapPut(m) => Some(m.clone()),
+    match &lv.kind {
+        LValueKind::Var(v) if prog.is_state(v) => Some(v.clone()),
+        LValueKind::MapPut(m) => Some(m.clone()),
         _ => None,
     }
 }
 
-/// The analysis result.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PipelineReport {
-    /// The weakest atom that can execute this transaction.
-    pub required_atom: AtomKind,
-    /// Estimated pipeline depth (stages).
-    pub stages: usize,
-    /// Number of atoms/ALUs placed (one per flattened assignment, with
-    /// each state cluster fused into one).
-    pub atoms: usize,
-    /// The state-variable clusters, sorted.
-    pub clusters: Vec<Vec<String>>,
+/// The result of the state-clustering pass (step 2), shared between
+/// [`analyze`] and the [`crate::check`] stage checker.
+#[derive(Debug, Clone)]
+pub(crate) struct ClusterInfo {
+    /// Connected components of the must-update-together relation, each
+    /// containing at least one written variable.
+    pub clusters: Vec<BTreeSet<String>>,
+    /// Every state variable read anywhere in the transaction (directly
+    /// or through a packet temporary).
+    pub read_anywhere: BTreeSet<String>,
 }
 
-/// Analyze a program: cluster state, classify atoms, estimate stages.
-pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
+/// Cluster the program's state variables (enqueue + dequeue bodies).
+pub(crate) fn state_clusters(prog: &Program) -> ClusterInfo {
     // Both bodies access the same physical state atoms.
     let mut flat = flatten(&prog.body);
     flat.extend(flatten(&prog.dequeue_body));
 
-    // --- Step 2: cluster state variables -------------------------------
     // Union-find over written state vars plus any state they read.
     let mut parent: BTreeMap<String, String> = BTreeMap::new();
     fn find(parent: &mut BTreeMap<String, String>, x: &str) -> String {
@@ -192,15 +198,15 @@ pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
         let mut direct = BTreeSet::new();
         state_reads(e, prog, &mut direct);
         fn fields_read(e: &Expr, out: &mut BTreeSet<String>) {
-            match e {
-                Expr::Field(f) => {
+            match &e.kind {
+                ExprKind::Field(f) => {
                     out.insert(f.clone());
                 }
-                Expr::Min(a, b) | Expr::Max(a, b) | Expr::Bin(_, a, b) => {
+                ExprKind::Min(a, b) | ExprKind::Max(a, b) | ExprKind::Bin(_, a, b) => {
                     fields_read(a, out);
                     fields_read(b, out);
                 }
-                Expr::Not(a) => fields_read(a, out),
+                ExprKind::Not(a) => fields_read(a, out),
                 _ => {}
             }
         }
@@ -222,7 +228,7 @@ pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
             reads.extend(deps_of(g, &field_deps));
         }
         read_anywhere.extend(reads.iter().cloned());
-        match (&ga.lhs, lvalue_state(&ga.lhs, prog)) {
+        match (&ga.lhs.kind, lvalue_state(&ga.lhs, prog)) {
             (_, Some(w)) => {
                 written.insert(w.clone());
                 // Materialise a singleton cluster even for blind writes
@@ -232,7 +238,7 @@ pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
                     union(&mut parent, &w, r);
                 }
             }
-            (LValue::Field(f), None) => {
+            (LValueKind::Field(f), None) => {
                 field_deps.insert(f.clone(), reads);
             }
             _ => {}
@@ -250,9 +256,43 @@ pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
         .into_values()
         .filter(|c| c.iter().any(|v| written.contains(v)))
         .collect();
+    ClusterInfo {
+        clusters,
+        read_anywhere,
+    }
+}
+
+/// The analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// The weakest atom that can execute this transaction.
+    pub required_atom: AtomKind,
+    /// Estimated pipeline depth (stages).
+    pub stages: usize,
+    /// Number of atoms/ALUs placed (one per flattened assignment, with
+    /// each state cluster fused into one).
+    pub atoms: usize,
+    /// The state-variable clusters, sorted.
+    pub clusters: Vec<Vec<String>>,
+    /// The atom each cluster needs, parallel to `clusters` (the overall
+    /// `required_atom` is their max). [`crate::hwmap`] uses this for
+    /// per-stage atom placement.
+    pub cluster_atoms: Vec<AtomKind>,
+}
+
+/// Analyze a program: cluster state, classify atoms, estimate stages.
+pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
+    let mut flat = flatten(&prog.body);
+    flat.extend(flatten(&prog.dequeue_body));
+
+    let ClusterInfo {
+        clusters,
+        read_anywhere,
+    } = state_clusters(prog);
 
     // --- Step 3: classify ----------------------------------------------
     let mut required = AtomKind::Stateless;
+    let mut cluster_atoms = Vec::with_capacity(clusters.len());
     for c in &clusters {
         let kind = match c.len() {
             1 => {
@@ -266,11 +306,12 @@ pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
                 ))
             }
         };
+        cluster_atoms.push(kind);
         required = required.max(kind);
     }
 
     // --- Step 4: stage estimate ----------------------------------------
-    let stages = stage_depth(&flatten(&prog.body), prog, &clusters);
+    let (stages, _) = stage_info(&flatten(&prog.body), prog, &clusters);
 
     Ok(PipelineReport {
         required_atom: required,
@@ -280,6 +321,7 @@ pub fn analyze(prog: &Program) -> Result<PipelineReport, CompileError> {
             .into_iter()
             .map(|c| c.into_iter().collect())
             .collect(),
+        cluster_atoms,
     })
 }
 
@@ -303,9 +345,9 @@ fn classify_single(
 
     // Is an rhs of the form `var + e` / `var - e` with `e` stateless?
     let additive = |rhs: &Expr| -> Option<bool> {
-        if let Expr::Bin(op, a, b) = rhs {
-            let var_on_left = matches!(&**a, Expr::Var(v) if v == var)
-                || matches!(&**a, Expr::MapGet(m) if m == var);
+        if let ExprKind::Bin(op, a, b) = &rhs.kind {
+            let var_on_left = matches!(&a.kind, ExprKind::Var(v) if v == var)
+                || matches!(&a.kind, ExprKind::MapGet(m) if m == var);
             if var_on_left && matches!(op, BinOp::Add | BinOp::Sub) {
                 let mut reads = BTreeSet::new();
                 state_reads(b, prog, &mut reads);
@@ -348,8 +390,15 @@ fn classify_single(
 }
 
 /// Longest dependency chain over the flattened body, with each state
-/// cluster fused to one node.
-fn stage_depth(flat: &[GuardedAssign], prog: &Program, clusters: &[BTreeSet<String>]) -> usize {
+/// cluster fused to one node. Also returns the pipeline stage each
+/// cluster's fused atom lands in (1-based; clusters only written in the
+/// `@dequeue` body have no entry) — [`crate::hwmap`] uses this for atom
+/// placement.
+pub(crate) fn stage_info(
+    flat: &[GuardedAssign],
+    prog: &Program,
+    clusters: &[BTreeSet<String>],
+) -> (usize, BTreeMap<usize, usize>) {
     let cluster_of = |v: &str| -> Option<usize> { clusters.iter().position(|c| c.contains(v)) };
     // Node id per assignment (fused by cluster).
     let mut node_of: Vec<usize> = Vec::new();
@@ -373,21 +422,21 @@ fn stage_depth(flat: &[GuardedAssign], prog: &Program, clusters: &[BTreeSet<Stri
     // Field/var write tracking for dependencies.
     fn all_reads(ga: &GuardedAssign, prog: &Program) -> BTreeSet<String> {
         fn reads(e: &Expr, prog: &Program, out: &mut BTreeSet<String>) {
-            match e {
-                Expr::Field(f) => {
+            match &e.kind {
+                ExprKind::Field(f) => {
                     out.insert(format!("p.{f}"));
                 }
-                Expr::Var(v) if prog.is_state(v) => {
+                ExprKind::Var(v) if prog.is_state(v) => {
                     out.insert(format!("s.{v}"));
                 }
-                Expr::MapGet(m) | Expr::MapContains(m) => {
+                ExprKind::MapGet(m) | ExprKind::MapContains(m) => {
                     out.insert(format!("s.{m}"));
                 }
-                Expr::Min(a, b) | Expr::Max(a, b) | Expr::Bin(_, a, b) => {
+                ExprKind::Min(a, b) | ExprKind::Max(a, b) | ExprKind::Bin(_, a, b) => {
                     reads(a, prog, out);
                     reads(b, prog, out);
                 }
-                Expr::Not(a) => reads(a, prog, out),
+                ExprKind::Not(a) => reads(a, prog, out),
                 _ => {}
             }
         }
@@ -399,10 +448,10 @@ fn stage_depth(flat: &[GuardedAssign], prog: &Program, clusters: &[BTreeSet<Stri
         out
     }
     let write_key = |lv: &LValue| -> String {
-        match lv {
-            LValue::Var(v) => format!("s.{v}"),
-            LValue::MapPut(m) => format!("s.{m}"),
-            LValue::Field(f) => format!("p.{f}"),
+        match &lv.kind {
+            LValueKind::Var(v) => format!("s.{v}"),
+            LValueKind::MapPut(m) => format!("s.{m}"),
+            LValueKind::Field(f) => format!("p.{f}"),
         }
     };
 
@@ -421,7 +470,9 @@ fn stage_depth(flat: &[GuardedAssign], prog: &Program, clusters: &[BTreeSet<Stri
         depth[me] = d;
         last_writer.insert(write_key(&ga.lhs), me);
     }
-    depth.into_iter().max().unwrap_or(0)
+    let cluster_stage: BTreeMap<usize, usize> =
+        cluster_node.iter().map(|(c, n)| (*c, depth[*n])).collect();
+    (depth.into_iter().max().unwrap_or(0), cluster_stage)
 }
 
 /// Compile against a target whose strongest atom is `available`; rejects
@@ -440,7 +491,7 @@ pub fn compile(prog: &Program, available: AtomKind) -> Result<PipelineReport, Co
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
+    use crate::parser::{parse, parse_unchecked};
 
     fn req(src: &str) -> AtomKind {
         analyze(&parse(src).unwrap()).unwrap().required_atom
@@ -505,8 +556,11 @@ mod tests {
 
     #[test]
     fn three_coupled_vars_rejected() {
+        // parse_unchecked: the stage checker would reject this statically
+        // (that is its job — see crate::check); here we pin that the
+        // analysis itself also rejects, for unchecked ASTs.
         let err = analyze(
-            &parse("state a = 0;\nstate b = 0;\nstate c = 0;\na = b + 1;\nb = c + 1;\nc = a + 1;\np.rank = a;")
+            &parse_unchecked("state a = 0;\nstate b = 0;\nstate c = 0;\na = b + 1;\nb = c + 1;\nc = a + 1;\np.rank = a;")
                 .unwrap(),
         )
         .unwrap_err();
@@ -551,11 +605,11 @@ mod tests {
 
     #[test]
     fn flatten_produces_guards() {
-        let prog = parse("if (p.a > 0) { p.x = 1; } else { p.x = 2; }").unwrap();
+        let prog = parse("p.a = 0;\nif (p.a > 0) { p.x = 1; } else { p.x = 2; }").unwrap();
         let flat = flatten(&prog.body);
-        assert_eq!(flat.len(), 2);
-        assert!(flat[0].guard.is_some());
+        assert_eq!(flat.len(), 3);
         assert!(flat[1].guard.is_some());
+        assert!(flat[2].guard.is_some());
     }
 
     #[test]
@@ -566,5 +620,30 @@ mod tests {
         // Independent assignments: 1 stage.
         let r = analyze(&parse("p.x = 1;\np.y = 2;").unwrap()).unwrap();
         assert_eq!(r.stages, 1);
+    }
+
+    #[test]
+    fn cluster_atoms_parallel_clusters() {
+        let r = analyze(
+            &parse("state a = 0;\nstate b = 0;\na = a + 1;\nb = b - p.length;\np.rank = a + b;")
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r.clusters.len(), 2);
+        assert_eq!(r.cluster_atoms.len(), 2);
+        let mut pairs: Vec<(String, AtomKind)> = r
+            .clusters
+            .iter()
+            .zip(&r.cluster_atoms)
+            .map(|(c, k)| (c.join(","), *k))
+            .collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".to_string(), AtomKind::ReadAddWrite),
+                ("b".to_string(), AtomKind::Sub),
+            ]
+        );
     }
 }

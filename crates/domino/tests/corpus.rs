@@ -4,7 +4,7 @@
 //! this substrate (§8: "they could create their own").
 
 use domino_lite::ast::AtomKind;
-use domino_lite::{analyze, compile, parse, DominoScheduling, Interp};
+use domino_lite::{analyze, compile, parse, parse_unchecked, DominoScheduling, Interp};
 use pifo_core::prelude::*;
 
 fn required(src: &str) -> AtomKind {
@@ -104,9 +104,17 @@ b = b + c;
 c = c + a;
 p.rank = a;
 "#;
-    let err = analyze(&parse(src).unwrap()).unwrap_err();
+    // parse_unchecked: the stage checker rejects this statically (that is
+    // its job — see below); here we pin that the analysis itself also
+    // rejects the unchecked AST.
+    let err = analyze(&parse_unchecked(src).unwrap()).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("no atom template"), "{msg}");
+
+    // And the front-end rejects it before analysis, with a §4.3 span.
+    let ferr = parse(src).unwrap_err();
+    assert!(ferr.message().contains("atomically"), "{}", ferr.message());
+    assert!(ferr.render().contains('^'));
 }
 
 /// Division and modulo work and trap on zero divisors at runtime, not

@@ -1,0 +1,301 @@
+//! Differential figure-program tests: every paper figure, run as a
+//! *domino-lite program* through the [`DominoScheduling`]/[`DominoShaping`]
+//! adapters inside a [`ScheduleTree`], must produce a departure trace
+//! bit-identical to the *native Rust* transaction from `pifo-algos` —
+//! swept across every exact PIFO backend.
+//!
+//! This is the end-to-end claim of the compiler front-end: a program that
+//! survives lex → parse → check → analyze is not just *classified*
+//! correctly, it *schedules* correctly, indistinguishable from the
+//! hand-written twin the rest of the workspace validates against the
+//! paper.
+//!
+//! Stop-and-Go uses dense arrivals (inter-arrival < frame length) on
+//! purpose: the domino source is the paper's literal single-step frame
+//! advance, which diverges from the native tiled implementation only
+//! after a multi-frame idle gap (documented on
+//! [`domino_lite::figures::STOP_AND_GO_SRC`]).
+
+use domino_lite::{figures, DominoScheduling, DominoShaping};
+use pifo_algos::{Lstf, MinRateGuarantee, Stfq, StopAndGo, TokenBucketFilter, WeightTable};
+use pifo_core::prelude::*;
+use pifo_core::transaction::FnTransaction;
+
+/// A deterministic SplitMix64 — fixed seeds, reproducible traces.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Drive `tree` through `arrivals` (sorted by arrival time, multiples of
+/// `step`), attempting one dequeue per `step`, then drain. Returns the
+/// full departure trace as `(time, packet id)` pairs.
+fn departures(mut tree: ScheduleTree, arrivals: &[Packet], step: u64) -> Vec<(u64, u64)> {
+    assert!(step > 0);
+    let mut out = Vec::new();
+    let mut ai = 0;
+    let horizon = arrivals.last().map_or(0, |p| p.arrival.as_nanos());
+    let mut t = 0;
+    while t <= horizon {
+        while ai < arrivals.len() && arrivals[ai].arrival.as_nanos() <= t {
+            let p = arrivals[ai].clone();
+            tree.enqueue(p, Nanos(t)).unwrap();
+            ai += 1;
+        }
+        if let Some(p) = tree.dequeue(Nanos(t)) {
+            out.push((t, p.id.0));
+        }
+        t += step;
+    }
+    // Drain the backlog (shaped packets may be held far past the horizon).
+    let mut idle = 0;
+    while idle < 1_000_000 / step + 64 {
+        match tree.dequeue(Nanos(t)) {
+            Some(p) => {
+                out.push((t, p.id.0));
+                idle = 0;
+            }
+            None => idle += 1,
+        }
+        t += step;
+    }
+    assert!(tree.is_empty(), "tree failed to drain");
+    assert_eq!(tree.shaped_len(), 0, "shaper failed to release");
+    out
+}
+
+/// Single-node tree: every packet classified to the root scheduler.
+fn sched_tree(backend: PifoBackend, sched: Box<dyn SchedulingTransaction>) -> ScheduleTree {
+    let mut b = TreeBuilder::new();
+    b.with_backend(backend);
+    let root = b.add_root("root", sched);
+    b.build(Box::new(move |_| root)).unwrap()
+}
+
+/// Two-node tree with a shaper on the leaf; leaf and root schedule FIFO
+/// by packet id so the only reordering force is the shaper under test.
+fn shaped_tree(backend: PifoBackend, shaper: Box<dyn ShapingTransaction>) -> ScheduleTree {
+    let fifo = || -> Box<dyn SchedulingTransaction> {
+        Box::new(FnTransaction::new("fifo", |ctx: &EnqCtx| {
+            Rank(ctx.packet.id.0)
+        }))
+    };
+    let mut b = TreeBuilder::new();
+    b.with_backend(backend);
+    let root = b.add_root("root", fifo());
+    let leaf = b.add_child(root, "leaf", fifo());
+    b.set_shaper(leaf, shaper);
+    b.build(Box::new(move |_| leaf)).unwrap()
+}
+
+fn assert_identical(
+    figure: &str,
+    backend: PifoBackend,
+    domino: Vec<(u64, u64)>,
+    native: Vec<(u64, u64)>,
+    expected_len: usize,
+) {
+    assert_eq!(
+        domino.len(),
+        expected_len,
+        "{figure} [{backend}]: trace covers every packet"
+    );
+    assert_eq!(
+        domino, native,
+        "{figure} [{backend}]: domino and native departure traces diverge"
+    );
+}
+
+#[test]
+fn stfq_matches_native_across_exact_backends() {
+    // Three weighted flows, bursty arrivals, varying lengths.
+    let mut rng = Lcg(1);
+    let arrivals: Vec<Packet> = (0..60)
+        .map(|i| {
+            let flow = FlowId(i % 3 + 1);
+            let len = 200 + rng.below(1300) as u32;
+            Packet::new(i as u64, flow, len, Nanos((i / 3) as u64 * 100))
+        })
+        .collect();
+
+    for backend in PifoBackend::EXACT {
+        let domino_tx = DominoScheduling::new("stfq", figures::stfq())
+            .with_weight(FlowId(1), 1)
+            .with_weight(FlowId(2), 2)
+            .with_weight(FlowId(3), 3);
+        let mut weights = WeightTable::new();
+        weights.set(FlowId(1), 1);
+        weights.set(FlowId(2), 2);
+        weights.set(FlowId(3), 3);
+        let native_tx = Stfq::new(weights);
+
+        let d = departures(sched_tree(backend, Box::new(domino_tx)), &arrivals, 100);
+        let n = departures(sched_tree(backend, Box::new(native_tx)), &arrivals, 100);
+        assert_identical("STFQ", backend, d, n, arrivals.len());
+    }
+}
+
+#[test]
+fn lstf_matches_native_across_exact_backends() {
+    let mut rng = Lcg(2);
+    let arrivals: Vec<Packet> = (0..50)
+        .map(|i| {
+            let slack = rng.below(6_000) as i64 - 500;
+            Packet::new(i as u64, FlowId(i % 4), 400, Nanos(i as u64 * 50)).with_slack(slack)
+        })
+        .collect();
+
+    for backend in PifoBackend::EXACT {
+        let d = departures(
+            sched_tree(
+                backend,
+                Box::new(DominoScheduling::new("lstf", figures::lstf())),
+            ),
+            &arrivals,
+            50,
+        );
+        let n = departures(sched_tree(backend, Box::new(Lstf)), &arrivals, 50);
+        assert_identical("LSTF", backend, d, n, arrivals.len());
+    }
+}
+
+#[test]
+fn tbf_matches_native_across_exact_backends() {
+    // 8 Gb/s = 1 B/ns, burst of one 1000 B packet; 12 packets all at t=0
+    // force the bucket through its full burst-then-meter cycle.
+    let arrivals: Vec<Packet> = (0..12)
+        .map(|i| Packet::new(i, FlowId(0), 1_000, Nanos(0)))
+        .collect();
+
+    for backend in PifoBackend::EXACT {
+        let d = departures(
+            shaped_tree(
+                backend,
+                Box::new(DominoShaping::new(
+                    "tbf",
+                    figures::tbf(8_000_000_000, 1_000),
+                )),
+            ),
+            &arrivals,
+            250,
+        );
+        let n = departures(
+            shaped_tree(
+                backend,
+                Box::new(TokenBucketFilter::new(8_000_000_000, 1_000)),
+            ),
+            &arrivals,
+            250,
+        );
+        assert_identical("TBF", backend, d, n, arrivals.len());
+    }
+}
+
+#[test]
+fn stop_and_go_matches_native_under_dense_arrivals() {
+    // Frames of 1000 ns; arrivals every 100 ns keep every inter-arrival
+    // gap below one frame, the regime where the paper's single-step frame
+    // advance and the native tiled implementation agree exactly.
+    let arrivals: Vec<Packet> = (0..40)
+        .map(|i| Packet::new(i, FlowId(i as u32 % 2), 500, Nanos(i * 100)))
+        .collect();
+
+    for backend in PifoBackend::EXACT {
+        let d = departures(
+            shaped_tree(
+                backend,
+                Box::new(DominoShaping::new("sg", figures::stop_and_go(1_000))),
+            ),
+            &arrivals,
+            100,
+        );
+        let n = departures(
+            shaped_tree(backend, Box::new(StopAndGo::new(Nanos(1_000)))),
+            &arrivals,
+            100,
+        );
+        assert_identical("Stop-and-Go", backend, d, n, arrivals.len());
+    }
+}
+
+#[test]
+fn min_rate_matches_native_across_exact_backends() {
+    // Single flow (the domino program holds one bucket; the native twin
+    // is per-flow — identical when there is exactly one). 8 Gb/s
+    // guarantee, 1 KB burst; 1000 B packets every 500 ns make the bucket
+    // oscillate around its threshold, exercising both rank bands.
+    let arrivals: Vec<Packet> = (0..30)
+        .map(|i| Packet::new(i, FlowId(7), 1_000, Nanos(i * 500)))
+        .collect();
+
+    for backend in PifoBackend::EXACT {
+        let d = departures(
+            sched_tree(
+                backend,
+                Box::new(DominoScheduling::new(
+                    "minrate",
+                    figures::min_rate(8_000_000_000, 1_000),
+                )),
+            ),
+            &arrivals,
+            500,
+        );
+        let n = departures(
+            sched_tree(
+                backend,
+                Box::new(MinRateGuarantee::new(8_000_000_000, 1_000)),
+            ),
+            &arrivals,
+            500,
+        );
+        assert_identical("Min-rate", backend, d, n, arrivals.len());
+    }
+}
+
+/// The documented Stop-and-Go divergence is real: after a multi-frame
+/// idle gap the two implementations assign different send times. Pinning
+/// the divergence keeps the "dense arrivals only" caveat honest — if
+/// someone "fixes" the domino source to tile, this test forces the
+/// docs and the equivalence claim to be revisited together.
+#[test]
+fn stop_and_go_divergence_after_idle_gap_is_real() {
+    let mut domino = figures::stop_and_go(1_000);
+    let mut native = StopAndGo::new(Nanos(1_000));
+
+    // One packet at t=100 (both: frame [0,1000) -> send 1000), then a
+    // 5-frame idle gap.
+    for (id, now) in [(0u64, 100u64), (1, 5_500)] {
+        let p = Packet::new(id, FlowId(0), 500, Nanos(now));
+        let ctx = EnqCtx {
+            packet: &p,
+            now: Nanos(now),
+            flow: p.flow,
+        };
+        let mut view = domino_lite::PacketView::from_packet(ctx.packet, ctx.now, ctx.flow, 1);
+        domino
+            .run(&mut view)
+            .unwrap_or_else(|e| panic!("domino stop-and-go failed: {e}"));
+        let d = view.get("send_time").unwrap();
+        let n = native.send_time(&ctx).as_nanos();
+        if id == 0 {
+            assert_eq!(d as u64, n, "both start in the first frame");
+        } else {
+            // Native tiles to the frame containing `now` (+1): 6000.
+            // The domino source advances one frame past its stale state:
+            // 2000. The packet at t=5500 exposes the gap.
+            assert_eq!(n, 6_000, "native tiles past the idle gap");
+            assert_eq!(d, 2_000, "paper's literal program steps one frame");
+        }
+    }
+}

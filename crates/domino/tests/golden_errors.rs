@@ -1,0 +1,216 @@
+//! Golden caret-snippet regressions for the front-end's diagnostics.
+//!
+//! Each test pins the *entire* rendered snippet — message, `-->` line:col
+//! locus, source line, and caret placement — so a regression in any layer
+//! (lexer span, parser recovery point, checker anchor, renderer margin
+//! arithmetic) shows up as a one-line diff.
+//!
+//! Historical bug pinned here: the old single-pass parser reported many
+//! grammar errors at end-of-input rather than at the offending token
+//! (it had already consumed past it). The staged front-end anchors every
+//! error at the token that broke the rule; only genuinely missing input
+//! (e.g. a missing final `;`) points past the last token.
+//!
+//! Every rendered snippet is also written to
+//! `$CARGO_TARGET_TMPDIR/domino-diagnostics/` so CI can upload the whole
+//! set as an artifact when this suite fails.
+
+use domino_lite::{parse, ParseError, Span};
+use std::fs;
+use std::path::PathBuf;
+
+/// Write `rendered` into the CI artifact directory (best effort — the
+/// assertions below are the actual test).
+fn save_artifact(name: &str, rendered: &str) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("domino-diagnostics");
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(format!("{name}.txt")), rendered);
+    }
+}
+
+fn check_golden(name: &str, src: &str, expected: &str) -> ParseError {
+    let err = match parse(src) {
+        Ok(_) => panic!("{name}: program unexpectedly accepted"),
+        Err(e) => e,
+    };
+    let rendered = err.render();
+    save_artifact(name, &rendered);
+    assert_eq!(rendered, expected, "{name}: rendered snippet drifted");
+    err
+}
+
+#[test]
+fn missing_semicolon_points_past_the_last_token() {
+    // The one legitimate end-of-input diagnostic: the input really is
+    // missing something, so the caret sits one past the final token.
+    let err = check_golden(
+        "missing_semicolon",
+        "p.rank = 1",
+        "\
+error: expected ';', found end of input
+ --> 1:11
+  |
+1 | p.rank = 1
+  |           ^",
+    );
+    assert_eq!(err.span(), Span::point(10));
+}
+
+#[test]
+fn bad_init_anchors_at_the_offending_token_not_eof() {
+    // Regression for the historical bug: the error is at the `;` where an
+    // integer was required — NOT at end of input.
+    let err = check_golden(
+        "bad_init",
+        "state x = ;",
+        "\
+error: expected integer, found ';'
+ --> 1:11
+  |
+1 | state x = ;
+  |           ^",
+    );
+    assert_eq!(err.span(), Span::new(10, 11));
+    assert_eq!((err.line(), err.col()), (1, 11));
+}
+
+#[test]
+fn unterminated_block_anchors_at_the_open_brace() {
+    // Another historically end-of-input error: a `{` that is never
+    // closed now points back at the brace that opened the block.
+    check_golden(
+        "unterminated_block",
+        "p.rank = 0;\nif (p.rank > 0) {\np.rank = 1;",
+        "\
+error: unterminated block (opened here)
+ --> 2:17
+  |
+2 | if (p.rank > 0) {
+  |                 ^",
+    );
+}
+
+#[test]
+fn lexer_bad_character() {
+    check_golden(
+        "bad_character",
+        "p.rank = $;",
+        "\
+error: unexpected character '$'
+ --> 1:10
+  |
+1 | p.rank = $;
+  |          ^",
+    );
+}
+
+#[test]
+fn checker_undefined_variable_underlines_the_name() {
+    check_golden(
+        "undefined_variable",
+        "p.rank = vt;",
+        "\
+error: undefined variable 'vt'
+ --> 1:10
+  |
+1 | p.rank = vt;
+  |          ^^",
+    );
+}
+
+#[test]
+fn checker_field_read_before_assignment() {
+    check_golden(
+        "field_before_assignment",
+        "p.rank = p.start;",
+        "\
+error: read of packet field 'p.start' before any assignment ('start' is not an input field)
+ --> 1:10
+  |
+1 | p.rank = p.start;
+  |          ^^^^^^^",
+    );
+}
+
+#[test]
+fn checker_atomicity_violation_cites_the_cluster() {
+    // §4.3: three mutually-entangled state variables exceed every
+    // single-stage atom template. The diagnostic anchors at the first
+    // clustered variable's declaration and names the whole cluster.
+    check_golden(
+        "atomicity_violation",
+        "state a = 0;\nstate b = 0;\nstate c = 0;\na = a + b;\nb = b + c;\nc = c + a;\np.rank = a;",
+        "\
+error: state variables {a, b, c} must update atomically together; no single-stage atom template holds 3 coupled variables (§4.3)
+ --> 1:7
+  |
+1 | state a = 0;
+  |       ^",
+    );
+}
+
+#[test]
+fn non_flow_map_key_underlines_the_key() {
+    check_golden(
+        "non_flow_map_key",
+        "statemap m;\np.rank = m[now];",
+        "\
+error: state maps are keyed by 'flow' only
+ --> 2:12
+  |
+2 | p.rank = m[now];
+  |            ^^^",
+    );
+}
+
+#[test]
+fn terse_display_form_is_preserved() {
+    // The pre-diagnostic `Display` contract: one line, `parse error at
+    // LINE:COL: MESSAGE`. Downstream code (panic messages in the
+    // adapters, repro logs) formats errors with `{e}` and must not
+    // suddenly receive a five-line snippet.
+    let err = parse("state x = ;").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "parse error at 1:11: expected integer, found ';'"
+    );
+    let err = parse("p.rank = vt;").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "parse error at 1:10: undefined variable 'vt'"
+    );
+}
+
+#[test]
+fn every_front_end_error_renders_with_a_caret() {
+    // Shape invariant across a grab-bag of malformed programs from all
+    // three stages: whatever the message, the render ends in >= 1 caret
+    // and names a real line:col.
+    let broken = [
+        "state",
+        "state x",
+        "state x =",
+        "state x = 5",
+        "if (1 > 0) {",
+        "p.rank = ;",
+        "p.rank = (1 + 2;",
+        "p.rank = 99999999999999999999;",
+        "p.rank = 1; trailing",
+        "min(1, 2);",
+        "p.rank = m[flow];",
+        "ghost = 1;",
+        "statemap m;\nm = 1;",
+        "param k = 1;\nk = 2;",
+        "@dequeue { virtual_time = rank; }",
+    ];
+    for src in broken {
+        let err = parse(src).unwrap_err();
+        let rendered = err.render();
+        assert!(
+            rendered.lines().last().unwrap().trim_end().ends_with('^'),
+            "{src:?} render has no caret:\n{rendered}"
+        );
+        assert!(rendered.contains(&format!("--> {}:{}", err.line(), err.col())));
+        assert!(err.line() >= 1 && err.col() >= 1, "{src:?}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Grammar fuzzing: a random-AST generator paired with the canonical
+//! pretty-printer ([`Program::pretty`]) proves the round-trip property
+//!
+//! ```text
+//! parse_unchecked(pretty(ast)) == ast        (span-insensitive equality)
+//! ```
+//!
+//! plus a no-panic property over arbitrary byte soup and over mutated
+//! (truncated/spliced) figure programs. All cases are deterministic under
+//! the vendored proptest stub's fixed-seed SplitMix64 runner, so a CI
+//! failure prints a case index that reproduces locally bit-for-bit.
+//!
+//! The generator deliberately produces programs the *stage checker* would
+//! reject (undeclared reads, §4.3 violations) — the round trip is a
+//! grammar property, so it runs through `parse_unchecked`. The checked
+//! `parse` entry point appears only in the no-panic properties, where its
+//! job is to return `Err` gracefully, never to crash.
+
+use domino_lite::ast::{BinOp, Expr, ExprKind, LValue, LValueKind, Program, Stmt, StmtKind};
+use domino_lite::ast::{MapDecl, StateDecl};
+use domino_lite::{figures, parse, parse_unchecked, Span};
+use proptest::test_runner::{run_cases, TestRng};
+
+// Fixed name pools: grammar-valid, collision-free with keywords/builtins.
+const STATE_NAMES: [&str; 3] = ["s0", "s1", "s2"];
+const PARAM_NAMES: [&str; 2] = ["k0", "k1"];
+const MAP_NAMES: [&str; 2] = ["m0", "m1"];
+const FIELD_NAMES: [&str; 4] = ["rank", "tmp", "start", "x1"];
+const BUILTIN_NAMES: [&str; 3] = ["now", "flow", "weight"];
+const BIN_OPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Mod,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::And,
+    BinOp::Or,
+];
+
+fn pick<'a>(rng: &mut TestRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.below(pool.len() as u64) as usize]
+}
+
+/// An i64 literal that survives the print → lex round trip. `i64::MIN` is
+/// the one excluded value: its printed magnitude overflows the lexer.
+fn gen_num(rng: &mut TestRng) -> i64 {
+    match rng.below(4) {
+        0 => rng.below(10) as i64,
+        1 => -(rng.below(1_000) as i64),
+        2 => rng.below(1_000_000_000_000) as i64,
+        _ => i64::MAX - rng.below(5) as i64,
+    }
+}
+
+fn gen_expr(rng: &mut TestRng, depth: u64) -> Expr {
+    let choice = if depth == 0 {
+        rng.below(5)
+    } else {
+        rng.below(9)
+    };
+    let kind = match choice {
+        0 => ExprKind::Num(gen_num(rng)),
+        1 => ExprKind::Var(pick(rng, &STATE_NAMES).to_string()),
+        2 => ExprKind::Var(pick(rng, &BUILTIN_NAMES).to_string()),
+        3 => ExprKind::Field(pick(rng, &FIELD_NAMES).to_string()),
+        4 => match rng.below(2) {
+            0 => ExprKind::MapGet(pick(rng, &MAP_NAMES).to_string()),
+            _ => ExprKind::MapContains(pick(rng, &MAP_NAMES).to_string()),
+        },
+        5 => ExprKind::Min(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        6 => ExprKind::Max(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        7 => ExprKind::Not(Box::new(gen_expr(rng, depth - 1))),
+        _ => ExprKind::Bin(
+            BIN_OPS[rng.below(BIN_OPS.len() as u64) as usize],
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    };
+    Expr::dummy(kind)
+}
+
+fn gen_lvalue(rng: &mut TestRng) -> LValue {
+    let kind = match rng.below(4) {
+        0 => LValueKind::Var(pick(rng, &STATE_NAMES).to_string()),
+        1 => LValueKind::Var(pick(rng, &PARAM_NAMES).to_string()),
+        2 => LValueKind::Field(pick(rng, &FIELD_NAMES).to_string()),
+        _ => LValueKind::MapPut(pick(rng, &MAP_NAMES).to_string()),
+    };
+    LValue::dummy(kind)
+}
+
+fn gen_block(rng: &mut TestRng, len: u64, depth: u64) -> Vec<Stmt> {
+    (0..rng.below(len + 1))
+        .map(|_| gen_stmt(rng, depth))
+        .collect()
+}
+
+fn gen_stmt(rng: &mut TestRng, depth: u64) -> Stmt {
+    let kind = if depth > 0 && rng.below(3) == 0 {
+        StmtKind::If {
+            cond: gen_expr(rng, 2),
+            then: gen_block(rng, 2, depth - 1),
+            otherwise: gen_block(rng, 2, depth - 1),
+        }
+    } else {
+        StmtKind::Assign(gen_lvalue(rng), gen_expr(rng, 3))
+    };
+    Stmt::dummy(kind)
+}
+
+fn gen_program(rng: &mut TestRng) -> Program {
+    let mut prog = Program::empty();
+    for (i, name) in STATE_NAMES.iter().enumerate() {
+        if rng.below(2) == 0 {
+            prog.states.push(StateDecl {
+                name: name.to_string(),
+                init: gen_num(rng),
+                span: Span::DUMMY,
+            });
+        } else if i == 0 {
+            // Always declare at least one state so decl syntax is covered.
+            prog.states.push(StateDecl {
+                name: name.to_string(),
+                init: 0,
+                span: Span::DUMMY,
+            });
+        }
+    }
+    for name in MAP_NAMES {
+        if rng.below(2) == 0 {
+            prog.maps.push(MapDecl {
+                name: name.to_string(),
+                span: Span::DUMMY,
+            });
+        }
+    }
+    for name in PARAM_NAMES {
+        if rng.below(2) == 0 {
+            prog.params.push(StateDecl {
+                name: name.to_string(),
+                init: gen_num(rng),
+                span: Span::DUMMY,
+            });
+        }
+    }
+    prog.body = gen_block(rng, 4, 3);
+    if rng.below(2) == 0 {
+        prog.has_dequeue = true;
+        prog.dequeue_body = gen_block(rng, 2, 2);
+    }
+    prog
+}
+
+/// The tentpole property: printing any AST and re-parsing it yields the
+/// same AST (spans aside). One direction proves the printer emits only
+/// valid grammar; the other proves the parser loses no structure.
+#[test]
+fn pretty_then_parse_is_identity() {
+    run_cases(|rng| {
+        let prog = gen_program(rng);
+        let src = prog.pretty();
+        let reparsed = parse_unchecked(&src).unwrap_or_else(|e| {
+            panic!("pretty output failed to parse:\n{src}\n{e}\n{}", e.render())
+        });
+        assert_eq!(reparsed, prog, "round-trip mismatch for:\n{src}");
+    });
+}
+
+/// Printing is a fixpoint: pretty(parse(pretty(p))) == pretty(p). This is
+/// what makes `pretty` *canonical* and not merely invertible.
+#[test]
+fn pretty_is_a_fixpoint() {
+    run_cases(|rng| {
+        let prog = gen_program(rng);
+        let once = prog.pretty();
+        let twice = parse_unchecked(&once).unwrap().pretty();
+        assert_eq!(once, twice);
+    });
+}
+
+/// The figure programs themselves round-trip through the printer.
+#[test]
+fn figures_round_trip_through_pretty() {
+    for (name, src) in figures::all_figures() {
+        let prog = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reparsed = parse_unchecked(&prog.pretty())
+            .unwrap_or_else(|e| panic!("{name} pretty output failed to parse: {e}"));
+        assert_eq!(reparsed, prog, "{name}");
+        // Canonical source still passes the full checked pipeline.
+        parse(&prog.pretty()).unwrap_or_else(|e| panic!("{name} pretty fails check: {e}"));
+    }
+}
+
+/// Arbitrary byte soup never panics the front-end — worst case is a
+/// spanned `Err`. The alphabet is weighted toward grammar-adjacent
+/// characters so the fuzz reaches deep into the parser rather than dying
+/// in the lexer's first bad-character check, and includes multibyte
+/// characters to exercise UTF-8 span arithmetic.
+#[test]
+fn arbitrary_input_never_panics() {
+    const ALPHABET: [char; 48] = [
+        'a', 'b', 'p', 's', 'x', '_', '@', '.', ';', ',', '=', '(', ')', '{', '}', '[', ']', '<',
+        '>', '!', '&', '|', '+', '-', '*', '/', '%', '0', '1', '9', ' ', '\n', '\t', '#', 'i', 'f',
+        'e', 'l', 'n', 'm', 'w', 'r', 'k', '§', 'é', '→', '🦀', '\u{0}',
+    ];
+    run_cases(|rng| {
+        let len = rng.below(120);
+        let src: String = (0..len)
+            .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+            .collect();
+        // Ok or Err both fine; every Err must still render a snippet.
+        if let Err(e) = parse(&src) {
+            let rendered = e.render();
+            assert!(rendered.contains('^'), "{src:?}:\n{rendered}");
+        }
+    });
+}
+
+/// Figure programs truncated at a random point and spliced onto a random
+/// tail of another figure: structurally plausible garbage, never a panic.
+#[test]
+fn mutated_figures_never_panic() {
+    let figs = figures::all_figures();
+    run_cases(|rng| {
+        let (_, head_src) = figs[rng.below(figs.len() as u64) as usize];
+        let (_, tail_src) = figs[rng.below(figs.len() as u64) as usize];
+        let mut cut = rng.below(head_src.len() as u64 + 1) as usize;
+        while !head_src.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let mut start = rng.below(tail_src.len() as u64 + 1) as usize;
+        while !tail_src.is_char_boundary(start) {
+            start -= 1;
+        }
+        let spliced = format!("{}{}", &head_src[..cut], &tail_src[start..]);
+        if let Err(e) = parse(&spliced) {
+            assert!(e.line() >= 1 && e.col() >= 1);
+        }
+    });
+}
+
+/// Deep but bounded nesting parses; pathological nesting is a clean
+/// spanned error (the parser's depth guard), not a stack overflow.
+#[test]
+fn nesting_limit_is_a_clean_error() {
+    // The guard bounds *recursion depth*, which grows faster than paren
+    // depth (expr → unary → primary each descend); 20 parens is well
+    // inside the limit, 300 is well beyond it.
+    for depth in [1usize, 8, 20] {
+        let src = format!("p.rank = {}1{};", "(".repeat(depth), ")".repeat(depth));
+        parse(&src).unwrap_or_else(|e| panic!("depth {depth} should parse: {e}"));
+    }
+    let src = format!("p.rank = {}1{};", "(".repeat(300), ")".repeat(300));
+    let err = parse(&src).unwrap_err();
+    assert!(err.message().contains("nesting"), "{err}");
+}

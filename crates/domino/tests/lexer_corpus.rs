@@ -1,0 +1,242 @@
+//! Lexer corpus: the exact (token, span) stream of every figure program,
+//! pinned. Spans are validated two ways — structurally (monotone,
+//! in-bounds, lexeme = source slice) and literally (the `Kind@lo..hi`
+//! rendering of Fig 6, plus every figure's full lexeme stream).
+//!
+//! If a lexer change shifts a single token boundary in any paper figure,
+//! one of these goldens moves and the diff shows exactly where.
+
+use domino_lite::{figures, lex, Span, Token, TokenKind};
+
+/// Reconstruct each token's lexeme by slicing the source at its span.
+/// `Eof` renders as `<eof>` (its span is the empty point past the end).
+fn lexemes(src: &str) -> Vec<String> {
+    let toks = lex(src).unwrap();
+    validate_spans(src, &toks);
+    toks.iter()
+        .map(|t| match &t.kind {
+            TokenKind::Eof => "<eof>".to_string(),
+            _ => src[t.span.lo..t.span.hi].to_string(),
+        })
+        .collect()
+}
+
+/// Structural span invariants every token stream must satisfy:
+/// in-bounds, non-empty (except Eof), strictly ordered, non-overlapping,
+/// and each span's source slice re-lexes to the token it came from.
+fn validate_spans(src: &str, toks: &[Token]) {
+    let mut prev_hi = 0;
+    for (i, t) in toks.iter().enumerate() {
+        assert!(
+            t.span.lo <= t.span.hi,
+            "token {i}: inverted span {}",
+            t.span
+        );
+        assert!(
+            t.span.hi <= src.len(),
+            "token {i}: span {} out of bounds",
+            t.span
+        );
+        assert!(
+            t.span.lo >= prev_hi,
+            "token {i}: span {} overlaps previous (ends at {prev_hi})",
+            t.span
+        );
+        prev_hi = t.span.hi;
+        match &t.kind {
+            TokenKind::Eof => {
+                assert_eq!(i, toks.len() - 1, "Eof must be last");
+                assert_eq!(t.span, Span::point(src.len()), "Eof sits past the end");
+            }
+            TokenKind::Ident(name) => {
+                assert_eq!(&src[t.span.lo..t.span.hi], name, "ident lexeme = slice");
+            }
+            TokenKind::Punct(p) => {
+                assert_eq!(&src[t.span.lo..t.span.hi], *p, "punct lexeme = slice");
+            }
+            TokenKind::Num(v) => {
+                let digits: String = src[t.span.lo..t.span.hi]
+                    .chars()
+                    .filter(|c| *c != '_')
+                    .collect();
+                assert_eq!(
+                    digits.parse::<i64>().ok(),
+                    Some(*v),
+                    "numeric lexeme re-parses to its value"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_figure_stream_is_span_consistent() {
+    for (name, src) in figures::all_figures() {
+        let toks = lex(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate_spans(src, &toks);
+        assert!(toks.len() > 1, "{name}: non-trivial stream");
+    }
+}
+
+#[test]
+fn stfq_lexeme_stream_is_pinned() {
+    assert_eq!(
+        lexemes(figures::STFQ_SRC).join(" "),
+        "state virtual_time = 0 ; statemap last_finish ; \
+         if ( flow in last_finish ) { p . start = max ( virtual_time , last_finish [ flow ] ) ; } \
+         else { p . start = virtual_time ; } \
+         p . serv = ( p . length * 256 ) / weight ; \
+         if ( p . serv < 1 ) { p . serv = 1 ; } \
+         last_finish [ flow ] = p . start + p . serv ; \
+         p . rank = p . start ; \
+         @dequeue { virtual_time = max ( virtual_time , rank ) ; } <eof>"
+    );
+}
+
+#[test]
+fn tbf_lexeme_stream_is_pinned() {
+    assert_eq!(
+        lexemes(figures::TBF_SRC).join(" "),
+        "param r = 10_000_000 ; param B = 1_200_000_000_000 ; \
+         state tokens = 0 ; state last_time = 0 ; \
+         tokens = min ( tokens + r * ( now - last_time ) , B ) ; \
+         if ( p . length_nb <= tokens ) { p . send_time = now ; } \
+         else { p . send_time = now + ( p . length_nb - tokens + r - 1 ) / r ; } \
+         tokens = tokens - p . length_nb ; last_time = now ; p . rank = p . send_time ; <eof>"
+    );
+}
+
+#[test]
+fn lstf_lexeme_stream_is_pinned() {
+    assert_eq!(
+        lexemes(figures::LSTF_SRC).join(" "),
+        "p . slack = p . slack - p . prev_wait_time ; p . rank = p . slack ; <eof>"
+    );
+}
+
+#[test]
+fn stop_and_go_lexeme_stream_is_pinned() {
+    assert_eq!(
+        lexemes(figures::STOP_AND_GO_SRC).join(" "),
+        "param T = 1000 ; state frame_begin = 0 ; state frame_end = 0 ; \
+         if ( now >= frame_end ) { frame_begin = frame_end ; frame_end = frame_begin + T ; } \
+         p . rank = frame_end ; p . send_time = frame_end ; <eof>"
+    );
+}
+
+#[test]
+fn min_rate_lexeme_stream_is_pinned() {
+    assert_eq!(
+        lexemes(figures::MIN_RATE_SRC).join(" "),
+        "param min_rate = 1_000_000 ; param BURST = 12_000_000_000_000 ; \
+         state tb = 0 ; state last_time = 0 ; \
+         tb = tb + min_rate * ( now - last_time ) ; \
+         if ( tb > BURST ) { tb = BURST ; } \
+         if ( tb > p . length_nb ) { p . over_min = 0 ; tb = tb - p . length_nb ; } \
+         else { p . over_min = 1 ; } \
+         last_time = now ; p . rank = p . over_min ; <eof>"
+    );
+}
+
+/// Fig 6 with byte-exact spans: the full `Kind@lo..hi` rendering. The
+/// leading newline of the raw-string source is byte 0, which is why the
+/// first token starts at 1.
+#[test]
+fn lstf_spans_are_pinned_byte_for_byte() {
+    let rendered: Vec<String> = lex(figures::LSTF_SRC)
+        .unwrap()
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "Ident(p)@1..2",
+            "Punct(.)@2..3",
+            "Ident(slack)@3..8",
+            "Punct(=)@9..10",
+            "Ident(p)@11..12",
+            "Punct(.)@12..13",
+            "Ident(slack)@13..18",
+            "Punct(-)@19..20",
+            "Ident(p)@21..22",
+            "Punct(.)@22..23",
+            "Ident(prev_wait_time)@23..37",
+            "Punct(;)@37..38",
+            "Ident(p)@39..40",
+            "Punct(.)@40..41",
+            "Ident(rank)@41..45",
+            "Punct(=)@46..47",
+            "Ident(p)@48..49",
+            "Punct(.)@49..50",
+            "Ident(slack)@50..55",
+            "Punct(;)@55..56",
+            "Eof@57..57",
+        ]
+    );
+}
+
+// ------------------------------------------------------------------
+// Edge cases beyond the figures.
+// ------------------------------------------------------------------
+
+#[test]
+fn dequeue_marker_is_one_identifier() {
+    let toks = lex("@dequeue { }").unwrap();
+    assert_eq!(toks[0].kind, TokenKind::Ident("@dequeue".into()));
+    assert_eq!(toks[0].span, Span::new(0, 8));
+}
+
+#[test]
+fn comments_leave_gaps_not_tokens() {
+    let src = "a // one\n+ # two\nb";
+    assert_eq!(lexemes(src).join(" "), "a + b <eof>");
+    let toks = lex(src).unwrap();
+    // `+` sits on line 2, after the first comment.
+    assert_eq!(toks[1].span, Span::new(9, 10));
+}
+
+#[test]
+fn adjacent_operators_split_greedily() {
+    // `<=` wins over `<` `=`; `a<=b` has no spaces to anchor on.
+    assert_eq!(lexemes("a<=b").join(" "), "a <= b <eof>");
+    // `==` then `=`, not three `=`.
+    assert_eq!(lexemes("a===b").join(" "), "a == = b <eof>");
+    // `!` then `!=`.
+    assert_eq!(lexemes("!!=").join(" "), "! != <eof>");
+}
+
+#[test]
+fn underscored_literals_keep_their_source_spelling() {
+    let toks = lex("x = 1_200_000_000_000;").unwrap();
+    assert_eq!(toks[2].kind, TokenKind::Num(1_200_000_000_000));
+    assert_eq!(toks[2].span, Span::new(4, 21));
+}
+
+#[test]
+fn whitespace_only_input_is_just_eof() {
+    for src in ["", "   ", "\n\n\t ", "// only a comment\n", "# only\n"] {
+        let toks = lex(src).unwrap();
+        assert_eq!(toks.len(), 1, "{src:?}");
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+        assert_eq!(toks[0].span, Span::point(src.len()));
+    }
+}
+
+#[test]
+fn token_display_forms_are_stable() {
+    // The `Kind@lo..hi` rendering is itself API (other tests and the CI
+    // artifact pipeline format streams with it) — pin each variant once.
+    let toks = lex("x = 5 ;").unwrap();
+    let shown: Vec<String> = toks.iter().map(|t| t.to_string()).collect();
+    assert_eq!(
+        shown,
+        vec![
+            "Ident(x)@0..1",
+            "Punct(=)@2..3",
+            "Num(5)@4..5",
+            "Punct(;)@6..7",
+            "Eof@7..7",
+        ]
+    );
+}
