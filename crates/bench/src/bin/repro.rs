@@ -8,6 +8,7 @@
 //! repro --backend sp-pifo:4 <id>... # … including approximate ones
 //! repro --lossless [<id>...]        # add the Sec 6.2 lossless demo
 //! repro --domino [<id>...]          # add the Sec 4.1 compiler pipeline
+//! repro --telemetry [<id>...]       # add the observability tour
 //! ```
 
 use pifo_bench::cli;
@@ -47,9 +48,18 @@ fn main() {
         args.push("domino".to_string());
     }
 
+    // `--telemetry` appends the observability tour: flight-recorder
+    // events, per-packet path records, gauges, and the JSON snapshot.
+    if cli::extract_flag(&mut args, "--telemetry")
+        && args.first().map(|a| a.as_str()) != Some("all")
+        && !args.iter().any(|a| a == "telemetry")
+    {
+        args.push("telemetry".to_string());
+    }
+
     if args.is_empty() || args[0] == "list" || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: repro {} [--lossless] [--domino] <experiment id>... | all | list\n",
+            "usage: repro {} [--lossless] [--domino] [--telemetry] <experiment id>... | all | list\n",
             cli::backend_usage()
         );
         eprintln!("experiments:");

@@ -35,11 +35,19 @@ fn cbr_arrivals(flows: &[u32], offered_bps: u64, end: Nanos) -> Vec<Packet> {
     pkts
 }
 
-fn single_stfq_tree(weights: WeightTable, limit: usize) -> ScheduleTree {
-    let mut b = super::tree_builder();
+fn stfq_tree_with(backend: PifoBackend, weights: WeightTable, limit: usize) -> ScheduleTree {
+    let mut b = TreeBuilder::new();
+    b.with_backend(backend);
+    // Tracking is only wired up where it can be non-zero: an exact
+    // root pops in rank order by contract.
+    b.track_inversions(!backend.is_exact());
     let root = b.add_root("WFQ", Box::new(Stfq::new(weights)));
     b.buffer_limit(limit);
     b.build(Box::new(move |_| root)).expect("valid tree")
+}
+
+fn single_stfq_tree(weights: WeightTable, limit: usize) -> ScheduleTree {
+    stfq_tree_with(super::backend(), weights, limit)
 }
 
 fn rate_mbps(deps: &[Departure], flow: u32, from: Nanos, to: Nanos) -> f64 {
@@ -114,6 +122,59 @@ pub fn stfq() -> String {
         s,
         "Jain index of weight-normalised STFQ shares: {jain:.4} (1.0 = ideal)"
     );
+
+    // Approximate engines legally reorder: quantify the cost against the
+    // exact reference on the identical workload (PR 7's open sweep).
+    let backend = super::backend();
+    if !backend.is_exact() {
+        let table = WeightTable::from_pairs(weights.iter().map(|&(f, w)| (FlowId(f), w)));
+        let mut exact = TreeScheduler::new(
+            "STFQ-exact",
+            stfq_tree_with(PifoBackend::SortedArray, table, 100_000),
+        );
+        let deps_exact = run_port(&arrivals, &mut exact, &cfg);
+        let mut exact_shares = Vec::new();
+        let _ = writeln!(
+            s,
+            "\napproximate backend `{backend}` vs exact reference (same workload):"
+        );
+        let _ = writeln!(
+            s,
+            "{:>6} {:>12} {:>12} {:>12}",
+            "flow", "approx Mb/s", "exact Mb/s", "delta Mb/s"
+        );
+        for &(f, w) in &weights {
+            let approx_rate = rate_mbps(&deps_pifo, f, lo, hi);
+            let exact_rate = rate_mbps(&deps_exact, f, lo, hi);
+            exact_shares.push(exact_rate / w as f64);
+            let _ = writeln!(
+                s,
+                "{:>6} {:>12.0} {:>12.0} {:>12.1}",
+                f,
+                approx_rate,
+                exact_rate,
+                approx_rate - exact_rate
+            );
+        }
+        let jain_exact = pifo_sim::jain_index(&exact_shares);
+        let _ = writeln!(
+            s,
+            "Jain index: approx {jain:.4} vs exact {jain_exact:.4} (delta {:+.4})",
+            jain - jain_exact
+        );
+        if let Some(inv) = pifo.tree().inversion_stats() {
+            let _ = writeln!(
+                s,
+                "rank inversions at the root: {}/{} dequeues ({:.2}%), \
+                 mean displacement {:.2}, max rank regression {}",
+                inv.inversions,
+                inv.dequeues,
+                100.0 * inv.inversions as f64 / inv.dequeues.max(1) as f64,
+                inv.mean_displacement(),
+                inv.max_regression
+            );
+        }
+    }
     s
 }
 

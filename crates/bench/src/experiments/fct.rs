@@ -12,22 +12,32 @@ use pifo_sim::{
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-fn single_node_tree(tx: Box<dyn SchedulingTransaction>, limit: usize) -> ScheduleTree {
-    let mut b = super::tree_builder();
+fn tree_with(
+    backend: PifoBackend,
+    tx: Box<dyn SchedulingTransaction>,
+    limit: usize,
+) -> ScheduleTree {
+    let mut b = TreeBuilder::new();
+    b.with_backend(backend);
+    b.track_inversions(!backend.is_exact());
     let root = b.add_root("q", tx);
     b.buffer_limit(limit);
     b.build(Box::new(move |_| root)).expect("valid")
+}
+
+fn single_node_tree(tx: Box<dyn SchedulingTransaction>, limit: usize) -> ScheduleTree {
+    tree_with(super::backend(), tx, limit)
 }
 
 /// Run the workload through one scheduler; FCT stats per size bucket.
 fn run_one(
     arrivals: &[Packet],
     expected: &HashMap<FlowId, u64>,
-    mut sched: Box<dyn pifo_sim::PortScheduler>,
+    sched: &mut dyn pifo_sim::PortScheduler,
     rate: u64,
 ) -> (f64, f64, f64, usize) {
     let cfg = PortConfig::new(rate).with_horizon(Nanos::from_secs(10));
-    let deps = run_port(arrivals, sched.as_mut(), &cfg);
+    let deps = run_port(arrivals, sched, &cfg);
     let fcts = flow_completions(&deps, expected);
     let small: Vec<f64> = fcts
         .iter()
@@ -77,22 +87,15 @@ pub fn srpt() -> String {
         "{:<8} {:>10} {:>12} {:>12} {:>10}",
         "sched", "mean", "small<100KB", "large", "completed"
     );
-    let runs: Vec<(&str, Box<dyn pifo_sim::PortScheduler>)> = vec![
-        (
-            "SRPT",
-            Box::new(TreeScheduler::new(
-                "SRPT",
-                single_node_tree(Box::new(Srpt), 1_000_000),
-            )),
-        ),
-        (
-            "SJF",
-            Box::new(TreeScheduler::new(
-                "SJF",
-                single_node_tree(Box::new(Sjf), 1_000_000),
-            )),
-        ),
-        ("FIFO", Box::new(FifoSched::new(1_000_000))),
+    // SRPT is held outside the run list so its tree (and, for
+    // approximate backends, its inversion tracker) stays inspectable.
+    let mut srpt_sched = TreeScheduler::new("SRPT", single_node_tree(Box::new(Srpt), 1_000_000));
+    let mut sjf_sched = TreeScheduler::new("SJF", single_node_tree(Box::new(Sjf), 1_000_000));
+    let mut fifo_sched = FifoSched::new(1_000_000);
+    let runs: Vec<(&str, &mut dyn pifo_sim::PortScheduler)> = vec![
+        ("SRPT", &mut srpt_sched),
+        ("SJF", &mut sjf_sched),
+        ("FIFO", &mut fifo_sched),
     ];
     let mut means = HashMap::new();
     for (name, sched) in runs {
@@ -110,6 +113,41 @@ pub fn srpt() -> String {
         "small-flow mean FCT: SRPT is {:.1}x better than FIFO (paper: SRPT minimizes FCT [33])",
         fifo_small / srpt_small.max(1e-9)
     );
+
+    // Approximate engines legally reorder: quantify the FCT cost against
+    // the exact reference on the identical workload (PR 7's open sweep).
+    let backend = super::backend();
+    if !backend.is_exact() {
+        let mut exact = TreeScheduler::new(
+            "SRPT-exact",
+            tree_with(PifoBackend::SortedArray, Box::new(Srpt), 1_000_000),
+        );
+        let (mean_e, small_e, large_e, _) = run_one(&arrivals, &expected, &mut exact, RATE);
+        let (mean_a, small_a) = means["SRPT"];
+        let _ = writeln!(
+            s,
+            "\napproximate backend `{backend}` vs exact SRPT (same workload, mean FCT ms):"
+        );
+        let _ = writeln!(
+            s,
+            "  all: {mean_a:.3} vs {mean_e:.3} ({:+.1}%)   small<100KB: {small_a:.3} vs {small_e:.3} ({:+.1}%)",
+            100.0 * (mean_a - mean_e) / mean_e.max(1e-9),
+            100.0 * (small_a - small_e) / small_e.max(1e-9),
+        );
+        let _ = writeln!(s, "  exact large-flow mean: {large_e:.3}");
+        if let Some(inv) = srpt_sched.tree().inversion_stats() {
+            let _ = writeln!(
+                s,
+                "  rank inversions: {}/{} dequeues ({:.2}%), mean displacement {:.2}, \
+                 max rank regression {}",
+                inv.inversions,
+                inv.dequeues,
+                100.0 * inv.inversions as f64 / inv.dequeues.max(1) as f64,
+                inv.mean_displacement(),
+                inv.max_regression
+            );
+        }
+    }
     s
 }
 

@@ -24,6 +24,7 @@ pub mod latency;
 pub mod limits;
 pub mod lossless;
 pub mod synth_tables;
+pub mod telemetry;
 
 /// Which PIFO backend experiment trees are built with. A `Mutex` rather
 /// than an atomic index into [`PifoBackend::ALL`]: parameterised
@@ -151,6 +152,11 @@ pub fn registry() -> Vec<Experiment> {
             "pfc",
             "Sec 6.2: lossless fabric — PFC pause/resume & fault watchdog",
             lossless::pfc,
+        ),
+        (
+            "telemetry",
+            "Observability: flight recorder, path records, gauges",
+            telemetry::tour,
         ),
     ]
 }

@@ -27,6 +27,11 @@
 //! * [`metrics`] — rank-inversion scoring: [`metrics::InversionTracker`]
 //!   streams inversions/unpifoness per dequeue, and the offline helpers
 //!   diff any backend's pop trace against the exact sorted oracle.
+//! * [`telemetry`] — fabric observability: the always-on
+//!   [`telemetry::FlightRecorder`] ring of compact trace events, opt-in
+//!   INT-style [`telemetry::PathRecord`]s per packet, sampled
+//!   [`telemetry::GaugeSeries`], and the JSON-exportable
+//!   [`telemetry::TelemetrySnapshot`].
 //! * [`packet`], [`rank`], [`time`] — the vocabulary types.
 //! * [`buffer`] — the shared packet-buffer slab (§4): packets live once,
 //!   PIFOs circulate 4-byte [`buffer::PktHandle`]s.
@@ -76,6 +81,7 @@ pub mod pifo;
 #[allow(unsafe_code)]
 pub mod pool;
 pub mod rank;
+pub mod telemetry;
 pub mod time;
 pub mod transaction;
 pub mod tree;
@@ -95,6 +101,10 @@ pub mod prelude {
         SharedPool, Threshold,
     };
     pub use crate::rank::{Rank, VT_SHIFT};
+    pub use crate::telemetry::{
+        EventKind, FlightRecorder, GaugePoint, GaugeSeries, PathHop, PathRecord, PathRecorder,
+        TelemetryConfig, TelemetrySnapshot, TraceEvent,
+    };
     pub use crate::time::{bytes_in, tx_time, Nanos};
     pub use crate::transaction::{
         DeqCtx, EnqCtx, FnTransaction, SchedulingTransaction, ShapingTransaction,

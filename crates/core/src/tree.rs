@@ -62,6 +62,9 @@ use crate::packet::{FlowId, Packet};
 use crate::pifo::{EnumPifo, PifoBackend, PifoInspect, PifoQueue};
 use crate::pool::{PoolHandle, SharedPacketPool};
 use crate::rank::Rank;
+use crate::telemetry::{
+    drop_reason, EventKind, FlightRecorder, PathRecord, PathRecorder, TraceEvent,
+};
 use crate::time::Nanos;
 use crate::transaction::{DeqCtx, EnqCtx, SchedulingTransaction, ShapingTransaction};
 use core::fmt;
@@ -259,6 +262,8 @@ pub struct TreeBuilder {
     buffer_limit: Option<usize>,
     backend: PifoBackend,
     track_inversions: bool,
+    ring_capacity: Option<usize>,
+    path_records: bool,
 }
 
 impl Default for TreeBuilder {
@@ -276,6 +281,8 @@ impl TreeBuilder {
             buffer_limit: None,
             backend: PifoBackend::default(),
             track_inversions: false,
+            ring_capacity: None,
+            path_records: false,
         }
     }
 
@@ -285,6 +292,24 @@ impl TreeBuilder {
     /// path carries no tracking cost at all.
     pub fn track_inversions(&mut self, enabled: bool) -> &mut Self {
         self.track_inversions = enabled;
+        self
+    }
+
+    /// Attach a [`FlightRecorder`] retaining the most recent `capacity`
+    /// trace events (enqueue/dequeue/drop/shaping/pool — see
+    /// [`EventKind`]) to the built tree. Off by default; when off every
+    /// hook site costs one `Option` null check and nothing else.
+    pub fn with_flight_recorder(&mut self, capacity: usize) -> &mut Self {
+        self.ring_capacity = Some(capacity);
+        self
+    }
+
+    /// Collect an INT-style [`PathRecord`] per packet: the hops of its
+    /// enqueue walk (node, rank, queue depth seen) plus enqueue and
+    /// departure instants. The most expensive telemetry mode; off by
+    /// default.
+    pub fn with_path_records(&mut self, enabled: bool) -> &mut Self {
+        self.path_records = enabled;
         self
     }
 
@@ -489,6 +514,10 @@ impl TreeBuilder {
             scratch: Vec::new(),
             run_scratch: Vec::new(),
             tracker: self.track_inversions.then(InversionTracker::new),
+            recorder: self
+                .ring_capacity
+                .map(|cap| Box::new(FlightRecorder::new(cap))),
+            paths: self.path_records.then(|| Box::new(PathRecorder::new())),
         })
     }
 }
@@ -528,6 +557,12 @@ pub struct ScheduleTree {
     /// inversions/unpifoness (O(1) per dequeue). `None` keeps the hot
     /// path tracker-free.
     tracker: Option<InversionTracker>,
+    /// Flight recorder for this tree's trace events; `None` keeps every
+    /// hook site at a single null check.
+    recorder: Option<Box<FlightRecorder>>,
+    /// Per-packet path records keyed by pool slot; `None` keeps the hot
+    /// path digest-free.
+    paths: Option<Box<PathRecorder>>,
 }
 
 impl fmt::Debug for ScheduleTree {
@@ -664,9 +699,25 @@ impl ScheduleTree {
         self.release_due(now);
         let leaf = (self.classifier)(&packet);
         if leaf.index() >= self.nodes.len() {
+            self.emit(
+                EventKind::Drop,
+                now,
+                leaf.0,
+                packet.flow,
+                packet.id.0,
+                drop_reason::UNKNOWN_NODE,
+            );
             return Err(TreeError::UnknownNode(leaf));
         }
         if !self.nodes[leaf.index()].children.is_empty() {
+            self.emit(
+                EventKind::Drop,
+                now,
+                leaf.0,
+                packet.flow,
+                packet.id.0,
+                drop_reason::NOT_A_LEAF,
+            );
             return Err(TreeError::NotALeaf(leaf));
         }
         // Admission is the pool insert itself, before any other state
@@ -674,11 +725,21 @@ impl ScheduleTree {
         // back unchanged (moved, never cloned).
         let handle = match self.pool.try_insert(packet) {
             Ok(h) => h,
-            Err(packet) => return Err(TreeError::BufferFull(packet)),
+            Err(packet) => {
+                self.emit(
+                    EventKind::Drop,
+                    now,
+                    leaf.0,
+                    packet.flow,
+                    packet.id.0,
+                    drop_reason::BUFFER_FULL,
+                );
+                return Err(TreeError::BufferFull(packet));
+            }
         };
 
         // Leaf: the element is a handle to the buffered packet.
-        let leaf_rank = {
+        let (leaf_rank, leaf_flow, leaf_depth) = {
             let node = &mut self.nodes[leaf.index()];
             let p = self.pool.get(handle);
             let flow = flow_of(&node.flow_fn, p);
@@ -688,9 +749,13 @@ impl ScheduleTree {
                 flow,
             };
             let rank = node.sched.rank(&ctx);
+            let depth = node.sched_pifo.len();
             node.sched_pifo.push(rank, Element::Packet(handle));
-            rank
+            (rank, flow, depth)
         };
+        if self.recorder.is_some() || self.paths.is_some() {
+            self.note_admission(handle, leaf, leaf_rank, leaf_flow, leaf_depth, now);
+        }
         if leaf == self.root {
             // Single-node tree: the leaf PIFO *is* the departure
             // schedule, so its pushes feed the inversion tracker.
@@ -739,6 +804,17 @@ impl ScheduleTree {
             self.agenda_seq += 1;
             self.shaped += 1;
             self.nodes[node.index()].shaping_len += 1;
+            if self.recorder.is_some() {
+                let flow = self.pool.get(handle).flow;
+                self.emit(
+                    EventKind::ShapingPark,
+                    now,
+                    node.0,
+                    flow,
+                    release.as_nanos(),
+                    handle.index() as u32,
+                );
+            }
             return; // Suspended: the parent sees nothing until release.
         }
         self.push_ref_to_parent(node, handle, now, owns_ref);
@@ -751,12 +827,27 @@ impl ScheduleTree {
             // Reached the root: walk complete. A resumption drops the
             // agenda entry's buffer reference; if the packet already
             // departed, that frees the slot.
-            if owns_ref && self.pool.release(handle).is_some() {
-                self.dangling_shaped -= 1;
+            if owns_ref {
+                let flow = if self.recorder.is_some() {
+                    self.pool.get(handle).flow
+                } else {
+                    FlowId(0)
+                };
+                if self.pool.release(handle).is_some() {
+                    self.dangling_shaped -= 1;
+                    self.emit(
+                        EventKind::PoolFree,
+                        now,
+                        node.0,
+                        flow,
+                        handle.index() as u64,
+                        0,
+                    );
+                }
             }
             return;
         };
-        let rank = {
+        let (rank, depth) = {
             let pnode = &mut self.nodes[parent.index()];
             let p = self.pool.get(handle);
             let ctx = EnqCtx {
@@ -765,9 +856,13 @@ impl ScheduleTree {
                 flow: node.as_flow(),
             };
             let rank = pnode.sched.rank(&ctx);
+            let depth = pnode.sched_pifo.len();
             pnode.sched_pifo.push(rank, Element::Ref(node));
-            rank
+            (rank, depth)
         };
+        if let Some(paths) = &mut self.paths {
+            paths.hop(handle.index(), parent.0, rank.0, depth as u32, now);
+        }
         if parent == self.root {
             // Root pushes feed the inversion tracker — these ranks are
             // the departure schedule the root pops score against.
@@ -797,6 +892,17 @@ impl ScheduleTree {
             let Reverse(e) = self.agenda.pop().expect("peeked entry vanished");
             self.shaped -= 1;
             self.nodes[e.node as usize].shaping_len -= 1;
+            if self.recorder.is_some() {
+                let flow = self.pool.get(e.handle).flow;
+                self.emit(
+                    EventKind::ShapingRelease,
+                    now,
+                    e.node,
+                    flow,
+                    e.release,
+                    e.handle.index() as u32,
+                );
+            }
             self.push_ref_to_parent(NodeId(e.node), e.handle, now, true);
         }
     }
@@ -846,13 +952,23 @@ impl ScheduleTree {
                         .sched
                         .on_dequeue(rank, &DeqCtx { now, flow });
                     self.buffered -= 1;
+                    if self.recorder.is_some() || self.paths.is_some() {
+                        let remaining = self.buffered as u32;
+                        self.emit(EventKind::Dequeue, now, node.0, flow, rank.0, remaining);
+                        if let Some(paths) = &mut self.paths {
+                            paths.finish(h.index(), now);
+                        }
+                    }
                     // Common case: the leaf element is the last holder and
                     // the packet moves out of its slot, zero-copy. Rare
                     // case: a parked shaping entry still needs the fields
                     // (this packet overtook its own suspended reference),
                     // so the slot stays live until that entry resumes.
                     return Some(match self.pool.release(h) {
-                        Some(p) => p,
+                        Some(p) => {
+                            self.emit(EventKind::PoolFree, now, node.0, flow, h.index() as u64, 0);
+                            p
+                        }
                         None => {
                             self.dangling_shaped += 1;
                             self.pool.get(h).clone()
@@ -950,10 +1066,26 @@ impl ScheduleTree {
             if leaf.index() >= self.nodes.len() {
                 // Invalid packets touch no state, so the open run — if
                 // any — continues across them, exactly as sequentially.
+                self.emit(
+                    EventKind::Drop,
+                    now,
+                    leaf.0,
+                    packet.flow,
+                    packet.id.0,
+                    drop_reason::UNKNOWN_NODE,
+                );
                 errors.push(TreeError::UnknownNode(leaf));
                 continue;
             }
             if !self.nodes[leaf.index()].children.is_empty() {
+                self.emit(
+                    EventKind::Drop,
+                    now,
+                    leaf.0,
+                    packet.flow,
+                    packet.id.0,
+                    drop_reason::NOT_A_LEAF,
+                );
                 errors.push(TreeError::NotALeaf(leaf));
                 continue;
             }
@@ -968,22 +1100,39 @@ impl ScheduleTree {
             let handle = match self.pool.try_insert(packet) {
                 Ok(h) => h,
                 Err(p) => {
+                    self.emit(
+                        EventKind::Drop,
+                        now,
+                        leaf.0,
+                        p.flow,
+                        p.id.0,
+                        drop_reason::BUFFER_FULL,
+                    );
                     errors.push(TreeError::BufferFull(p));
                     continue;
                 }
             };
             // Leaf rank now — transactions are stateful, so the rank-call
             // order must be arrival order — but the push is deferred.
-            let rank = {
+            let (rank, flow) = {
                 let node = &mut self.nodes[leaf.index()];
                 let p = self.pool.get(handle);
                 let flow = flow_of(&node.flow_fn, p);
-                node.sched.rank(&EnqCtx {
+                let rank = node.sched.rank(&EnqCtx {
                     packet: p,
                     now,
                     flow,
-                })
+                });
+                (rank, flow)
             };
+            if self.recorder.is_some() || self.paths.is_some() {
+                // The leaf depth the sequential path would have seen:
+                // the PIFO's current length plus this run's
+                // still-deferred pushes — keeps the batched event stream
+                // byte-identical to per-packet enqueues.
+                let depth = self.nodes[leaf.index()].sched_pifo.len() + self.run_scratch.len();
+                self.note_admission(handle, leaf, rank, flow, depth, now);
+            }
             self.run_scratch.push((rank, handle));
         }
         if !self.run_scratch.is_empty() {
@@ -1023,6 +1172,10 @@ impl ScheduleTree {
                         flow: node.as_flow(),
                     })
                 };
+                if let Some(paths) = &mut self.paths {
+                    let depth = self.nodes[parent.index()].sched_pifo.len();
+                    paths.hop(handle.index(), parent.0, rank.0, depth as u32, now);
+                }
                 self.nodes[parent.index()]
                     .sched_pifo
                     .push(rank, Element::Ref(node));
@@ -1066,6 +1219,15 @@ impl ScheduleTree {
                         for &(rank, _) in &elems {
                             t.record_push(rank);
                         }
+                    }
+                }
+                if let Some(paths) = &mut self.paths {
+                    // Depth as the sequential path would have seen it:
+                    // the PIFO's length before this level's batch plus
+                    // the run entries conceptually pushed ahead of each.
+                    let base = self.nodes[parent.index()].sched_pifo.len();
+                    for (idx, (&(_, h), &(rank, _))) in run.iter().zip(elems.iter()).enumerate() {
+                        paths.hop(h.index(), parent.0, rank.0, (base + idx) as u32, now);
                     }
                 }
                 let rejected = self.nodes[parent.index()].sched_pifo.push_batch(elems);
@@ -1131,6 +1293,8 @@ impl ScheduleTree {
                 buffered,
                 scratch,
                 tracker,
+                recorder,
+                paths,
                 ..
             } = self;
             let mut batch = std::mem::take(scratch);
@@ -1145,6 +1309,12 @@ impl ScheduleTree {
                     t.record_pop(*rank);
                 }
             }
+            // Telemetry mirrors `dequeue_walk` per element: `remaining`
+            // counts down as if each pop were its own dequeue, so the
+            // batched event stream is byte-identical to per-packet.
+            let telemetry_on = recorder.is_some() || paths.is_some();
+            let port = pool.port() as u16;
+            let mut remaining = *buffered + batch.len();
             for (rank, elem) in batch.drain(..) {
                 let Element::Packet(h) = elem else {
                     unreachable!("single-node tree PIFOs hold only packets")
@@ -1158,6 +1328,32 @@ impl ScheduleTree {
                     .expect("single-node slots have exactly one holder");
                 let flow = flow_of(&node.flow_fn, &p);
                 node.sched.on_dequeue(rank, &DeqCtx { now, flow });
+                if telemetry_on {
+                    remaining -= 1;
+                    if let Some(r) = recorder.as_deref_mut() {
+                        r.record(TraceEvent {
+                            time: now,
+                            kind: EventKind::Dequeue,
+                            port,
+                            node: 0,
+                            flow,
+                            value: rank.0,
+                            aux: remaining as u32,
+                        });
+                        r.record(TraceEvent {
+                            time: now,
+                            kind: EventKind::PoolFree,
+                            port,
+                            node: 0,
+                            flow,
+                            value: h.index() as u64,
+                            aux: 0,
+                        });
+                    }
+                    if let Some(pr) = paths.as_deref_mut() {
+                        pr.finish(h.index(), now);
+                    }
+                }
                 out.push(p);
             }
             self.scratch = batch;
@@ -1207,6 +1403,89 @@ impl ScheduleTree {
     pub fn reset_inversion_stats(&mut self) {
         if let Some(t) = &mut self.tracker {
             t.reset();
+        }
+    }
+
+    /// Switch on flight recording from this point with a ring retaining
+    /// `capacity` events (idempotent — an existing recorder keeps its
+    /// ring and counters). Usually set at build time via
+    /// [`TreeBuilder::with_flight_recorder`].
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        if self.recorder.is_none() {
+            self.recorder = Some(Box::new(FlightRecorder::new(capacity)));
+        }
+    }
+
+    /// The flight recorder, when enabled (its events, lifetime counts
+    /// and JSON dump — see [`FlightRecorder`]).
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Switch on per-packet path records from this point (idempotent).
+    /// Packets already buffered get no record — only walks observed
+    /// from here on are digested. Usually set at build time via
+    /// [`TreeBuilder::with_path_records`].
+    pub fn enable_path_records(&mut self) {
+        if self.paths.is_none() {
+            self.paths = Some(Box::new(PathRecorder::new()));
+        }
+    }
+
+    /// True when per-packet path records are being collected.
+    pub fn path_records_enabled(&self) -> bool {
+        self.paths.is_some()
+    }
+
+    /// Take every completed [`PathRecord`], in departure order. Empty
+    /// when path records are disabled. The `departed` stamp is the tree
+    /// dequeue instant; drivers that model transmission (e.g.
+    /// `pifo-sim`'s switch) overwrite it with the transmit start so the
+    /// record's wait reconciles exactly with the departure trace.
+    pub fn drain_path_records(&mut self) -> Vec<PathRecord> {
+        self.paths
+            .as_mut()
+            .map(|p| p.drain_completed())
+            .unwrap_or_default()
+    }
+
+    /// Record one event when the flight recorder is enabled — the single
+    /// `Option`-gated funnel every tree hook goes through.
+    #[inline]
+    fn emit(&mut self, kind: EventKind, now: Nanos, node: u32, flow: FlowId, value: u64, aux: u32) {
+        if let Some(r) = &mut self.recorder {
+            r.record(TraceEvent {
+                time: now,
+                kind,
+                port: self.pool.port() as u16,
+                node,
+                flow,
+                value,
+                aux,
+            });
+        }
+    }
+
+    /// Telemetry for one admitted packet, shared by the per-packet and
+    /// batched enqueue paths so both produce the identical stream:
+    /// `PoolAlloc` then `Enqueue`, plus the path record's leaf hop.
+    fn note_admission(
+        &mut self,
+        handle: PktHandle,
+        leaf: NodeId,
+        rank: Rank,
+        flow: FlowId,
+        depth: usize,
+        now: Nanos,
+    ) {
+        let slot = handle.index();
+        self.emit(EventKind::PoolAlloc, now, leaf.0, flow, slot as u64, 0);
+        self.emit(EventKind::Enqueue, now, leaf.0, flow, rank.0, depth as u32);
+        if let Some(paths) = &mut self.paths {
+            let id = self.pool.get(handle).id.0;
+            let port = self.pool.port() as u16;
+            paths.begin(slot, id, flow, port, now);
+            paths.hop(slot, leaf.0, rank.0, depth as u32, now);
         }
     }
 

@@ -13,6 +13,14 @@
 //! identical outputs, bit for bit — including the [`switch`] fabric's
 //! multi-core drain ([`DrainMode::Parallel`]), whose merged traces are
 //! differentially pinned against the sequential modes.
+//!
+//! Observability rides along without steering: build a fabric with
+//! [`SwitchBuilder::with_telemetry`] and every port tree records flight
+//! recorder events, optional per-packet path records
+//! ([`PortTrace::paths`]), and sampled gauges, merged after a run by
+//! [`Switch::telemetry_snapshot`] (or [`LosslessRun::telemetry`] for the
+//! lossless fabric) — with departure traces bit-identical to a
+//! telemetry-off run.
 
 #![forbid(unsafe_code)]
 #![deny(rustdoc::broken_intra_doc_links)]

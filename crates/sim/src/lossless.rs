@@ -62,6 +62,7 @@ use crate::port::Departure;
 use crate::switch::{DrainMode, PortTrace, Switch, SwitchRun};
 use crate::traffic::TrafficSource;
 use pifo_core::prelude::*;
+use pifo_core::telemetry::NO_NODE;
 use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 
 // ---------------------------------------------------------------------------
@@ -374,6 +375,12 @@ pub struct LosslessRun {
     pub max_pool_live: usize,
     /// Scheduling rounds executed.
     pub rounds: u64,
+    /// The merged telemetry of the run — tree-level trace events plus
+    /// synthesized pause/resume/fault events and fabric-level gauges
+    /// (`fabric.pool_live`, `fabric.paused_classes`,
+    /// `fabric.skid_occupancy`). `None` unless the wrapped switch was
+    /// built with [`crate::switch::SwitchBuilder::with_telemetry`].
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl LosslessRun {
@@ -585,6 +592,16 @@ impl LosslessFabric {
         let mut rounds = 0u64;
         let mut next_id = 0u64;
         let mut stall: Option<FabricStall> = None;
+        // Fabric-level gauge sampling rides the global round counter —
+        // identical round order in every mode keeps the series
+        // bit-reproducible.
+        let sample_every = self
+            .switch
+            .telemetry_config()
+            .map(|c| c.sample_every.max(1));
+        let mut g_pool = GaugeSeries::new("fabric.pool_live");
+        let mut g_paused = GaugeSeries::new("fabric.paused_classes");
+        let mut g_skid = GaugeSeries::new("fabric.skid_occupancy");
 
         // The switch-side pause evaluation for one port at `now`:
         // compare every class's pressure against the watermarks, emit
@@ -969,6 +986,18 @@ impl LosslessFabric {
                         }
                         ports[i].busy_until = t;
                         ports[i].t = Some(t);
+                        if self.switch.ports[i].path_records_enabled() {
+                            // One record completed per dequeued packet,
+                            // in dequeue order — the departures just
+                            // pushed. Finalize `departed` to transmit
+                            // start so waits reconcile exactly.
+                            let mut recs = self.switch.ports[i].drain_path_records();
+                            let base = ports[i].trace.departures.len() - recs.len();
+                            for (k, r) in recs.iter_mut().enumerate() {
+                                r.departed = ports[i].trace.departures[base + k].start;
+                            }
+                            ports[i].trace.paths.append(&mut recs);
+                        }
                         // Progress frees pool space: wake parked ports
                         // whose skid heads may now be admissible.
                         for (j, other) in ports.iter_mut().enumerate() {
@@ -984,6 +1013,17 @@ impl LosslessFabric {
                     // finish, or the decision time of an idle round.
                     eval_pause!(i, round_end);
                     max_pool_live = max_pool_live.max(fabric_live(&self.switch));
+                    if sample_every.is_some_and(|every| rounds % every == 0) {
+                        g_pool.push(round_end, fabric_live(&self.switch) as u64);
+                        let paused = ports
+                            .iter()
+                            .flat_map(|p| p.classes.values())
+                            .filter(|c| c.paused_since.is_some())
+                            .count();
+                        g_paused.push(round_end, paused as u64);
+                        let skid: usize = ports.iter().map(|p| p.skid.len()).sum();
+                        g_skid.push(round_end, skid as u64);
+                    }
                 }
             }
         }
@@ -1018,6 +1058,60 @@ impl LosslessFabric {
             }
         }
 
+        let telemetry = self.switch.telemetry_config().map(|_| {
+            let mut snap = TelemetrySnapshot::default();
+            for tree in &self.switch.ports {
+                if let Some(r) = tree.flight_recorder() {
+                    snap.absorb_recorder(r);
+                }
+            }
+            // Pause/resume transitions and the stall verdict are driver
+            // state, not tree state: synthesize their trace events here,
+            // off the hot path.
+            for e in &pause_events {
+                let kind = match e.action {
+                    PauseAction::Pause => EventKind::Pause,
+                    PauseAction::Resume => EventKind::Resume,
+                };
+                snap.counts[kind as usize] += 1;
+                snap.events_recorded += 1;
+                snap.events.push(TraceEvent {
+                    time: e.time,
+                    kind,
+                    port: e.port as u16,
+                    node: NO_NODE,
+                    flow: FlowId(0),
+                    value: e.class as u64,
+                    aux: 0,
+                });
+            }
+            if let Some(s) = &stall {
+                let (code, port) = match s.kind {
+                    StallKind::DeadPort { port } => (0u64, port as u16),
+                    StallKind::StuckPool => (1, 0),
+                    StallKind::PauseStorm { port } => (2, port as u16),
+                    StallKind::RoundBudget { .. } => (3, 0),
+                    StallKind::CircularWait => (4, 0),
+                };
+                snap.counts[EventKind::Fault as usize] += 1;
+                snap.events_recorded += 1;
+                snap.events.push(TraceEvent {
+                    time: s.at,
+                    kind: EventKind::Fault,
+                    port,
+                    node: NO_NODE,
+                    flow: FlowId(0),
+                    value: code,
+                    aux: u32::try_from(s.paused_for.as_nanos()).unwrap_or(u32::MAX),
+                });
+            }
+            snap.sort_events();
+            snap.gauges.push(g_pool);
+            snap.gauges.push(g_paused);
+            snap.gauges.push(g_skid);
+            snap
+        });
+
         LosslessRun {
             run: SwitchRun {
                 ports: ports
@@ -1034,6 +1128,7 @@ impl LosslessFabric {
             skid_overflow,
             max_pool_live,
             rounds,
+            telemetry,
         }
     }
 }

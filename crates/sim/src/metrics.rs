@@ -68,21 +68,32 @@ pub fn throughput_series(
 }
 
 /// Summary statistics over a set of latency (or any duration) samples.
+///
+/// Percentiles use the **nearest-rank** convention: the p-th percentile
+/// of `n` sorted samples is the sample at rank `⌈(p/100)·n⌉` (1-based,
+/// clamped to `[1, n]`). Every reported percentile is therefore an
+/// *actual sample value*, never an interpolation: with one sample every
+/// percentile is that sample; with `n = 10`, p99 is the maximum
+/// (`⌈0.99·10⌉ = 10`); tied values are reported as-is. This is the
+/// convention the telemetry layer's per-packet residence times are
+/// summarized with, so telemetry-derived and departure-derived
+/// percentiles agree exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: usize,
     /// Arithmetic mean, ns.
     pub mean_ns: f64,
-    /// Median, ns.
+    /// Median, ns (nearest-rank).
     pub p50_ns: u64,
-    /// 99th percentile, ns.
+    /// 99th percentile, ns (nearest-rank).
     pub p99_ns: u64,
     /// Maximum, ns.
     pub max_ns: u64,
 }
 
-/// Compute latency statistics from raw nanosecond samples.
+/// Compute latency statistics from raw nanosecond samples
+/// (nearest-rank percentiles — see [`LatencyStats`]).
 /// Returns `None` for an empty sample set.
 pub fn latency_stats(samples: &[u64]) -> Option<LatencyStats> {
     if samples.is_empty() {
@@ -101,8 +112,9 @@ pub fn latency_stats(samples: &[u64]) -> Option<LatencyStats> {
     })
 }
 
-/// Index of the p-th percentile in a sorted array of `n` samples
-/// (nearest-rank method).
+/// Index of the p-th percentile in a sorted array of `n` samples:
+/// nearest-rank `⌈(p/100)·n⌉`, 1-based, clamped to `[1, n]`, returned
+/// 0-based.
 fn percentile_index(n: usize, p: f64) -> usize {
     let rank = ((p / 100.0) * n as f64).ceil() as usize;
     rank.clamp(1, n) - 1
@@ -247,6 +259,38 @@ mod tests {
         assert_eq!(st.p50_ns, 7);
         assert_eq!(st.p99_ns, 7);
         assert_eq!(st.max_ns, 7);
+    }
+
+    /// Nearest-rank boundary behaviour: p99 on tiny sample sets is the
+    /// maximum (rank ⌈0.99·n⌉ = n for n ≤ 100), and p50 sits at rank
+    /// ⌈n/2⌉ — the lower-middle sample for even n, never interpolated.
+    #[test]
+    fn tiny_samples_use_nearest_rank() {
+        for n in [2usize, 3, 5, 10] {
+            let samples: Vec<u64> = (1..=n as u64).collect();
+            let st = latency_stats(&samples).unwrap();
+            assert_eq!(st.p99_ns, n as u64, "p99 of n={n} is the max");
+            assert_eq!(st.p50_ns, n.div_ceil(2) as u64, "p50 of n={n}");
+        }
+        // 101 samples: rank ⌈0.99·101⌉ = 100 — the first n where p99
+        // drops below the maximum.
+        let samples: Vec<u64> = (1..=101).collect();
+        let st = latency_stats(&samples).unwrap();
+        assert_eq!(st.p99_ns, 100);
+        assert_eq!(st.max_ns, 101);
+    }
+
+    /// Ties are reported as-is: the percentile is always one of the
+    /// sample values, and a run of equal samples spanning the rank
+    /// yields that value.
+    #[test]
+    fn tied_samples_report_the_tied_value() {
+        let st = latency_stats(&[5, 5, 5, 5]).unwrap();
+        assert_eq!(st.p50_ns, 5);
+        assert_eq!(st.p99_ns, 5);
+        let st = latency_stats(&[1, 9, 9, 9]).unwrap();
+        assert_eq!(st.p50_ns, 9, "rank 2 of [1,9,9,9]");
+        assert_eq!(st.p99_ns, 9);
     }
 
     #[test]

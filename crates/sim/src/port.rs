@@ -12,7 +12,14 @@ use pifo_core::prelude::*;
 /// One transmitted packet with its port-level timing.
 ///
 /// Equality is full-struct (packet, start, finish, wait) — what the
-/// trace bit-identity tests compare departure for departure.
+/// trace bit-identity tests compare departure for departure. That
+/// contract is why telemetry never adds fields here: per-packet path
+/// records live in a side channel
+/// ([`PortTrace::paths`](crate::switch::PortTrace::paths),
+/// index-aligned with the departures), so a telemetry-on trace stays
+/// byte-comparable to a telemetry-off one. `wait` reconciles exactly
+/// with the telemetry layer's
+/// [`PathRecord::wait`](pifo_core::telemetry::PathRecord::wait).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Departure {
     /// The packet as it left (fields may have been updated, e.g. LSTF

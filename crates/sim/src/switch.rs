@@ -167,6 +167,7 @@ pub struct SwitchBuilder {
     burst: usize,
     pool: Option<SharedPool>,
     track_inversions: bool,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl SwitchBuilder {
@@ -185,6 +186,7 @@ impl SwitchBuilder {
             burst: 32,
             pool: None,
             track_inversions: false,
+            telemetry: None,
         }
     }
 
@@ -197,6 +199,21 @@ impl SwitchBuilder {
     /// tracking costs nothing on the drain path.
     pub fn track_inversions(&mut self) -> &mut Self {
         self.track_inversions = true;
+        self
+    }
+
+    /// Collect telemetry during runs: every port tree gets a
+    /// [`FlightRecorder`] ring of `cfg.ring_capacity` trace events (plus
+    /// per-packet [`PathRecord`]s when `cfg.path_records` is set), and
+    /// each port samples its gauge series — queue depth, pool occupancy,
+    /// cumulative inversions when tracking — every `cfg.sample_every`
+    /// scheduling rounds. Read the merged result after a run with
+    /// [`Switch::telemetry_snapshot`]; per-port path records land on
+    /// [`PortTrace::paths`]. Off by default — disabled telemetry costs
+    /// one null check per tree operation. Telemetry observes only:
+    /// departure traces are bit-identical with it on or off.
+    pub fn with_telemetry(&mut self, cfg: TelemetryConfig) -> &mut Self {
+        self.telemetry = Some(cfg);
         self
     }
 
@@ -297,6 +314,14 @@ impl SwitchBuilder {
                 tree.enable_inversion_tracking();
             }
         }
+        if let Some(cfg) = self.telemetry {
+            for tree in &mut ports {
+                tree.enable_flight_recorder(cfg.ring_capacity);
+                if cfg.path_records {
+                    tree.enable_path_records();
+                }
+            }
+        }
         Switch {
             ports,
             classifier,
@@ -304,6 +329,7 @@ impl SwitchBuilder {
             horizon: self.horizon,
             burst: self.burst,
             pool: self.pool,
+            telemetry: self.telemetry,
         }
     }
 }
@@ -317,6 +343,7 @@ pub struct Switch {
     pub(crate) horizon: Nanos,
     pub(crate) burst: usize,
     pub(crate) pool: Option<SharedPool>,
+    pub(crate) telemetry: Option<TelemetryConfig>,
 }
 
 /// What one egress port did during a [`Switch::run`].
@@ -326,6 +353,17 @@ pub struct PortTrace {
     pub departures: Vec<Departure>,
     /// Packets this port's tree rejected (buffer full / unknown flow).
     pub drops: u64,
+    /// Completed per-packet path records, index-aligned with
+    /// [`departures`](Self::departures) (`paths[i]` digests
+    /// `departures[i]`'s walk, with `departed` finalized to its transmit
+    /// start so `PathRecord::wait` equals `Departure::wait` exactly).
+    /// Empty unless the fabric enabled
+    /// [`TelemetryConfig::path_records`].
+    pub paths: Vec<PathRecord>,
+    /// This port's sampled gauge series (queue depth, pool occupancy,
+    /// cumulative inversions when tracking). Empty unless the fabric was
+    /// built with [`SwitchBuilder::with_telemetry`].
+    pub gauges: Vec<GaugeSeries>,
 }
 
 /// The result of one [`Switch::run`]: per-port traces plus fabric-level
@@ -437,10 +475,12 @@ impl Switch {
             }
         }
 
+        let telemetry = self.telemetry;
         let mut sims: Vec<PortSim> = per_port
             .into_iter()
             .zip(&self.ports)
-            .map(|(arr, tree)| PortSim::new(arr, tree, self.burst))
+            .enumerate()
+            .map(|(i, (arr, tree))| PortSim::new(arr, tree, self.burst, i, telemetry))
             .collect();
 
         match mode {
@@ -457,9 +497,41 @@ impl Switch {
         }
 
         SwitchRun {
-            ports: sims.into_iter().map(|s| s.trace).collect(),
+            ports: sims
+                .into_iter()
+                .map(|mut s| {
+                    s.flush_gauges();
+                    s.trace
+                })
+                .collect(),
             misrouted,
         }
+    }
+
+    /// The telemetry configuration this fabric was built with, if any.
+    pub fn telemetry_config(&self) -> Option<TelemetryConfig> {
+        self.telemetry
+    }
+
+    /// Merge every port's flight recorder and the run's sampled gauge
+    /// series into one [`TelemetrySnapshot`], events in canonical
+    /// `(time, port)` order (stable, so each port's recording order is
+    /// preserved within an instant) — byte-reproducible for a seeded
+    /// run in every drain mode. `None` unless the fabric was built with
+    /// [`SwitchBuilder::with_telemetry`].
+    pub fn telemetry_snapshot(&self, run: &SwitchRun) -> Option<TelemetrySnapshot> {
+        self.telemetry?;
+        let mut snap = TelemetrySnapshot::default();
+        for tree in &self.ports {
+            if let Some(r) = tree.flight_recorder() {
+                snap.absorb_recorder(r);
+            }
+        }
+        snap.sort_events();
+        for trace in &run.ports {
+            snap.gauges.extend(trace.gauges.iter().cloned());
+        }
+        Some(snap)
     }
 
     /// True when no two ports can observe each other through a shared
@@ -549,10 +621,24 @@ struct PortSim {
     /// Reused across rounds so the steady state allocates nothing.
     round: Vec<Packet>,
     batch: Vec<Packet>,
+    /// Scheduling rounds executed so far (drives gauge sampling; counts
+    /// the same way in every drain mode, so sample instants agree).
+    rounds: u64,
+    /// `Some(every)` when telemetry gauges are being sampled.
+    sample_every: Option<u64>,
+    depth_gauge: GaugeSeries,
+    occ_gauge: GaugeSeries,
+    inv_gauge: GaugeSeries,
 }
 
 impl PortSim {
-    fn new(arrivals: Vec<Packet>, tree: &ScheduleTree, burst: usize) -> PortSim {
+    fn new(
+        arrivals: Vec<Packet>,
+        tree: &ScheduleTree,
+        burst: usize,
+        port: usize,
+        telemetry: Option<TelemetryConfig>,
+    ) -> PortSim {
         let (t, done) = match arrivals.first() {
             Some(p) => (p.arrival, false),
             None if tree.is_empty() && tree.shaped_len() == 0 => (Nanos::ZERO, true),
@@ -565,6 +651,24 @@ impl PortSim {
             trace: PortTrace::default(),
             round: Vec::with_capacity(burst),
             batch: Vec::new(),
+            rounds: 0,
+            sample_every: telemetry.map(|c| c.sample_every.max(1)),
+            depth_gauge: GaugeSeries::new(format!("port{port}.depth")),
+            occ_gauge: GaugeSeries::new(format!("port{port}.pool_occupancy")),
+            inv_gauge: GaugeSeries::new(format!("port{port}.inversions")),
+        }
+    }
+
+    /// Move the sampled gauge series into the trace (end of run).
+    fn flush_gauges(&mut self) {
+        if self.sample_every.is_some() {
+            self.trace.gauges = vec![
+                std::mem::take(&mut self.depth_gauge),
+                std::mem::take(&mut self.occ_gauge),
+            ];
+            if !self.inv_gauge.points.is_empty() {
+                self.trace.gauges.push(std::mem::take(&mut self.inv_gauge));
+            }
         }
     }
 
@@ -622,6 +726,21 @@ impl PortSim {
             }
         }
 
+        // Gauge sampling happens at a fixed point in the round — after
+        // the dequeue decisions, before transmit — so the sampled values
+        // and instants are identical in every drain mode.
+        self.rounds += 1;
+        if let Some(every) = self.sample_every {
+            if self.rounds % every == 0 {
+                self.depth_gauge.push(self.t, tree.len() as u64);
+                self.occ_gauge
+                    .push(self.t, tree.packet_buffer().live() as u64);
+                if let Some(s) = tree.inversion_stats() {
+                    self.inv_gauge.push(self.t, s.inversions);
+                }
+            }
+        }
+
         if self.round.is_empty() {
             // Idle: hop to the next arrival or shaping release. The
             // round already released everything due at `t`, so any
@@ -649,6 +768,18 @@ impl PortSim {
                     packet: p,
                 });
                 self.t = finish;
+            }
+            if tree.path_records_enabled() {
+                // One record completed per packet dequeued this round,
+                // in dequeue order — exactly the departures just pushed.
+                // Finalize `departed` to each packet's transmit start so
+                // telemetry waits reconcile with `Departure::wait`.
+                let mut recs = tree.drain_path_records();
+                let base = self.trace.departures.len() - recs.len();
+                for (i, r) in recs.iter_mut().enumerate() {
+                    r.departed = self.trace.departures[base + i].start;
+                }
+                self.trace.paths.append(&mut recs);
             }
         }
     }
